@@ -1,0 +1,26 @@
+// Command cdbench regenerates the paper's tables and figures. Each
+// experiment id corresponds to one artifact of the evaluation section (see
+// DESIGN.md §4); "all" runs the complete suite in order.
+//
+// Usage:
+//
+//	cdbench -run fig4 -trials 5 -seed 42
+//	cdbench -run all -quick
+//	cdbench -list
+//	cdbench -run fig2 -plot           # render ASCII charts too
+//	cdbench -run fig2 -csv out/       # also write each figure as CSV
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Bench(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

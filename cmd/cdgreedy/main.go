@@ -1,0 +1,23 @@
+// Command cdgreedy runs one of the paper's algorithms on a trace and prints
+// the selected broadcast contents, per-round gains, and (optionally) the
+// exhaustive baseline with the achieved approximation ratio.
+//
+// Usage:
+//
+//	cdtrace -n 40 | cdgreedy -alg greedy2 -k 4 -r 1
+//	cdgreedy -trace trace.json -alg greedy4 -k 2 -r 1.5 -norm l1 -exhaustive
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Greedy(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

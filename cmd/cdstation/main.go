@@ -1,0 +1,24 @@
+// Command cdstation runs the time-slotted base-station simulator (the
+// system the paper motivates) over a trace: each period the station selects
+// k broadcast contents with the chosen algorithm while user interests drift
+// and the population churns.
+//
+// Usage:
+//
+//	cdtrace -n 60 -kind zipf | cdstation -alg greedy2 -k 3 -periods 10
+//	cdstation -trace t.json -alg greedy4 -k 2 -r 1.5 -drift 0.2 -churn 0.1
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Station(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,23 @@
+// Command cdtrace generates synthetic interest traces (the paper's
+// evaluation workload plus clustered and Zipf-topic populations) and writes
+// them as JSON or CSV for consumption by cdgreedy and cdstation.
+//
+// Usage:
+//
+//	cdtrace -n 40 -dim 2 -kind uniform -weights random -seed 7 > trace.json
+//	cdtrace -n 160 -dim 3 -kind zipf -format csv > trace.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.TraceGen(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

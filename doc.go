@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "Making Many People
+// Happy: Greedy Solutions for Content Distribution" (Wang, Guo, Wu;
+// ICPP 2011).
+//
+// The library lives under internal/:
+//
+//   - internal/core        — the paper's four heuristics (Algorithms 1–4)
+//   - internal/reward      — the capped distance-decay reward model (Eqs. 1–7)
+//   - internal/exhaustive  — the exhaustive baseline the paper's ratios divide by
+//   - internal/optimize    — continuous inner solvers for the round-based heuristic
+//   - internal/theory      — Theorems 1–2 approximation-ratio closed forms
+//   - internal/geom        — smallest enclosing balls (Welzl and friends)
+//   - internal/norm, vec   — p-norm interest distances and m-D vectors
+//   - internal/pointset    — weighted populations and workload generators
+//   - internal/trace       — synthetic interest traces with JSON/CSV I/O
+//   - internal/broadcast   — the motivating time-slotted base-station simulator
+//   - internal/experiments — one driver per paper table/figure (see DESIGN.md)
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section; cmd/cdbench exposes the same drivers as a CLI.
+package repro

@@ -1,0 +1,96 @@
+// Adversarial example: hand-built instances that expose each algorithm's
+// failure mode — the structures behind the paper's approximation-ratio gaps.
+//
+//  1. A "heavy decoy": one isolated heavy user lures greedy 3 (it chases
+//     max w·y), while a crowd of light users elsewhere holds far more total
+//     reward. greedy 2 reads the crowd correctly.
+//  2. A "0.4-coverage bait": a mid point partially covering two clusters
+//     baits coverage-aware greedy into broadcasting the same content twice
+//     (the capped-sum reward pays in installments); the resulting solution
+//     is even 1-swap stable, bounding what local refinement can fix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/report"
+	"repro/internal/reward"
+	"repro/internal/vec"
+)
+
+func run(title string, pts []vec.V, ws []float64, k int, r float64, algs []core.Algorithm) {
+	set, err := pointset.New(pts, ws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := reward.NewInstance(set, norm.L2{}, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.NewTable(fmt.Sprintf("%s (n=%d, k=%d, r=%g, Σw=%.0f)", title, set.Len(), k, r, set.TotalWeight()),
+		"algorithm", "total reward", "% of Σw")
+	for _, a := range algs {
+		res, err := a.Run(in, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(res.Algorithm, res.Total, 100*res.Total/set.TotalWeight())
+	}
+	fmt.Print(tb.Render())
+	fmt.Println()
+}
+
+func main() {
+	// Scenario 1: heavy decoy vs light crowd. One user with weight 5 sits
+	// alone at a corner; ten weight-1 users crowd the opposite corner
+	// within one disk. k = 1: the crowd (total 10) beats the decoy (5),
+	// but greedy 3 takes the decoy because 5 > any single crowd weight.
+	crowd := []vec.V{}
+	weights := []float64{}
+	for i := 0; i < 10; i++ {
+		crowd = append(crowd, vec.Of(3.4+0.05*float64(i%5), 3.4+0.05*float64(i/5)))
+		weights = append(weights, 1)
+	}
+	pts := append(crowd, vec.Of(0.2, 0.2))
+	weights = append(weights, 5)
+	run("heavy decoy vs light crowd", pts, weights, 1, 1.0, []core.Algorithm{
+		core.LocalGreedy{},
+		core.SimpleGreedy{},
+		core.ComplexGreedy{},
+	})
+
+	// Scenario 2: the 0.4-coverage bait. Two tight 4-user clusters sit 2.4
+	// apart (mutually uncovered at r = 2); a weight-2 user midway covers
+	// both clusters at fraction 0.4. Round 1: the bait scores
+	// 2 + 0.4·8 = 5.2, beating either cluster (4 + 0.4·2 = 4.8). Round 2's
+	// best move is the bait AGAIN (0.4·8 = 3.2 of residual) — under Eq. 2
+	// repeated broadcasts pay each user's cap in installments — totalling
+	// 8.4. The optimum ignores the bait: both clusters fully (8) plus the
+	// bait covered 0.4+0.4 → 1.6, i.e. 9.6. Notably the greedy solution is
+	// 1-swap stable (any single replacement drops to 7.6), so swap search
+	// keeps it: escaping needs a coordinated 2-swap. 8.4/9.6 = 0.875 sits
+	// comfortably above the 1/2 swap-stability guarantee and illustrates
+	// why measured ratios in the figures stay far above Theorem 2's bound.
+	pts2 := []vec.V{
+		vec.Of(0, 0), vec.Of(0, 0.001), vec.Of(0.001, 0), vec.Of(0.001, 0.001),
+		vec.Of(2.4, 0), vec.Of(2.4, 0.001), vec.Of(2.401, 0), vec.Of(2.401, 0.001),
+		vec.Of(1.2, 0), // the bait
+	}
+	ws2 := []float64{1, 1, 1, 1, 1, 1, 1, 1, 2}
+	run("0.4-coverage bait between two clusters", pts2, ws2, 2, 2.0, []core.Algorithm{
+		core.LocalGreedy{},
+		core.SimpleGreedy{},
+		core.SwapLocalSearch{},
+		core.ComplexGreedy{},
+	})
+
+	fmt.Println("Scenario 1 shows greedy 3's failure mode: chasing the single heaviest user")
+	fmt.Println("forfeits the crowd. Scenario 2 shows the subtler trap for coverage-aware")
+	fmt.Println("greedy: the capped-sum reward (Eq. 2) makes re-broadcasting a bait content")
+	fmt.Println("locally optimal and even 1-swap stable at 87.5% of the true optimum —")
+	fmt.Println("the structural reason measured ratios sit far above Theorem 2's bound.")
+}

@@ -1,0 +1,343 @@
+package broadcast
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/trace"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func genTrace(t *testing.T, n int, kind trace.Kind) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.Config{
+		N: n, Box: pointset.PaperBox2D(), Kind: kind,
+		Scheme: pointset.RandomIntWeight,
+	}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func baseCfg() Config {
+	return Config{K: 2, Radius: 1.5, Periods: 5, Seed: 7}
+}
+
+func greedySched() Scheduler {
+	return AlgorithmScheduler{Algo: core.LocalGreedy{}}
+}
+
+func TestRunBasic(t *testing.T) {
+	tr := genTrace(t, 30, trace.Uniform)
+	m, err := Run(tr, greedySched(), baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheduler != "greedy2" {
+		t.Errorf("scheduler name = %q", m.Scheduler)
+	}
+	if len(m.Periods) != 5 {
+		t.Fatalf("periods = %d", len(m.Periods))
+	}
+	if m.MeanSatisfaction <= 0 || m.MeanSatisfaction > 1 {
+		t.Errorf("mean satisfaction = %v", m.MeanSatisfaction)
+	}
+	if m.Fairness <= 0 || m.Fairness > 1+1e-9 {
+		t.Errorf("fairness = %v", m.Fairness)
+	}
+	for _, p := range m.Periods {
+		if p.Reward < 0 || p.Reward > p.MaxRwd+1e-9 {
+			t.Errorf("period %d reward %v out of [0, %v]", p.Period, p.Reward, p.MaxRwd)
+		}
+		if len(p.Centers) != 2 {
+			t.Errorf("period %d has %d centers", p.Period, len(p.Centers))
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := genTrace(t, 10, trace.Uniform)
+	if _, err := Run(nil, greedySched(), baseCfg()); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := Run(tr, nil, baseCfg()); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	bad := baseCfg()
+	bad.K = 0
+	if _, err := Run(tr, greedySched(), bad); err == nil {
+		t.Error("K=0 accepted")
+	}
+	bad = baseCfg()
+	bad.Radius = -1
+	if _, err := Run(tr, greedySched(), bad); err == nil {
+		t.Error("negative radius accepted")
+	}
+	bad = baseCfg()
+	bad.Periods = 0
+	if _, err := Run(tr, greedySched(), bad); err == nil {
+		t.Error("0 periods accepted")
+	}
+	bad = baseCfg()
+	bad.ChurnRate = 1.5
+	if _, err := Run(tr, greedySched(), bad); err == nil {
+		t.Error("churn > 1 accepted")
+	}
+	bad = baseCfg()
+	bad.DriftSigma = -0.1
+	if _, err := Run(tr, greedySched(), bad); err == nil {
+		t.Error("negative drift accepted")
+	}
+}
+
+func TestRunDoesNotMutateInput(t *testing.T) {
+	tr := genTrace(t, 20, trace.Uniform)
+	snap := append([]float64{}, tr.Users[0].Interest...)
+	cfg := baseCfg()
+	cfg.DriftSigma = 0.3
+	cfg.ChurnRate = 0.2
+	if _, err := Run(tr, greedySched(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Users[0].Interest[0] != snap[0] || tr.Users[0].Interest[1] != snap[1] {
+		t.Fatal("Run mutated the input trace")
+	}
+}
+
+func TestStaticVsAdaptive(t *testing.T) {
+	// On a clustered population, an adaptive greedy schedule must beat a
+	// static schedule stuck at arbitrary corners.
+	tr := genTrace(t, 60, trace.Clustered)
+	cfg := baseCfg()
+	adaptive, err := Run(tr, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Run(tr, StaticScheduler{
+		Contents: []vec.V{vec.Of(0, 0), vec.Of(4, 4)},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.MeanSatisfaction <= static.MeanSatisfaction {
+		t.Errorf("adaptive %v not above static %v",
+			adaptive.MeanSatisfaction, static.MeanSatisfaction)
+	}
+	if static.Scheduler != "static" {
+		t.Errorf("static name = %q", static.Scheduler)
+	}
+}
+
+func TestStaticSchedulerShortContents(t *testing.T) {
+	tr := genTrace(t, 10, trace.Uniform)
+	cfg := baseCfg()
+	cfg.K = 3
+	if _, err := Run(tr, StaticScheduler{Contents: []vec.V{vec.Of(1, 1)}}, cfg); err == nil {
+		t.Error("static scheduler with too few contents accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := genTrace(t, 25, trace.Uniform)
+	cfg := baseCfg()
+	cfg.DriftSigma = 0.2
+	cfg.ChurnRate = 0.1
+	a, err := Run(tr, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Periods {
+		if math.Abs(a.Periods[i].Reward-b.Periods[i].Reward) > 1e-12 {
+			t.Fatalf("period %d rewards differ across identical runs", i)
+		}
+	}
+}
+
+func TestChurnReplacesUsers(t *testing.T) {
+	tr := genTrace(t, 20, trace.Uniform)
+	cfg := baseCfg()
+	cfg.Periods = 10
+	cfg.ChurnRate = 0.5
+	m, err := Run(tr, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churned-in users get fresh IDs, so the fairness accounting must have
+	// tracked more than the initial population.
+	if m.Fairness <= 0 {
+		t.Errorf("fairness = %v", m.Fairness)
+	}
+}
+
+func TestArrivalsGrowPopulation(t *testing.T) {
+	tr := genTrace(t, 10, trace.Uniform)
+	cfg := baseCfg()
+	cfg.Periods = 10
+	cfg.ArrivalRate = 5
+	m, err := Run(tr, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := m.Periods[0].MaxRwd, m.Periods[len(m.Periods)-1].MaxRwd
+	if last <= first {
+		t.Errorf("population did not grow: Σw %v -> %v", first, last)
+	}
+}
+
+func TestDeparturesShrinkPopulation(t *testing.T) {
+	tr := genTrace(t, 50, trace.Uniform)
+	cfg := baseCfg()
+	cfg.Periods = 10
+	cfg.DepartRate = 0.3
+	m, err := Run(tr, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := m.Periods[0].MaxRwd, m.Periods[len(m.Periods)-1].MaxRwd
+	if last >= first {
+		t.Errorf("population did not shrink: Σw %v -> %v", first, last)
+	}
+	// Population never empties even at extreme departure rates.
+	cfg.DepartRate = 1
+	if _, err := Run(tr, greedySched(), cfg); err != nil {
+		t.Fatalf("full departure rate errored: %v", err)
+	}
+}
+
+func TestArrivalDepartValidation(t *testing.T) {
+	tr := genTrace(t, 10, trace.Uniform)
+	bad := baseCfg()
+	bad.ArrivalRate = -1
+	if _, err := Run(tr, greedySched(), bad); err == nil {
+		t.Error("negative arrival rate accepted")
+	}
+	bad = baseCfg()
+	bad.DepartRate = 1.5
+	if _, err := Run(tr, greedySched(), bad); err == nil {
+		t.Error("depart rate > 1 accepted")
+	}
+}
+
+func TestKSweepTradeoff(t *testing.T) {
+	tr := genTrace(t, 40, trace.Uniform)
+	cfg := baseCfg()
+	cfg.Periods = 3
+	ms, err := KSweep(tr, greedySched(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("sweep len = %d", len(ms))
+	}
+	// Satisfaction is non-decreasing in k (greedy adds coverage).
+	for i := 1; i < len(ms); i++ {
+		if ms[i].MeanSatisfaction < ms[i-1].MeanSatisfaction-1e-9 {
+			t.Errorf("satisfaction fell from k=%d to k=%d: %v -> %v",
+				i, i+1, ms[i-1].MeanSatisfaction, ms[i].MeanSatisfaction)
+		}
+	}
+	// Service frequency falls as k grows (paper's §III.A tradeoff) with a
+	// fixed slot budget.
+	cfg.SlotsPerPeriod = 6
+	ms, err = KSweep(tr, greedySched(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].ServiceFrequency >= ms[i-1].ServiceFrequency {
+			t.Errorf("service frequency did not fall: k=%d %v -> k=%d %v",
+				i, ms[i-1].ServiceFrequency, i+1, ms[i].ServiceFrequency)
+		}
+	}
+	if _, err := KSweep(tr, greedySched(), cfg, 0); err == nil {
+		t.Error("kMax=0 accepted")
+	}
+}
+
+func TestRunTimelineReplay(t *testing.T) {
+	tr := genTrace(t, 25, trace.Uniform)
+	tl, err := trace.RecordTimeline(tr, 4, 0.2, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg()
+	a, err := RunTimeline(tl, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Periods) != 4 {
+		t.Fatalf("periods = %d", len(a.Periods))
+	}
+	// Replays are bit-identical.
+	b, err := RunTimeline(tl, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Periods {
+		if a.Periods[i].Reward != b.Periods[i].Reward {
+			t.Fatal("timeline replay not deterministic")
+		}
+	}
+	// A zero-drift timeline matches the drift-free live simulation.
+	still, err := trace.RecordTimeline(tr, 3, 0, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Periods = 3
+	cfg.DriftSigma = 0
+	cfg.ChurnRate = 0
+	live, err := Run(tr, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := RunTimeline(still, greedySched(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.MeanSatisfaction != replay.MeanSatisfaction {
+		t.Fatalf("live %v != replay %v on a static population",
+			live.MeanSatisfaction, replay.MeanSatisfaction)
+	}
+}
+
+func TestRunTimelineValidation(t *testing.T) {
+	tr := genTrace(t, 10, trace.Uniform)
+	tl, err := trace.RecordTimeline(tr, 2, 0.1, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg()
+	if _, err := RunTimeline(nil, greedySched(), cfg); err == nil {
+		t.Error("nil timeline accepted")
+	}
+	if _, err := RunTimeline(tl, nil, cfg); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	bad := cfg
+	bad.K = 0
+	if _, err := RunTimeline(tl, greedySched(), bad); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestOneNormBroadcast(t *testing.T) {
+	tr := genTrace(t, 20, trace.Uniform)
+	cfg := baseCfg()
+	cfg.Norm = norm.L1{}
+	m, err := Run(tr, AlgorithmScheduler{Algo: core.SimpleGreedy{}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheduler != "greedy3" || m.MeanSatisfaction <= 0 {
+		t.Errorf("L1 run wrong: %+v", m)
+	}
+}

@@ -1,0 +1,75 @@
+package broadcast
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/norm"
+	"repro/internal/reward"
+	"repro/internal/vec"
+)
+
+// CatalogScheduler constrains broadcasting to a finite content library: the
+// inner scheduler proposes ideal content vectors, and each proposal is
+// snapped to the nearest unused catalog item under the snapping norm. Real
+// stations cannot synthesize arbitrary content — they pick from what they
+// have — so this models the gap between the paper's idealized continuous
+// placement and a deployable system.
+type CatalogScheduler struct {
+	// Inner proposes ideal content positions.
+	Inner Scheduler
+	// Catalog is the available content library.
+	Catalog []vec.V
+	// Norm measures the snap distance (default 2-norm).
+	Norm norm.Norm
+}
+
+// Name implements Scheduler.
+func (s CatalogScheduler) Name() string {
+	if s.Inner == nil {
+		return "catalog"
+	}
+	return s.Inner.Name() + "+catalog"
+}
+
+// Schedule implements Scheduler. Each proposed center is replaced by the
+// nearest catalog item not already chosen this period; an exhausted catalog
+// is an error.
+func (s CatalogScheduler) Schedule(in *reward.Instance, k int) ([]vec.V, error) {
+	if s.Inner == nil {
+		return nil, errors.New("broadcast: catalog scheduler without inner scheduler")
+	}
+	if len(s.Catalog) < k {
+		return nil, fmt.Errorf("broadcast: catalog has %d items, need %d", len(s.Catalog), k)
+	}
+	nm := s.Norm
+	if nm == nil {
+		nm = norm.L2{}
+	}
+	ideal, err := s.Inner.Schedule(in, k)
+	if err != nil {
+		return nil, err
+	}
+	used := make([]bool, len(s.Catalog))
+	out := make([]vec.V, 0, len(ideal))
+	for _, c := range ideal {
+		best, bestD := -1, 0.0
+		for i, item := range s.Catalog {
+			if used[i] || item.Dim() != c.Dim() {
+				continue
+			}
+			d := nm.Dist(c, item)
+			if best == -1 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best == -1 {
+			return nil, errors.New("broadcast: no dimension-compatible catalog item available")
+		}
+		used[best] = true
+		out = append(out, s.Catalog[best].Clone())
+	}
+	return out, nil
+}
+
+var _ Scheduler = CatalogScheduler{}

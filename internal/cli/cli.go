@@ -1,0 +1,72 @@
+// Package cli implements the logic behind the cmd/ executables as testable
+// functions: each tool parses its own flag set, reads/writes through
+// injected streams, and returns an error instead of exiting. The cmd/
+// wrappers only wire os.Stdin/Stdout/Stderr and os.Exit.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+// AlgorithmByName resolves the paper's algorithm names (greedy1..greedy4,
+// plus the greedy2-lazy accelerated variant) to runnable algorithms.
+func AlgorithmByName(name string) (core.Algorithm, error) {
+	switch name {
+	case "greedy1":
+		return core.RoundBased{Solver: optimize.Multistart{}}, nil
+	case "greedy2":
+		return core.LocalGreedy{}, nil
+	case "greedy2-lazy":
+		return core.LazyGreedy{}, nil
+	case "greedy3":
+		return core.SimpleGreedy{}, nil
+	case "greedy4":
+		return core.ComplexGreedy{}, nil
+	case "greedy2+swap":
+		return core.SwapLocalSearch{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (greedy1 | greedy2 | greedy2-lazy | greedy2+swap | greedy3 | greedy4)", name)
+	}
+}
+
+// describeCenter renders a broadcast content vector, labelling each
+// coordinate with the trace's keyword for that dimension when available
+// (the paper's "m keywords in m-D space" reading of interest vectors).
+func describeCenter(c []float64, keywords []string) string {
+	if len(keywords) != len(c) {
+		v := make([]string, len(c))
+		for i, x := range c {
+			v[i] = fmt.Sprintf("%.3f", x)
+		}
+		return "(" + strings.Join(v, ", ") + ")"
+	}
+	parts := make([]string, len(c))
+	for i, x := range c {
+		parts[i] = fmt.Sprintf("%s=%.3f", keywords[i], x)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ReadTrace loads a trace from a path: "-" reads JSON from stdin; a ".csv"
+// suffix selects the CSV parser, anything else JSON.
+func ReadTrace(path string, stdin io.Reader) (*trace.Trace, error) {
+	if path == "-" {
+		return trace.ReadJSON(stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return trace.ReadCSV(f)
+	}
+	return trace.ReadJSON(f)
+}

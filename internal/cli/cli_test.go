@@ -1,0 +1,409 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pointset"
+)
+
+func TestAlgorithmByName(t *testing.T) {
+	cases := map[string]string{
+		"greedy1":      "greedy1",
+		"greedy2":      "greedy2",
+		"greedy2-lazy": "greedy2-lazy",
+		"greedy3":      "greedy3",
+		"greedy4":      "greedy4",
+	}
+	for name, want := range cases {
+		a, err := AlgorithmByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() != want {
+			t.Errorf("%s resolved to %s", name, a.Name())
+		}
+	}
+	if _, err := AlgorithmByName("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	// greedy1 must come wired with a solver.
+	a, _ := AlgorithmByName("greedy1")
+	if rb, ok := a.(core.RoundBased); !ok || rb.Solver == nil {
+		t.Error("greedy1 not wired with an inner solver")
+	}
+}
+
+func TestWeightSchemeByName(t *testing.T) {
+	if s, err := WeightSchemeByName("same"); err != nil || s != pointset.UnitWeight {
+		t.Error("same scheme wrong")
+	}
+	if s, err := WeightSchemeByName("random"); err != nil || s != pointset.RandomIntWeight {
+		t.Error("random scheme wrong")
+	}
+	if _, err := WeightSchemeByName("x"); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}
+
+func genJSON(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	full := append([]string{"-n", "20", "-seed", "3"}, args...)
+	if err := TraceGen(full, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestTraceGenJSONAndCSV(t *testing.T) {
+	js := genJSON(t)
+	if !strings.Contains(js, `"users"`) || !strings.Contains(js, `"interest"`) {
+		t.Errorf("json output wrong: %.80s", js)
+	}
+	var csvOut bytes.Buffer
+	if err := TraceGen([]string{"-n", "5", "-format", "csv"}, &csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvOut.String(), "id,weight,x0,x1") {
+		t.Errorf("csv output wrong: %.40s", csvOut.String())
+	}
+}
+
+func TestTraceGenRejects(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-kind", "bogus"},
+		{"-weights", "bogus"},
+		{"-format", "bogus"},
+		{"-dim", "0"},
+		{"-side", "-1"},
+		{"-n", "0"},
+	} {
+		if err := TraceGen(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestTraceGenDeterministic(t *testing.T) {
+	if genJSON(t) != genJSON(t) {
+		t.Error("same seed produced different traces")
+	}
+}
+
+func TestGreedyPipeline(t *testing.T) {
+	js := genJSON(t)
+	var out bytes.Buffer
+	err := Greedy([]string{"-alg", "greedy2", "-k", "2", "-r", "1.5", "-exhaustive"},
+		strings.NewReader(js), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"greedy2 on 20 users", "round", "total reward", "exhaustive baseline", "approximation ratio"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cdgreedy output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestKeywordsFlowThrough(t *testing.T) {
+	var trOut bytes.Buffer
+	if err := TraceGen([]string{"-n", "10", "-keywords", "genre,tempo"}, &trOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trOut.String(), `"keywords"`) || !strings.Contains(trOut.String(), "genre") {
+		t.Fatalf("keywords not serialized: %.120s", trOut.String())
+	}
+	var out bytes.Buffer
+	if err := Greedy([]string{"-k", "1", "-r", "1.5"}, strings.NewReader(trOut.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "genre=") || !strings.Contains(out.String(), "tempo=") {
+		t.Errorf("centers not keyword-labelled:\n%s", out.String())
+	}
+	// Keyword count must match the dimension.
+	if err := TraceGen([]string{"-n", "5", "-keywords", "only-one"}, &trOut); err == nil {
+		t.Error("mismatched keyword count accepted")
+	}
+	// Empty keyword rejected.
+	if err := TraceGen([]string{"-n", "5", "-keywords", "a,"}, &trOut); err == nil {
+		t.Error("empty keyword accepted")
+	}
+}
+
+func TestGreedyJSONOutput(t *testing.T) {
+	js := genJSON(t)
+	var out bytes.Buffer
+	if err := Greedy([]string{"-json", "-alg", "greedy3", "-k", "2", "-r", "1.5"},
+		strings.NewReader(js), &out); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Algorithm string      `json:"algorithm"`
+		Centers   [][]float64 `json:"centers"`
+		Gains     []float64   `json:"gains"`
+		Total     float64     `json:"total"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, out.String())
+	}
+	if parsed.Algorithm != "greedy3" || len(parsed.Centers) != 2 || len(parsed.Gains) != 2 {
+		t.Fatalf("json shape wrong: %+v", parsed)
+	}
+	var sum float64
+	for _, g := range parsed.Gains {
+		sum += g
+	}
+	if sum != parsed.Total {
+		t.Fatalf("gains %v do not sum to total %v", parsed.Gains, parsed.Total)
+	}
+}
+
+func TestGreedyAllFlag(t *testing.T) {
+	js := genJSON(t)
+	var out bytes.Buffer
+	if err := Greedy([]string{"-all", "-k", "2", "-r", "1.5", "-exhaustive"},
+		strings.NewReader(js), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"all algorithms", "greedy1", "greedy2", "greedy3", "greedy4", "exhaustive baseline"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-all output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGreedyFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	js := genJSON(t)
+	jsonPath := filepath.Join(dir, "t.json")
+	if err := os.WriteFile(jsonPath, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := TraceGen([]string{"-n", "10", "-format", "csv"}, &csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(csvPath, csvBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{jsonPath, csvPath} {
+		var out bytes.Buffer
+		if err := Greedy([]string{"-trace", path, "-alg", "greedy3", "-k", "1"}, nil, &out); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !strings.Contains(out.String(), "greedy3") {
+			t.Errorf("%s: output missing algorithm name", path)
+		}
+	}
+	var out bytes.Buffer
+	if err := Greedy([]string{"-trace", filepath.Join(dir, "missing.json")}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGreedyRejects(t *testing.T) {
+	js := genJSON(t)
+	var out bytes.Buffer
+	if err := Greedy([]string{"-alg", "bogus"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := Greedy([]string{"-norm", "bogus"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad norm accepted")
+	}
+	if err := Greedy([]string{"-r", "-2"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad radius accepted")
+	}
+	// Gigantic exhaustive request must be refused, not attempted.
+	var big bytes.Buffer
+	if err := TraceGen([]string{"-n", "200", "-seed", "1"}, &big); err != nil {
+		t.Fatal(err)
+	}
+	if err := Greedy([]string{"-k", "8", "-exhaustive", "-grid", "9"},
+		strings.NewReader(big.String()), &out); err == nil || !strings.Contains(err.Error(), "enumerate") {
+		t.Errorf("oversized exhaustive not refused: %v", err)
+	}
+}
+
+func TestStationPipeline(t *testing.T) {
+	js := genJSON(t, "-kind", "clustered")
+	var out bytes.Buffer
+	err := Station([]string{"-alg", "greedy2", "-k", "2", "-periods", "3"},
+		strings.NewReader(js), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"base station", "mean satisfaction", "fairness", "service frequency"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cdstation output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "\n") < 6 {
+		t.Error("cdstation output too short")
+	}
+}
+
+func TestStationMultiStation(t *testing.T) {
+	js := genJSON(t, "-kind", "clustered", "-n", "40")
+	var out bytes.Buffer
+	err := Station([]string{"-stations", "3", "-k", "1", "-periods", "2"},
+		strings.NewReader(js), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"3 stations", "aggregate satisfaction", "total budget 3"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("multi-station output missing %q:\n%s", want, text)
+		}
+	}
+	if err := Station([]string{"-stations", "2", "-assign", "bogus"},
+		strings.NewReader(genJSON(t)), &out); err == nil {
+		t.Error("bad assignment accepted")
+	}
+}
+
+func TestTimelinePipeline(t *testing.T) {
+	var tlOut bytes.Buffer
+	if err := TraceGen([]string{"-n", "15", "-seed", "4", "-timeline", "3"}, &tlOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tlOut.String(), `"snapshots"`) {
+		t.Fatalf("timeline json wrong: %.80s", tlOut.String())
+	}
+	var out bytes.Buffer
+	if err := Station([]string{"-timeline", "-k", "2", "-r", "1.5"},
+		strings.NewReader(tlOut.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"timeline replay", "3 periods", "mean satisfaction"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("timeline replay output missing %q:\n%s", want, text)
+		}
+	}
+	// Timeline with CSV format is refused.
+	var junk bytes.Buffer
+	if err := TraceGen([]string{"-timeline", "2", "-format", "csv"}, &junk); err == nil {
+		t.Error("timeline csv accepted")
+	}
+	// Timeline replay from a file, plus its error paths.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tl.json")
+	if err := os.WriteFile(path, tlOut.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := Station([]string{"-timeline", "-trace", path, "-k", "1"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "timeline replay") {
+		t.Error("file-based timeline replay failed")
+	}
+	if err := Station([]string{"-timeline", "-trace", filepath.Join(dir, "missing.json")}, nil, &out); err == nil {
+		t.Error("missing timeline file accepted")
+	}
+	if err := Station([]string{"-timeline", "-alg", "bogus"}, strings.NewReader(tlOut.String()), &out); err == nil {
+		t.Error("bad algorithm accepted in timeline mode")
+	}
+	if err := Station([]string{"-timeline", "-norm", "bogus"}, strings.NewReader(tlOut.String()), &out); err == nil {
+		t.Error("bad norm accepted in timeline mode")
+	}
+	if err := Station([]string{"-timeline"}, strings.NewReader("{"), &out); err == nil {
+		t.Error("bad timeline json accepted")
+	}
+}
+
+func TestStationRejects(t *testing.T) {
+	js := genJSON(t)
+	var out bytes.Buffer
+	if err := Station([]string{"-alg", "bogus"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := Station([]string{"-periods", "0"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad periods accepted")
+	}
+	if err := Station([]string{"-churn", "2"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad churn accepted")
+	}
+}
+
+func TestBenchListAndQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := Bench([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig2", "table1", "summary", "ablation-scale"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+	out.Reset()
+	if err := Bench([]string{"-run", "fig2", "-plot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "fig2-n10") || !strings.Contains(text, "approx1") {
+		t.Errorf("fig2 output wrong:\n%.200s", text)
+	}
+	if !strings.Contains(text, "x: number of centers k") {
+		t.Error("plot not rendered")
+	}
+	if err := Bench([]string{"-run", "bogus"}, &out); err == nil {
+		t.Error("bad experiment id accepted")
+	}
+}
+
+func TestBenchCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := Bench([]string{"-run", "fig2", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2-n10.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,") {
+		t.Errorf("csv header wrong: %.40s", data)
+	}
+}
+
+func TestBenchMarkdownOutput(t *testing.T) {
+	dir := t.TempDir()
+	mdPath := filepath.Join(dir, "report.md")
+	var out bytes.Buffer
+	if err := Bench([]string{"-run", "fig2", "-md", mdPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{"## fig2", "| k | approx1 | approx2 |", "**fig2-n10"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%.300s", want, md)
+		}
+	}
+}
+
+func TestBenchQuickTable1(t *testing.T) {
+	var out bytes.Buffer
+	if err := Bench([]string{"-run", "table1", "-quick", "-seed", "42"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Greedy 4") {
+		t.Errorf("table1 output wrong:\n%s", out.String())
+	}
+}

@@ -1,0 +1,152 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exhaustive"
+	"repro/internal/norm"
+	"repro/internal/report"
+	"repro/internal/reward"
+	"repro/internal/vec"
+)
+
+// centersToFloats flattens center vectors for JSON output.
+func centersToFloats(cs []vec.V) [][]float64 {
+	out := make([][]float64, len(cs))
+	for i, c := range cs {
+		out[i] = append([]float64{}, c...)
+	}
+	return out
+}
+
+// Greedy implements cdgreedy: run one algorithm on a trace, optionally with
+// the exhaustive baseline and ratio.
+func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cdgreedy", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		tracePath = fs.String("trace", "-", "trace file (JSON or CSV by extension; '-' reads JSON from stdin)")
+		algName   = fs.String("alg", "greedy2", "algorithm: greedy1 | greedy2 | greedy2-lazy | greedy3 | greedy4")
+		all       = fs.Bool("all", false, "run all four paper algorithms and compare")
+		k         = fs.Int("k", 2, "number of broadcasts")
+		r         = fs.Float64("r", 1, "coverage radius")
+		normName  = fs.String("norm", "l2", "interest-distance norm: l1 | l2 | linf")
+		exh       = fs.Bool("exhaustive", false, "also compute the exhaustive baseline and ratio")
+		gridPer   = fs.Int("grid", 5, "exhaustive candidate-lattice resolution per dimension (0 = points only)")
+		asJSON    = fs.Bool("json", false, "emit the result as JSON instead of a table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := ReadTrace(*tracePath, stdin)
+	if err != nil {
+		return err
+	}
+	set, err := tr.ToSet()
+	if err != nil {
+		return err
+	}
+	nm, err := norm.ByName(*normName)
+	if err != nil {
+		return err
+	}
+	in, err := reward.NewInstance(set, nm, *r)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		alg, err := AlgorithmByName(*algName)
+		if err != nil {
+			return err
+		}
+		res, err := alg.Run(in, *k)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Algorithm string      `json:"algorithm"`
+			K         int         `json:"k"`
+			Radius    float64     `json:"radius"`
+			Norm      string      `json:"norm"`
+			Centers   [][]float64 `json:"centers"`
+			Gains     []float64   `json:"gains"`
+			Total     float64     `json:"total"`
+			MaxReward float64     `json:"max_reward"`
+		}{
+			Algorithm: res.Algorithm,
+			K:         *k,
+			Radius:    *r,
+			Norm:      nm.Name(),
+			Centers:   centersToFloats(res.Centers),
+			Gains:     res.Gains,
+			Total:     res.Total,
+			MaxReward: set.TotalWeight(),
+		})
+	}
+
+	var res *core.Result
+	if *all {
+		tb := report.NewTable(fmt.Sprintf("all algorithms on %d users (%s, k=%d, r=%g)", set.Len(), nm.Name(), *k, *r),
+			"algorithm", "total", "% of Σw")
+		for _, name := range []string{"greedy1", "greedy2", "greedy3", "greedy4"} {
+			a, err := AlgorithmByName(name)
+			if err != nil {
+				return err
+			}
+			rr, err := a.Run(in, *k)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(rr.Algorithm, rr.Total, 100*rr.Total/set.TotalWeight())
+			if res == nil || rr.Total > res.Total {
+				res = rr
+			}
+		}
+		fmt.Fprint(stdout, tb.Render())
+	} else {
+		alg, err := AlgorithmByName(*algName)
+		if err != nil {
+			return err
+		}
+		res, err = alg.Run(in, *k)
+		if err != nil {
+			return err
+		}
+		tb := report.NewTable(fmt.Sprintf("%s on %d users (%s, k=%d, r=%g)", res.Algorithm, set.Len(), nm.Name(), *k, *r),
+			"round", "center", "gain")
+		for j, c := range res.Centers {
+			tb.AddRow(j+1, describeCenter(c, tr.Keywords), res.Gains[j])
+		}
+		fmt.Fprint(stdout, tb.Render())
+		fmt.Fprintf(stdout, "total reward: %.4f of at most %.4f (%.2f%% of Σw)\n",
+			res.Total, set.TotalWeight(), 100*res.Total/set.TotalWeight())
+	}
+
+	if *exh {
+		gridN := 0
+		if *gridPer > 0 {
+			gridN = 1
+			for i := 0; i < set.Dim(); i++ {
+				gridN *= *gridPer
+			}
+		}
+		combos := exhaustive.Combinations(set.Len()+gridN, *k)
+		if combos > 5e8 {
+			return fmt.Errorf("cdgreedy: exhaustive search would enumerate %.3g subsets; reduce -k or -grid", combos)
+		}
+		ex, err := exhaustive.Solve(in, *k, exhaustive.Options{
+			GridPer: *gridPer, Box: tr.Box(), Polish: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "exhaustive baseline: %.4f — approximation ratio %.4f\n", ex.Total, res.Total/ex.Total)
+	}
+	return nil
+}

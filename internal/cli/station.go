@@ -1,0 +1,156 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/broadcast"
+	"repro/internal/norm"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Station implements cdstation: the time-slotted base-station simulation.
+func Station(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cdstation", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		tracePath = fs.String("trace", "-", "trace file (JSON or CSV by extension; '-' reads JSON from stdin)")
+		algName   = fs.String("alg", "greedy2", "scheduler: greedy1 | greedy2 | greedy2-lazy | greedy3 | greedy4")
+		k         = fs.Int("k", 2, "broadcasts per period")
+		r         = fs.Float64("r", 1.5, "content scope radius")
+		normName  = fs.String("norm", "l2", "interest-distance norm: l1 | l2 | linf")
+		periods   = fs.Int("periods", 10, "broadcast periods to simulate")
+		drift     = fs.Float64("drift", 0.1, "per-period interest drift sigma")
+		churn     = fs.Float64("churn", 0.05, "per-period user replacement probability")
+		arrivals  = fs.Float64("arrivals", 0, "mean new users per period (Poisson)")
+		departs   = fs.Float64("departs", 0, "per-period probability a user leaves for good")
+		slots     = fs.Int("slots", 0, "broadcast slots per period (0 = k)")
+		stations  = fs.Int("stations", 1, "number of base stations (users partitioned among them)")
+		assign    = fs.String("assign", "nearest-anchor", "multi-station user assignment: random | nearest-anchor")
+		timeline  = fs.Bool("timeline", false, "treat the input as a recorded timeline (cdtrace -timeline) and replay it")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *timeline {
+		return stationTimeline(*tracePath, stdin, stdout, *algName, *k, *r, *normName, *slots)
+	}
+	tr, err := ReadTrace(*tracePath, stdin)
+	if err != nil {
+		return err
+	}
+	nm, err := norm.ByName(*normName)
+	if err != nil {
+		return err
+	}
+	alg, err := AlgorithmByName(*algName)
+	if err != nil {
+		return err
+	}
+	cfg := broadcast.Config{
+		K: *k, Radius: *r, Norm: nm, Periods: *periods,
+		DriftSigma: *drift, ChurnRate: *churn,
+		ArrivalRate: *arrivals, DepartRate: *departs,
+		SlotsPerPeriod: *slots, Seed: *seed,
+	}
+	sched := broadcast.AlgorithmScheduler{Algo: alg}
+	if *stations > 1 {
+		var mode broadcast.AssignMode
+		switch *assign {
+		case "random":
+			mode = broadcast.RandomAssign
+		case "nearest-anchor":
+			mode = broadcast.NearestAnchor
+		default:
+			return fmt.Errorf("cdstation: unknown assignment %q (random | nearest-anchor)", *assign)
+		}
+		mm, err := broadcast.RunMulti(tr, sched, cfg, *stations, mode)
+		if err != nil {
+			return err
+		}
+		tb := report.NewTable(fmt.Sprintf("%d stations (%s assignment), %s, k=%d each, r=%g",
+			*stations, *assign, sched.Name(), *k, *r),
+			"station", "users", "mean satisfaction", "fairness")
+		for _, s := range mm.Stations {
+			if s.Users == 0 {
+				tb.AddRow(s.Station, 0, "-", "-")
+				continue
+			}
+			tb.AddRow(s.Station, s.Users, s.Metrics.MeanSatisfaction, s.Metrics.Fairness)
+		}
+		fmt.Fprint(stdout, tb.Render())
+		fmt.Fprintf(stdout, "aggregate satisfaction: %.4f (total budget %d broadcasts/period)\n",
+			mm.MeanSatisfaction, mm.TotalBroadcasts)
+		return nil
+	}
+	m, err := broadcast.Run(tr, sched, cfg)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable(fmt.Sprintf("base station: %s, k=%d, r=%g, %s", m.Scheduler, *k, *r, nm.Name()),
+		"period", "reward", "max (Σw)", "satisfaction")
+	for _, p := range m.Periods {
+		tb.AddRow(p.Period, p.Reward, p.MaxRwd, p.Reward/p.MaxRwd)
+	}
+	fmt.Fprint(stdout, tb.Render())
+	fmt.Fprintf(stdout, "mean satisfaction:    %.4f\n", m.MeanSatisfaction)
+	fmt.Fprintf(stdout, "fairness (Jain):      %.4f\n", m.Fairness)
+	fmt.Fprintf(stdout, "service frequency:    %.2f rounds/period\n", m.ServiceFrequency)
+	fmt.Fprintf(stdout, "satisfaction/slot:    %.4f\n", m.SatisfactionPerSlot)
+	if len(m.UserSatisfaction) > 0 {
+		h, err := stats.NewHistogram(0, 1.0000001, 10)
+		if err == nil {
+			for _, s := range m.UserSatisfaction {
+				h.Add(s)
+			}
+			fmt.Fprintf(stdout, "per-user satisfaction distribution (%d users):\n%s", h.N(), h.Render(32))
+		}
+	}
+	return nil
+}
+
+// stationTimeline replays a recorded timeline through the scheduler.
+func stationTimeline(path string, stdin io.Reader, stdout io.Writer, algName string, k int, r float64, normName string, slots int) error {
+	var rdr io.Reader = stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rdr = f
+	}
+	tl, err := trace.ReadTimelineJSON(rdr)
+	if err != nil {
+		return err
+	}
+	nm, err := norm.ByName(normName)
+	if err != nil {
+		return err
+	}
+	alg, err := AlgorithmByName(algName)
+	if err != nil {
+		return err
+	}
+	m, err := broadcast.RunTimeline(tl, broadcast.AlgorithmScheduler{Algo: alg}, broadcast.Config{
+		K: k, Radius: r, Norm: nm, SlotsPerPeriod: slots,
+	})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable(fmt.Sprintf("timeline replay: %s, %d periods, k=%d, r=%g, %s",
+		m.Scheduler, len(m.Periods), k, r, nm.Name()),
+		"period", "reward", "max (Σw)", "satisfaction")
+	for _, p := range m.Periods {
+		tb.AddRow(p.Period, p.Reward, p.MaxRwd, p.Reward/p.MaxRwd)
+	}
+	fmt.Fprint(stdout, tb.Render())
+	fmt.Fprintf(stdout, "mean satisfaction:    %.4f\n", m.MeanSatisfaction)
+	fmt.Fprintf(stdout, "fairness (Jain):      %.4f\n", m.Fairness)
+	return nil
+}

@@ -1,0 +1,100 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/pointset"
+	"repro/internal/trace"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// TraceGen implements cdtrace: generate synthetic interest traces.
+func TraceGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cdtrace", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		n        = fs.Int("n", 40, "number of users")
+		dim      = fs.Int("dim", 2, "interest-space dimensionality")
+		side     = fs.Float64("side", 4, "side length of the interest region (paper uses 4)")
+		kind     = fs.String("kind", "uniform", "population model: uniform | clustered | zipf")
+		weights  = fs.String("weights", "random", "weight scheme: same | random (integers 1..5)")
+		topics   = fs.Int("topics", 5, "topic/community count for clustered and zipf")
+		sigma    = fs.Float64("sigma", 0.3, "within-community spread")
+		zipfS    = fs.Float64("zipf-s", 1, "zipf popularity exponent")
+		seed     = fs.Uint64("seed", 1, "generator seed")
+		format   = fs.String("format", "json", "output format: json | csv")
+		timeline = fs.Int("timeline", 0, "emit a drifting timeline with this many period snapshots (JSON only)")
+		tlDrift  = fs.Float64("timeline-drift", 0.15, "per-period drift sigma for -timeline")
+		keywords = fs.String("keywords", "", "comma-separated names for the interest dimensions (e.g. \"genre,tempo\")")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := trace.KindByName(*kind)
+	if err != nil {
+		return err
+	}
+	scheme, err := WeightSchemeByName(*weights)
+	if err != nil {
+		return err
+	}
+	if *dim <= 0 || *side <= 0 {
+		return fmt.Errorf("cdtrace: dim and side must be positive")
+	}
+	lo, hi := vec.New(*dim), vec.New(*dim)
+	for d := range hi {
+		hi[d] = *side
+	}
+	tr, err := trace.Generate(trace.Config{
+		N:      *n,
+		Box:    pointset.Box{Lo: lo, Hi: hi},
+		Kind:   k,
+		Scheme: scheme,
+		Topics: *topics,
+		Sigma:  *sigma,
+		ZipfS:  *zipfS,
+	}, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+	if *keywords != "" {
+		tr.Keywords = strings.Split(*keywords, ",")
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+	}
+	if *timeline > 0 {
+		if *format != "json" {
+			return fmt.Errorf("cdtrace: -timeline supports only -format json")
+		}
+		tl, err := trace.RecordTimeline(tr, *timeline, *tlDrift, xrand.New(*seed^0x71e))
+		if err != nil {
+			return err
+		}
+		return tl.WriteJSON(stdout)
+	}
+	switch *format {
+	case "json":
+		return tr.WriteJSON(stdout)
+	case "csv":
+		return tr.WriteCSV(stdout)
+	default:
+		return fmt.Errorf("cdtrace: unknown format %q (json | csv)", *format)
+	}
+}
+
+// WeightSchemeByName parses the CLI weight-scheme names.
+func WeightSchemeByName(s string) (pointset.WeightScheme, error) {
+	switch s {
+	case "same":
+		return pointset.UnitWeight, nil
+	case "random":
+		return pointset.RandomIntWeight, nil
+	default:
+		return 0, fmt.Errorf("unknown weight scheme %q (same | random)", s)
+	}
+}

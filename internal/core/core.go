@@ -1,0 +1,91 @@
+// Package core implements the paper's primary contribution: the four
+// heuristics for the optimal content-distribution problem.
+//
+//   - RoundBased  — Algorithm 1, "greedy 1": each round approximately solves
+//     the continuous single-center problem (Eq. 10) with a pluggable solver.
+//   - LocalGreedy — Algorithm 2, "greedy 2": each round picks the data point
+//     maximizing the coverage reward (Eq. 13). O(kn²).
+//   - SimpleGreedy — Algorithm 3, "greedy 3": each round centers on the point
+//     with the largest remaining single-point reward w_i·y_i (Eq. 14). O(kn).
+//   - ComplexGreedy — Algorithm 4, "greedy 4": grows a disk from every seed
+//     point by smallest-enclosing-ball re-centering and keeps the best
+//     resulting center, which may lie anywhere in space (Eq. 15). O(kn³).
+//
+// All algorithms share the residual bookkeeping of package reward and return
+// a Result carrying the per-round gains g(j) that the paper's Table I
+// reports.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/reward"
+	"repro/internal/vec"
+)
+
+// Result is the outcome of running an algorithm: the k selected centers in
+// selection order, the per-round gains g(1..k), and their sum (the achieved
+// objective value f).
+type Result struct {
+	Algorithm string
+	Centers   []vec.V
+	Gains     []float64
+	Total     float64
+}
+
+// PrefixTotals returns the cumulative objective after each round: element
+// j−1 is the total reward of the first j centers. Because every algorithm
+// here is incremental (round j never revises rounds 1..j−1), one Run at
+// k = K yields the results for every smaller k as a prefix — the k-sweep
+// experiments exploit this instead of re-running per k.
+func (r *Result) PrefixTotals() []float64 {
+	out := make([]float64, len(r.Gains))
+	var sum float64
+	for j, g := range r.Gains {
+		sum += g
+		out[j] = sum
+	}
+	return out
+}
+
+// Validate checks internal consistency (matching lengths, gain sum).
+func (r *Result) Validate() error {
+	if len(r.Centers) != len(r.Gains) {
+		return fmt.Errorf("core: %d centers but %d gains", len(r.Centers), len(r.Gains))
+	}
+	var s float64
+	for _, g := range r.Gains {
+		if g < 0 {
+			return fmt.Errorf("core: negative round gain %v", g)
+		}
+		s += g
+	}
+	if diff := s - r.Total; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("core: gain sum %v != total %v", s, r.Total)
+	}
+	return nil
+}
+
+// Algorithm is a content-distribution heuristic: it selects k broadcast
+// centers for the instance and reports the per-round gains.
+type Algorithm interface {
+	// Name is a short identifier such as "greedy2".
+	Name() string
+	// Run selects k centers. Implementations must not mutate the instance.
+	Run(in *reward.Instance, k int) (*Result, error)
+}
+
+// ErrNilInstance is returned when Run receives a nil instance.
+var ErrNilInstance = errors.New("core: nil instance")
+
+// checkArgs validates the shared Run preconditions.
+func checkArgs(in *reward.Instance, k int) error {
+	if in == nil {
+		return ErrNilInstance
+	}
+	if k <= 0 {
+		return fmt.Errorf("core: k = %d must be positive", k)
+	}
+	return nil
+}

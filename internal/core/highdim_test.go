@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// The paper claims the algorithms extend to any m-D space and general
+// p-norm; exercise 4-D and 5-D under 1-, 2-, 3-, and ∞-norms across every
+// algorithm and ball mode.
+func TestAlgorithmsInHighDimensions(t *testing.T) {
+	rng := xrand.New(137)
+	lp3, err := norm.NewLP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norms := []norm.Norm{norm.L1{}, norm.L2{}, lp3, norm.LInf{}}
+	for _, dim := range []int{4, 5} {
+		n := 15
+		pts := make([]vec.V, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			p := vec.New(dim)
+			for d := range p {
+				p[d] = rng.Uniform(0, 4)
+			}
+			pts[i] = p
+			ws[i] = float64(rng.IntRange(1, 5))
+		}
+		set, err := pointset.New(pts, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nm := range norms {
+			in, err := reward.NewInstance(set, nm, 2.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			algs := []Algorithm{
+				LocalGreedy{Workers: 1},
+				LazyGreedy{},
+				SimpleGreedy{},
+				ComplexGreedy{Workers: 1},
+				ComplexGreedy{Mode: BallProjection, Workers: 1},
+			}
+			if nm.P() == 1 {
+				algs = append(algs, ComplexGreedy{Mode: BallExactLP, Workers: 1})
+			}
+			var localTotal float64
+			for _, a := range algs {
+				res, err := a.Run(in, 3)
+				if err != nil {
+					t.Fatalf("dim=%d %s %s: %v", dim, nm.Name(), a.Name(), err)
+				}
+				if err := res.Validate(); err != nil {
+					t.Fatalf("dim=%d %s %s: %v", dim, nm.Name(), a.Name(), err)
+				}
+				if res.Centers[0].Dim() != dim {
+					t.Fatalf("dim=%d %s %s: center dim %d", dim, nm.Name(), a.Name(), res.Centers[0].Dim())
+				}
+				switch a.(type) {
+				case LocalGreedy:
+					localTotal = res.Total
+				case LazyGreedy:
+					if math.Abs(res.Total-localTotal) > 1e-12 {
+						t.Fatalf("dim=%d %s: lazy %v != local %v", dim, nm.Name(), res.Total, localTotal)
+					}
+				}
+			}
+		}
+	}
+}

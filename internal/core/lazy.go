@@ -1,0 +1,91 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/reward"
+)
+
+// LazyGreedy is an accelerated drop-in replacement for LocalGreedy
+// (Algorithm 2) using lazy marginal-gain evaluation (the CELF optimization
+// for submodular greedy). Because a candidate's round gain
+// Σ w_i·min([1−d/r]_+, y_i) can only shrink as residuals y decrease, the
+// gain computed in an earlier round is a valid upper bound; candidates are
+// kept in a max-heap keyed by their stale bounds and re-evaluated only when
+// they reach the top. The selected centers, per-round gains, and tie-breaks
+// are bit-identical to LocalGreedy; only the number of gain evaluations
+// changes (often O(n log n)-ish total instead of O(kn²) at large n).
+type LazyGreedy struct{}
+
+// Name implements Algorithm. The name reflects equivalence to Algorithm 2.
+func (LazyGreedy) Name() string { return "greedy2-lazy" }
+
+// candEntry is a heap entry: a candidate index with the round gain bound
+// computed at some past round.
+type candEntry struct {
+	idx   int
+	bound float64
+	round int // round the bound was computed in; fresh when == current
+}
+
+// candHeap orders by bound descending, then index ascending, matching the
+// paper's lowest-index tie-break exactly.
+type candHeap []candEntry
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(a, b int) bool {
+	if h[a].bound != h[b].bound {
+		return h[a].bound > h[b].bound
+	}
+	return h[a].idx < h[b].idx
+}
+func (h candHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *candHeap) Push(x interface{}) {
+	*h = append(*h, x.(candEntry))
+}
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Run implements Algorithm.
+func (a LazyGreedy) Run(in *reward.Instance, k int) (*Result, error) {
+	if err := checkArgs(in, k); err != nil {
+		return nil, err
+	}
+	n := in.N()
+	y := in.NewResiduals()
+	res := &Result{Algorithm: a.Name()}
+
+	// Round 0: exact gains for every candidate.
+	h := make(candHeap, 0, n)
+	for i := 0; i < n; i++ {
+		h = append(h, candEntry{idx: i, bound: in.RoundGain(in.Set.Point(i), y), round: 0})
+	}
+	heap.Init(&h)
+
+	for j := 0; j < k; j++ {
+		// Refresh stale tops until the best entry's bound is current for
+		// this round; bounds only shrink, so once the top is fresh no
+		// stale entry below can beat it.
+		for h[0].round != j {
+			h[0].bound = in.RoundGain(in.Set.Point(h[0].idx), y)
+			h[0].round = j
+			heap.Fix(&h, 0)
+		}
+		best := h[0]
+		c := in.Set.Point(best.idx).Clone()
+		gain, _ := in.ApplyRound(c, y)
+		res.Centers = append(res.Centers, c)
+		res.Gains = append(res.Gains, gain)
+		res.Total += gain
+		// The chosen entry's bound is now stale for the next round; it is
+		// refreshed like any other candidate when it resurfaces.
+	}
+	return res, nil
+}
+
+var _ Algorithm = LazyGreedy{}

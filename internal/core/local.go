@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/reward"
+	"repro/internal/vec"
+)
+
+// LocalGreedy is the paper's Algorithm 2 ("greedy 2"): in each of k rounds,
+// every data point is a candidate center; the one with the largest coverage
+// reward against the current residuals wins, with ties broken toward the
+// lowest point index. Complexity O(kn²) sequential; the candidate scan is
+// embarrassingly parallel and is spread over Workers goroutines with a
+// deterministic index-order tie-break.
+type LocalGreedy struct {
+	// Workers bounds the candidate-scan parallelism; <= 0 uses all CPUs.
+	Workers int
+}
+
+// Name implements Algorithm.
+func (LocalGreedy) Name() string { return "greedy2" }
+
+// Run implements Algorithm.
+func (a LocalGreedy) Run(in *reward.Instance, k int) (*Result, error) {
+	if err := checkArgs(in, k); err != nil {
+		return nil, err
+	}
+	n := in.N()
+	y := in.NewResiduals()
+	res := &Result{Algorithm: a.Name()}
+	for j := 0; j < k; j++ {
+		idx, _ := parallel.ArgmaxFloat(n, a.Workers, func(i int) float64 {
+			return in.RoundGain(in.Set.Point(i), y)
+		})
+		c := in.Set.Point(idx).Clone()
+		gain, _ := in.ApplyRound(c, y)
+		res.Centers = append(res.Centers, c)
+		res.Gains = append(res.Gains, gain)
+		res.Total += gain
+	}
+	return res, nil
+}
+
+var _ Algorithm = LocalGreedy{}
+
+// BestPointCenter exposes one round of the Algorithm-2 selection rule:
+// the index of the data point maximizing the coverage reward against the
+// residuals y, and that reward. It is reused by the exhaustive baseline's
+// seeding and by tests.
+func BestPointCenter(in *reward.Instance, y []float64, workers int) (int, float64) {
+	return parallel.ArgmaxFloat(in.N(), workers, func(i int) float64 {
+		return in.RoundGain(in.Set.Point(i), y)
+	})
+}
+
+// centersClone deep-copies a center list (helper shared by the algorithms).
+func centersClone(cs []vec.V) []vec.V {
+	out := make([]vec.V, len(cs))
+	for i, c := range cs {
+		out[i] = c.Clone()
+	}
+	return out
+}

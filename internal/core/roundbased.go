@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/reward"
+	"repro/internal/vec"
+)
+
+// InnerSolver approximately solves the continuous per-round problem of the
+// paper's Algorithm 1 (Eq. 10): maximize Σ_i w_i·min([1 − d(c, x_i)/r]_+,
+// y_i) over c ∈ R^m. The paper proves this subproblem is itself NP-hard
+// (§IV.B), so any practical solver is approximate; package optimize provides
+// grid, pattern-search, and multistart implementations.
+type InnerSolver interface {
+	// Name is a short identifier for reporting.
+	Name() string
+	// Solve returns a center approximately maximizing the round gain
+	// against the residuals y. It must not modify y or the instance.
+	Solve(in *reward.Instance, y []float64) (vec.V, error)
+}
+
+// RoundBased is the paper's Algorithm 1 ("greedy 1"): k rounds, each placing
+// one center by (approximately) solving the continuous single-center
+// problem, then discounting residuals. With an exact inner solver it attains
+// the Theorem-1 ratio 1 − (1 − 1/k)^k ≥ 1 − 1/e.
+type RoundBased struct {
+	Solver InnerSolver
+}
+
+// Name implements Algorithm.
+func (RoundBased) Name() string { return "greedy1" }
+
+// Run implements Algorithm.
+func (a RoundBased) Run(in *reward.Instance, k int) (*Result, error) {
+	if err := checkArgs(in, k); err != nil {
+		return nil, err
+	}
+	if a.Solver == nil {
+		return nil, errors.New("core: RoundBased requires an InnerSolver")
+	}
+	y := in.NewResiduals()
+	res := &Result{Algorithm: a.Name()}
+	for j := 0; j < k; j++ {
+		c, err := a.Solver.Solve(in, y)
+		if err != nil {
+			return nil, err
+		}
+		gain, _ := in.ApplyRound(c, y)
+		res.Centers = append(res.Centers, c.Clone())
+		res.Gains = append(res.Gains, gain)
+		res.Total += gain
+	}
+	return res, nil
+}
+
+var _ Algorithm = RoundBased{}

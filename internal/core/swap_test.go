@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestSwapNeverBelowSeed(t *testing.T) {
+	rng := xrand.New(127)
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(t, rng, rng.IntRange(5, 30), norm.L2{}, rng.Uniform(0.5, 2))
+		k := rng.IntRange(1, 4)
+		seed, err := LocalGreedy{Workers: 1}.Run(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swapped, err := SwapLocalSearch{}.Run(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := swapped.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if swapped.Total < seed.Total-1e-9 {
+			t.Fatalf("trial %d: swap %v below greedy seed %v", trial, swapped.Total, seed.Total)
+		}
+		if len(swapped.Centers) != k {
+			t.Fatalf("trial %d: %d centers, want %d", trial, len(swapped.Centers), k)
+		}
+	}
+}
+
+func TestSwapImprovesMyopicTrap(t *testing.T) {
+	// Classic greedy trap: a middle point that covers both side clusters
+	// partially tempts round 1, but the 2-center optimum centers on the
+	// clusters themselves. Swap search must escape where pure greedy may
+	// not; at minimum it reaches the point-restricted optimum here.
+	pts := []vec.V{
+		// Left cluster.
+		vec.Of(0, 0), vec.Of(0.2, 0), vec.Of(0, 0.2),
+		// Right cluster.
+		vec.Of(3, 0), vec.Of(3.2, 0), vec.Of(3, 0.2),
+		// Tempting middle point.
+		vec.Of(1.6, 0),
+	}
+	in := mustInstance(t, pts,
+		[]float64{1, 1, 1, 1, 1, 1, 1.5}, norm.L2{}, 1.8)
+	swapped, err := SwapLocalSearch{}.Run(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bruteForcePoints(in, 2)
+	if swapped.Total < best-1e-9 {
+		t.Fatalf("swap %v below point-restricted optimum %v", swapped.Total, best)
+	}
+}
+
+func TestSwapValidationAndName(t *testing.T) {
+	if (SwapLocalSearch{}).Name() != "greedy2+swap" {
+		t.Errorf("name = %q", (SwapLocalSearch{}).Name())
+	}
+	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
+	if _, err := (SwapLocalSearch{}).Run(nil, 1); err == nil {
+		t.Error("nil instance accepted")
+	}
+	if _, err := (SwapLocalSearch{}).Run(in, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Custom seed algorithm is honored.
+	res, err := SwapLocalSearch{Seed: SimpleGreedy{}}.Run(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Total-1) > 1e-9 {
+		t.Errorf("total = %v", res.Total)
+	}
+}
+
+// Swap-stability sanity: after convergence no single-point swap improves.
+func TestSwapIsStable(t *testing.T) {
+	rng := xrand.New(131)
+	in := randomInstance(t, rng, 15, norm.L2{}, 1.2)
+	res, err := SwapLocalSearch{}.Run(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := in.Objective(res.Centers)
+	centers := centersClone(res.Centers)
+	for j := range centers {
+		orig := centers[j]
+		for i := 0; i < in.N(); i++ {
+			centers[j] = in.Set.Point(i)
+			if v := in.Objective(centers); v > base+1e-9 {
+				t.Fatalf("improving swap remains: slot %d -> point %d (%v > %v)", j, i, v, base)
+			}
+		}
+		centers[j] = orig
+	}
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exhaustive"
+	"repro/internal/norm"
+	"repro/internal/optimize"
+	"repro/internal/pointset"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// RunAblationExhaustive quantifies how much the exhaustive baseline's value
+// depends on candidate enrichment and polishing (DESIGN.md §3.2): the same
+// instances solved with points only, points+lattice, and points+lattice+
+// polish. The ratio-figure denominators use the strongest variant.
+func RunAblationExhaustive(cfg RunConfig) (*Output, error) {
+	variants := []struct {
+		name string
+		opt  exhaustive.Options
+	}{
+		{"points-only", exhaustive.Options{Workers: 1}},
+		{"points+grid5", exhaustive.Options{GridPer: 5, Box: pointset.PaperBox2D(), Workers: 1}},
+		{"points+grid5+polish", exhaustive.Options{GridPer: 5, Box: pointset.PaperBox2D(), Polish: true, Workers: 1}},
+		{"points+grid9+polish", exhaustive.Options{GridPer: 9, Box: pointset.PaperBox2D(), Polish: true, Workers: 1}},
+	}
+	if cfg.Quick {
+		variants = variants[:2]
+	}
+	n, k, r := 20, 3, 1.5
+	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xab1,
+		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+			set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
+			if err != nil {
+				return nil, err
+			}
+			in, err := newInstance(set, norm.L2{}, r)
+			if err != nil {
+				return nil, err
+			}
+			metrics := map[string]float64{}
+			for _, v := range variants {
+				sol, err := exhaustive.Solve(in, k, v.opt)
+				if err != nil {
+					return nil, err
+				}
+				metrics[v.name] = sol.Total
+			}
+			return metrics, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := report.NewTable(fmt.Sprintf("Exhaustive-baseline ablation (n=%d, k=%d, r=%g, 2-norm)", n, k, r),
+		"variant", "mean objective", "ci95")
+	for _, v := range variants {
+		s := res.Summaries[v.name]
+		tb.AddRow(v.name, s.Mean, s.CI95())
+	}
+	out := &Output{Tables: []*report.Table{tb}}
+	out.Notes = append(out.Notes,
+		"Each variant's objective is non-decreasing down the table by construction;",
+		"the gap between points-only and polished variants bounds how far the paper's unspecified",
+		"exhaustive baseline could shift the reported ratios.")
+	return out, nil
+}
+
+// RunAblationBallMode compares greedy 4 under the exact enclosing-ball
+// constructions against the paper's per-dimension projection rule
+// (DESIGN.md §3.4), under both norms in 2-D and additionally under the
+// 1-norm in 3-D where the exact ball requires the LP solver.
+func RunAblationBallMode(cfg RunConfig) (*Output, error) {
+	n, k, r := 30, 4, 1.5
+	type variant struct {
+		key  string
+		dim  int
+		nm   norm.Norm
+		mode core.BallMode
+	}
+	variants := []variant{
+		{"2-D/2-norm/auto", 2, norm.L2{}, core.BallAuto},
+		{"2-D/2-norm/projection", 2, norm.L2{}, core.BallProjection},
+		{"2-D/1-norm/auto", 2, norm.L1{}, core.BallAuto},
+		{"2-D/1-norm/projection", 2, norm.L1{}, core.BallProjection},
+		{"3-D/1-norm/exact-lp", 3, norm.L1{}, core.BallExactLP},
+		{"3-D/1-norm/projection", 3, norm.L1{}, core.BallProjection},
+	}
+	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xab2,
+		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+			set2, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
+			if err != nil {
+				return nil, err
+			}
+			set3, err := pointset.GenUniform(n, pointset.PaperBox3D(), pointset.RandomIntWeight, rng)
+			if err != nil {
+				return nil, err
+			}
+			metrics := map[string]float64{}
+			for _, v := range variants {
+				set := set2
+				if v.dim == 3 {
+					set = set3
+				}
+				in, err := newInstance(set, v.nm, r)
+				if err != nil {
+					return nil, err
+				}
+				rr, err := (core.ComplexGreedy{Mode: v.mode, Workers: 1}).Run(in, k)
+				if err != nil {
+					return nil, err
+				}
+				metrics[v.key] = rr.Total
+			}
+			return metrics, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := report.NewTable(fmt.Sprintf("greedy4 ball-mode ablation (n=%d, k=%d, r=%g)", n, k, r),
+		"dim/norm/mode", "mean total reward", "ci95")
+	for _, v := range variants {
+		s := res.Summaries[v.key]
+		tb.AddRow(v.key, s.Mean, s.CI95())
+	}
+	out := &Output{Tables: []*report.Table{tb}}
+	out.Notes = append(out.Notes,
+		"auto = exact smallest enclosing ball for the norm (Welzl for 2-norm; 45°-rotated box for 1-norm in 2-D);",
+		"projection = the paper's (min+max)/2 per-dimension rule (exact only for the ∞-norm);",
+		"exact-lp = exact 1-norm ball in any dimension via the simplex LP solver.",
+		"The gaps measure what the paper's projection heuristic gives up inside Algorithm 4's walk.")
+	return out, nil
+}
+
+// RunAblationInner sweeps the round-based heuristic's inner-solver fidelity:
+// coarse grid, fine grid, and multistart pattern search, reporting achieved
+// objective. Theorem 1's guarantee assumes an exact inner solver; this shows
+// how the guarantee erodes with solver quality (DESIGN.md §3.1).
+func RunAblationInner(cfg RunConfig) (*Output, error) {
+	n, k, r := 30, 4, 1.5
+	solvers := []core.InnerSolver{
+		optimize.Grid{Per: 5, Workers: 1},
+		optimize.Grid{Per: 17, Workers: 1},
+		optimize.Weiszfeld{},
+		optimize.NelderMead{},
+		optimize.Anneal{Seed: cfg.Seed},
+		optimize.Critical{Workers: 1},
+		optimize.Multistart{Workers: 1},
+	}
+	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xab3,
+		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+			set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
+			if err != nil {
+				return nil, err
+			}
+			in, err := newInstance(set, norm.L2{}, r)
+			if err != nil {
+				return nil, err
+			}
+			metrics := map[string]float64{}
+			for _, s := range solvers {
+				rr, err := (core.RoundBased{Solver: s}).Run(in, k)
+				if err != nil {
+					return nil, err
+				}
+				metrics[s.Name()] = rr.Total
+			}
+			return metrics, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := report.NewTable(fmt.Sprintf("greedy1 inner-solver ablation (n=%d, k=%d, r=%g, 2-norm)", n, k, r),
+		"inner solver", "mean total reward", "ci95")
+	for _, s := range solvers {
+		sm := res.Summaries[s.Name()]
+		tb.AddRow(s.Name(), sm.Mean, sm.CI95())
+	}
+	out := &Output{Tables: []*report.Table{tb}}
+	out.Notes = append(out.Notes,
+		"Finer inner solvers raise the per-round optimum greedy1 commits to; multistart compass search",
+		"is the default used in the figure reproductions.")
+	return out, nil
+}

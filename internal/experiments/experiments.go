@@ -1,0 +1,160 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation (§VI), plus the ablations DESIGN.md calls out. Each
+// driver regenerates the corresponding artifact's rows/series from scratch
+// (workload generation → algorithms → baselines → aggregation) and returns
+// them as renderable tables and figures.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/optimize"
+	"repro/internal/pointset"
+	"repro/internal/report"
+	"repro/internal/reward"
+)
+
+// RunConfig tunes an experiment run.
+type RunConfig struct {
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+	// Trials is the number of randomized instances per configuration cell
+	// (default 5).
+	Trials int
+	// Workers bounds parallelism; <= 0 uses all CPUs.
+	Workers int
+	// Quick shrinks the run for smoke tests: 1 trial, no candidate
+	// enrichment, no polishing.
+	Quick bool
+}
+
+func (c RunConfig) trials() int {
+	if c.Quick {
+		return 1
+	}
+	if c.Trials <= 0 {
+		return 5
+	}
+	return c.Trials
+}
+
+// exhaustiveGridPer is the baseline candidate-lattice resolution per
+// dimension (0 in quick mode).
+func (c RunConfig) exhaustiveGridPer(dim int) int {
+	if c.Quick {
+		return 0
+	}
+	if dim >= 3 {
+		return 5 // 125 extra candidates in 3-D is already generous
+	}
+	return 5
+}
+
+func (c RunConfig) polish() bool { return !c.Quick }
+
+// Output is everything an experiment produces: renderable tables, figures,
+// and free-form notes. Render flattens it for the CLI.
+type Output struct {
+	Tables  []*report.Table
+	Figures []*report.Figure
+	Notes   []string
+}
+
+// Render concatenates all artifacts in a stable order.
+func (o *Output) Render() string {
+	var b strings.Builder
+	for _, t := range o.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, f := range o.Figures {
+		b.WriteString(f.Render())
+		b.WriteByte('\n')
+	}
+	for _, n := range o.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment is a registered paper artifact reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) (*Output, error)
+}
+
+// Registry returns all experiments in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "fig2", Title: "Fig. 2: approximation-ratio bounds, 10- and 40-node", Run: RunFig2},
+		{ID: "fig3", Title: "Fig. 3: worked 40-node example, center placement per algorithm", Run: RunFig3},
+		{ID: "table1", Title: "Table I: per-round coverage reward of greedy 2/3/4", Run: RunTable1},
+		{ID: "fig4", Title: "Fig. 4: 2-D, 2-norm, random weights — ratio vs exhaustive", Run: figRatio("fig4", norm.L2{}, pointset.RandomIntWeight)},
+		{ID: "fig5", Title: "Fig. 5: 2-D, 2-norm, same weight — ratio vs exhaustive", Run: figRatio("fig5", norm.L2{}, pointset.UnitWeight)},
+		{ID: "fig6", Title: "Fig. 6: 2-D, 1-norm, random weights — ratio vs exhaustive", Run: figRatio("fig6", norm.L1{}, pointset.RandomIntWeight)},
+		{ID: "fig7", Title: "Fig. 7: 2-D, 1-norm, same weight — ratio vs exhaustive", Run: figRatio("fig7", norm.L1{}, pointset.UnitWeight)},
+		{ID: "fig8", Title: "Fig. 8: 3-D, 1-norm, random weights — total rewards", Run: figReward("fig8", pointset.RandomIntWeight)},
+		{ID: "fig9", Title: "Fig. 9: 3-D, 1-norm, same weight — total rewards", Run: figReward("fig9", pointset.UnitWeight)},
+		{ID: "summary", Title: "§VI.B summary: average approximation ratio per algorithm", Run: RunSummary},
+		{ID: "tradeoff", Title: "§III.A k-vs-service-frequency tradeoff (broadcast substrate)", Run: RunTradeoff},
+		{ID: "ablation-exhaustive", Title: "Ablation: exhaustive baseline candidate enrichment and polishing", Run: RunAblationExhaustive},
+		{ID: "ablation-ballmode", Title: "Ablation: greedy 4 enclosing-ball construction (exact vs projection)", Run: RunAblationBallMode},
+		{ID: "ablation-inner", Title: "Ablation: round-based heuristic inner-solver fidelity", Run: RunAblationInner},
+		{ID: "ablation-scale", Title: "Ablation: lazy evaluation and spatial indexing beyond paper scale", Run: RunAblationScale},
+		{ID: "validate", Title: "Empirical stress-test of Theorems 1 and 2 on random instances", Run: RunValidate},
+		{ID: "multistation", Title: "Extension: multi-station deployments under a fixed broadcast budget", Run: RunMultistation},
+		{ID: "kcurve", Title: "Extension: total reward as a function of k (diminishing returns)", Run: RunKCurve},
+		{ID: "complexity", Title: "Empirical check of the Theorem 3/4 complexity claims", Run: RunComplexity},
+		{ID: "baselines", Title: "Extension: greedy vs reward-blind placement (k-means/k-medians/random)", Run: RunBaselines},
+		{ID: "radiuscurve", Title: "Extension: total reward as a continuous function of the radius", Run: RunRadiusCurve},
+		{ID: "weightskew", Title: "Extension: sensitivity to the weight scheme's skew", Run: RunWeightSkew},
+	}
+}
+
+// ByID resolves an experiment, or lists valid IDs in the error.
+func ByID(id string) (Experiment, error) {
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(ids, ", "))
+}
+
+// Algorithms under test, in the paper's naming. greedy1 is the round-based
+// heuristic with the multistart inner solver (DESIGN.md §3.1).
+func paperAlgorithms(workers int) []core.Algorithm {
+	return []core.Algorithm{
+		core.RoundBased{Solver: optimize.Multistart{Workers: 1}},
+		core.LocalGreedy{Workers: 1},
+		core.SimpleGreedy{},
+		core.ComplexGreedy{Workers: 1},
+	}
+}
+
+// configGrid is the paper's (k, r) sweep: "different number of centers
+// (2, 4) and different radius of the centers (1, 1.5, 2)".
+type kr struct {
+	K int
+	R float64
+}
+
+func configGrid() []kr {
+	return []kr{{2, 1}, {2, 1.5}, {2, 2}, {4, 1}, {4, 1.5}, {4, 2}}
+}
+
+func (c kr) String() string { return fmt.Sprintf("k=%d,r=%g", c.K, c.R) }
+
+// newInstance builds a reward instance from freshly generated points.
+func newInstance(set *pointset.Set, nm norm.Norm, r float64) (*reward.Instance, error) {
+	return reward.NewInstance(set, nm, r)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// RunKCurve is an extension figure the paper's setup implies but never
+// plots: total reward as a function of k for every algorithm on the 40-node
+// 2-D workload. Diminishing returns are guaranteed by submodularity for the
+// greedy algorithms; the curve makes the paper's k ∈ {2, 4} snapshots
+// continuous. One run at k = kMax provides every prefix (the algorithms are
+// incremental), so the sweep costs a single run per algorithm and trial.
+func RunKCurve(cfg RunConfig) (*Output, error) {
+	const (
+		n    = 40
+		r    = 1.0
+		kMax = 8
+	)
+	algs := paperAlgorithms(cfg.Workers)
+	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xc0e,
+		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+			set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
+			if err != nil {
+				return nil, err
+			}
+			in, err := newInstance(set, norm.L2{}, r)
+			if err != nil {
+				return nil, err
+			}
+			metrics := map[string]float64{}
+			for _, alg := range algs {
+				full, err := alg.Run(in, kMax)
+				if err != nil {
+					return nil, err
+				}
+				for j, tot := range full.PrefixTotals() {
+					metrics[fmt.Sprintf("%s/k%d", alg.Name(), j+1)] = tot
+				}
+			}
+			return metrics, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig := &report.Figure{
+		ID:     "kcurve",
+		Title:  fmt.Sprintf("total reward vs k (n=%d, 2-norm, r=%g, random weights)", n, r),
+		XLabel: "number of broadcasts k",
+		YLabel: "total reward",
+	}
+	tb := report.NewTable("reward vs k", "k", "greedy1", "greedy2", "greedy3", "greedy4")
+	xs := make([]float64, kMax)
+	series := map[string][]float64{}
+	for j := 0; j < kMax; j++ {
+		xs[j] = float64(j + 1)
+		row := []interface{}{j + 1}
+		for _, name := range ratioAlgNames {
+			mean, ok := res.Mean(fmt.Sprintf("%s/k%d", name, j+1))
+			if !ok {
+				return nil, fmt.Errorf("experiments: missing kcurve metric %s/k%d", name, j+1)
+			}
+			series[name] = append(series[name], mean)
+			row = append(row, mean)
+		}
+		tb.AddRow(row...)
+	}
+	for _, name := range ratioAlgNames {
+		fig.Add(name, xs, series[name])
+	}
+	out := &Output{Tables: []*report.Table{tb}, Figures: []*report.Figure{fig}}
+	out.Notes = append(out.Notes,
+		"Diminishing marginal reward in k (submodularity) for greedy1/greedy2/greedy4; greedy3's curve",
+		"can locally steepen because its selection rule ignores coverage. All curves are prefixes of a",
+		"single k=8 run per algorithm (the algorithms are incremental).")
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/report"
+	"repro/internal/reward"
+	"repro/internal/spatial"
+	"repro/internal/xrand"
+)
+
+// RunAblationScale measures the acceleration stack beyond the paper's
+// n ≤ 160 scales: plain Algorithm 2 (O(kn²)), the CELF-style lazy variant,
+// and both with the uniform-grid neighbor index installed. All four produce
+// bit-identical centers and totals (asserted here on every run); only the
+// wall time changes.
+func RunAblationScale(cfg RunConfig) (*Output, error) {
+	sizes := []int{500, 2000}
+	k, r := 6, 0.4
+	if cfg.Quick {
+		sizes = []int{300}
+	}
+	tb := report.NewTable(fmt.Sprintf("scaling ablation (k=%d, r=%g, 2-norm, 4x4 box)", k, r),
+		"n", "variant", "total reward", "time", "speedup vs plain")
+	out := &Output{}
+	rng := xrand.New(cfg.Seed ^ 0x5ca1e)
+	for _, n := range sizes {
+		set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
+		if err != nil {
+			return nil, err
+		}
+		makeInstance := func(finder string) (*reward.Instance, error) {
+			in, err := reward.NewInstance(set, norm.L2{}, r)
+			if err != nil {
+				return nil, err
+			}
+			switch finder {
+			case "grid":
+				g, err := spatial.NewGrid(set.Points(), r)
+				if err != nil {
+					return nil, err
+				}
+				in.SetFinder(g)
+			case "kdtree":
+				kt, err := spatial.NewKDTree(set.Points(), r)
+				if err != nil {
+					return nil, err
+				}
+				in.SetFinder(kt)
+			}
+			return in, nil
+		}
+		variants := []struct {
+			name   string
+			alg    core.Algorithm
+			finder string
+		}{
+			{"greedy2 plain", core.LocalGreedy{Workers: 1}, ""},
+			{"greedy2 lazy", core.LazyGreedy{}, ""},
+			{"greedy2 +grid", core.LocalGreedy{Workers: 1}, "grid"},
+			{"greedy2 +kdtree", core.LocalGreedy{Workers: 1}, "kdtree"},
+			{"greedy2 lazy+grid", core.LazyGreedy{}, "grid"},
+		}
+		var plainTime time.Duration
+		var wantTotal float64
+		for vi, v := range variants {
+			in, err := makeInstance(v.finder)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, err := v.alg.Run(in, k)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if vi == 0 {
+				plainTime = elapsed
+				wantTotal = res.Total
+			} else if res.Total != wantTotal {
+				return nil, fmt.Errorf("experiments: %s total %v != plain %v (must be bit-identical)",
+					v.name, res.Total, wantTotal)
+			}
+			speedup := float64(plainTime) / float64(elapsed)
+			tb.AddRow(n, v.name, res.Total, elapsed.Round(10*time.Microsecond).String(), speedup)
+		}
+	}
+	out.Tables = append(out.Tables, tb)
+	out.Notes = append(out.Notes,
+		"All variants are exact: lazy evaluation reorders when gains are computed; the grid index",
+		"skips only exactly-zero coverage terms and sorts candidates so IEEE sums match bit for bit.",
+		"Expected shape: lazy+grid dominates at large n, where O(kn²) full scans waste work on",
+		"points far outside every candidate disk.")
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Full-fidelity shape assertions: run fig4 with real (non-quick) settings at
+// reduced trial count and check the orderings EXPERIMENTS.md claims. This is
+// the repository's own guard that the reproduction's qualitative claims
+// survive refactoring.
+func TestFig4FullShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run skipped in -short mode")
+	}
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(RunConfig{Seed: 42, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range out.Figures {
+		series := map[string][]float64{}
+		for _, s := range fig.Series {
+			series[s.Name] = s.Y
+		}
+		r2 := series["ratio greedy2"]
+		r3 := series["ratio greedy3"]
+		r4 := series["ratio greedy4"]
+		a2 := series["approx2 (Thm 2)"]
+		if r2 == nil || r3 == nil || r4 == nil || a2 == nil {
+			t.Fatalf("%s: missing series", fig.ID)
+		}
+		mean := func(xs []float64) float64 {
+			var s float64
+			for _, x := range xs {
+				s += x
+			}
+			return s / float64(len(xs))
+		}
+		// Theorem-2 floor: every cell of every algorithm stays far above.
+		for i := range r2 {
+			for _, r := range [][]float64{r2, r3, r4} {
+				if r[i] <= a2[i] {
+					t.Fatalf("%s cell %d: ratio %v at or below Theorem-2 bound %v", fig.ID, i, r[i], a2[i])
+				}
+			}
+		}
+		// Ordering on average: greedy4 >= greedy2 >= greedy3 (Table I's
+		// operative claim).
+		if !(mean(r4) >= mean(r2)-1e-9 && mean(r2) > mean(r3)) {
+			t.Fatalf("%s: ordering violated: g4 %v g2 %v g3 %v", fig.ID, mean(r4), mean(r2), mean(r3))
+		}
+		// Ratios live in a sane band.
+		for i := range r2 {
+			if r2[i] <= 0.4 || r2[i] > 1+1e-9 {
+				t.Fatalf("%s: implausible greedy2 ratio %v", fig.ID, r2[i])
+			}
+		}
+	}
+	if !strings.Contains(out.Render(), "approx2") {
+		t.Error("rendered output missing reference bound")
+	}
+}
+
+// Fig. 8's shape at full fidelity (no exhaustive baseline needed): rewards
+// grow with the configuration index within each k block, and greedy2
+// dominates greedy3 in every cell.
+func TestFig8FullShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run skipped in -short mode")
+	}
+	e, err := ByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(RunConfig{Seed: 42, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range out.Figures {
+		series := map[string][]float64{}
+		for _, s := range fig.Series {
+			series[s.Name] = s.Y
+		}
+		g2 := series["reward greedy2"]
+		g3 := series["reward greedy3"]
+		if g2 == nil || g3 == nil {
+			t.Fatalf("%s: missing series", fig.ID)
+		}
+		for i := range g2 {
+			if g2[i] < g3[i]-1e-9 {
+				t.Fatalf("%s cell %d: greedy2 %v below greedy3 %v", fig.ID, i, g2[i], g3[i])
+			}
+		}
+		// Reward grows with radius within each k block (cells 0-2 and 3-5).
+		for _, block := range [][2]int{{0, 2}, {3, 5}} {
+			for i := block[0]; i < block[1]; i++ {
+				if g2[i+1] < g2[i]-1e-9 {
+					t.Fatalf("%s: reward fell from cell %d to %d: %v -> %v",
+						fig.ID, i, i+1, g2[i], g2[i+1])
+				}
+			}
+		}
+	}
+}
+
+// Table I's shape at full fidelity: greedy4 >= greedy2 > greedy3 on totals,
+// greedy2's per-round gains non-increasing.
+func TestTable1FullShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table run skipped in -short mode")
+	}
+	r2, r3, r4, _, err := fig3Instance(RunConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r4.Total >= r2.Total-1e-9 && r2.Total > r3.Total) {
+		t.Fatalf("Table I ordering violated: g4 %v g2 %v g3 %v", r4.Total, r2.Total, r3.Total)
+	}
+	for j := 1; j < len(r2.Gains); j++ {
+		if r2.Gains[j] > r2.Gains[j-1]+1e-9 {
+			t.Fatalf("greedy2 round gains increased: %v", r2.Gains)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/report"
+)
+
+// RunSummary regenerates the §VI.B summary lines: the average approximation
+// ratio of each algorithm over the full Figs. 4–7 sweep (both population
+// sizes, both weight schemes, both norms, all (k, r) configurations).
+//
+// Paper's claimed averages (its labels): 2-norm — best 84.22%, mid 68.87%,
+// low 55.97%; 1-norm — best 82.76%, mid 68.77%, low 57%. The paper's prose
+// attaches those numbers to labels inconsistently with its own Table I; this
+// driver reports the measured mean per concretely defined algorithm.
+func RunSummary(cfg RunConfig) (*Output, error) {
+	type cell struct {
+		nm     norm.Norm
+		scheme pointset.WeightScheme
+	}
+	cells := []cell{
+		{norm.L2{}, pointset.RandomIntWeight},
+		{norm.L2{}, pointset.UnitWeight},
+		{norm.L1{}, pointset.RandomIntWeight},
+		{norm.L1{}, pointset.UnitWeight},
+	}
+	// Accumulate per-norm and overall means across every configuration.
+	perNorm := map[string]map[string][]float64{} // norm -> alg -> cell means
+	overall := map[string][]float64{}
+	for cellIdx, c := range cells {
+		for _, n := range []int{10, 40} {
+			for ci, krCfg := range configGrid() {
+				salt := uint64(cellIdx)<<24 ^ uint64(n)<<12 ^ uint64(ci)<<4 ^ 0x5a
+				means, err := ratioCell(cfg, n, krCfg, c.nm, c.scheme, salt)
+				if err != nil {
+					return nil, err
+				}
+				if perNorm[c.nm.Name()] == nil {
+					perNorm[c.nm.Name()] = map[string][]float64{}
+				}
+				for _, alg := range ratioAlgNames {
+					perNorm[c.nm.Name()][alg] = append(perNorm[c.nm.Name()][alg], means[alg])
+					overall[alg] = append(overall[alg], means[alg])
+				}
+			}
+		}
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		if len(xs) == 0 {
+			return 0
+		}
+		return s / float64(len(xs))
+	}
+	tb := report.NewTable("Summary: mean approximation ratio over the Figs. 4-7 sweep",
+		"algorithm", "2-norm", "1-norm", "overall")
+	for _, alg := range ratioAlgNames {
+		tb.AddRow(alg,
+			mean(perNorm["2-norm"][alg]),
+			mean(perNorm["1-norm"][alg]),
+			mean(overall[alg]))
+	}
+	out := &Output{Tables: []*report.Table{tb}}
+	out.Notes = append(out.Notes,
+		"Paper's §VI.B claims (best/mid/low per norm): 2-norm 84.22/68.87/55.97%, 1-norm 82.76/68.77/57%.",
+		fmt.Sprintf("Measured with %d trials per cell; compare ordering and band, not digits.", cfg.trials()))
+	return out, nil
+}

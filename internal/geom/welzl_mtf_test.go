@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestMinBall2MTFMatchesWelzl(t *testing.T) {
+	rng := xrand.New(61)
+	l2 := norm.L2{}
+	for trial := 0; trial < 200; trial++ {
+		n := rng.IntRange(1, 40)
+		dim := rng.IntRange(1, 4)
+		pts := make([]vec.V, n)
+		for i := range pts {
+			p := vec.New(dim)
+			for d := range p {
+				p[d] = rng.Uniform(-8, 8)
+			}
+			pts[i] = p
+		}
+		a, err := MinBall2(pts, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MinBall2MTF(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Radius-b.Radius) > 1e-7*(1+a.Radius) {
+			t.Fatalf("trial %d: radii differ: %v vs %v", trial, a.Radius, b.Radius)
+		}
+		for _, p := range pts {
+			if !b.Contains(l2, p) {
+				t.Fatalf("trial %d: MTF ball misses %v", trial, p)
+			}
+		}
+	}
+}
+
+func TestMinBall2MTFValidation(t *testing.T) {
+	if _, err := MinBall2MTF(nil); err != ErrNoPoints {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := MinBall2MTF([]vec.V{vec.Of(1), vec.Of(1, 2)}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	b, err := MinBall2MTF([]vec.V{vec.Of(2, 3)})
+	if err != nil || b.Radius != 0 {
+		t.Fatalf("single point: %+v %v", b, err)
+	}
+}
+
+func TestMinBall2MTFDoesNotMutateInput(t *testing.T) {
+	pts := []vec.V{vec.Of(0, 0), vec.Of(5, 0), vec.Of(2, 3), vec.Of(1, 1)}
+	snap := make([]vec.V, len(pts))
+	for i, p := range pts {
+		snap[i] = p.Clone()
+	}
+	if _, err := MinBall2MTF(pts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if !pts[i].Equal(snap[i]) {
+			t.Fatalf("input order/content mutated at %d", i)
+		}
+	}
+}
+
+func BenchmarkMinBall2MTF_N1000_2D(b *testing.B) {
+	pts := benchPoints(1000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinBall2MTF(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

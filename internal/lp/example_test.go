@@ -1,0 +1,31 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// A textbook LP: maximize 3x + 5y subject to x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+func ExampleSolve() {
+	x, val, _ := lp.Solve(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	fmt.Printf("x = %.0f, y = %.0f, objective = %.0f\n", x[0], x[1], val)
+	// Output:
+	// x = 2, y = 6, objective = 36
+}
+
+// Minimization via the wrapper: min x + y with x + y ≥ 2 and box bounds.
+func ExampleSolveMin() {
+	_, val, _ := lp.SolveMin(
+		[]float64{1, 1},
+		[][]float64{{-1, -1}, {1, 0}, {0, 1}},
+		[]float64{-2, 5, 5},
+	)
+	fmt.Printf("minimum = %.0f\n", val)
+	// Output:
+	// minimum = 2
+}

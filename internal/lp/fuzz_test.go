@@ -1,0 +1,58 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolve feeds small random LPs to the simplex: it must never panic, and
+// whenever it claims optimality the returned point must be primal feasible.
+func FuzzSolve(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3))
+	f.Add(int64(42), uint8(1), uint8(1))
+	f.Add(int64(-7), uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, nv, nc uint8) {
+		n := int(nv%4) + 1
+		m := int(nc%6) + 1
+		// Deterministic pseudo-random coefficients from the seed.
+		state := uint64(seed)
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(int64(state>>33)%2000)/100 - 10
+		}
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = next()
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = next()
+			}
+			b[i] = next()
+		}
+		x, val, err := Solve(c, a, b)
+		if err != nil {
+			return // infeasible/unbounded are legitimate outcomes
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			t.Fatalf("non-finite objective %v", val)
+		}
+		for j := 0; j < n; j++ {
+			if x[j] < -1e-6 || math.IsNaN(x[j]) {
+				t.Fatalf("infeasible variable x[%d] = %v", j, x[j])
+			}
+		}
+		for i := 0; i < m; i++ {
+			var lhs float64
+			for j := 0; j < n; j++ {
+				lhs += a[i][j] * x[j]
+			}
+			if lhs > b[i]+1e-5*(1+math.Abs(b[i])) {
+				t.Fatalf("constraint %d violated: %v > %v", i, lhs, b[i])
+			}
+		}
+	})
+}

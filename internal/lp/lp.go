@@ -1,0 +1,250 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the inequality form
+//
+//	maximize c·x   subject to   A·x ≤ b,  x ≥ 0.
+//
+// It exists to compute exact smallest enclosing balls under the 1-norm in
+// any dimension (package geom), where the minimal covering cross-polytope is
+// the LP  min r  s.t.  Σ_d t_{id} ≤ r,  |x_{id} − c_d| ≤ t_{id}; the paper
+// only gives a per-dimension projection heuristic for this step (§V.B).
+// Bland's rule guarantees termination on degenerate tableaus; the solver is
+// deterministic.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when no x ≥ 0 satisfies A·x ≤ b.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective can grow without bound.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solve maximizes c·x subject to A·x ≤ b and x ≥ 0, returning an optimal x
+// and the objective value. A must be len(b) rows of len(c) columns.
+func Solve(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	n := len(c)
+	m := len(b)
+	if len(a) != m {
+		return nil, 0, fmt.Errorf("lp: %d rows in A but %d entries in b", len(a), m)
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("lp: row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	for _, v := range c {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, 0, errors.New("lp: non-finite objective coefficient")
+		}
+	}
+	if n == 0 {
+		// Trivial: x is empty; feasible iff b ≥ 0.
+		for _, bi := range b {
+			if bi < -eps {
+				return nil, 0, ErrInfeasible
+			}
+		}
+		return []float64{}, 0, nil
+	}
+
+	// Tableau layout: columns = n structural + m slack/surplus + (#art)
+	// artificial + 1 rhs. Rows with b_i < 0 are negated (turning the slack
+	// into a surplus) and given an artificial basis variable.
+	type tableauT struct {
+		rows  [][]float64
+		basis []int
+		cols  int
+	}
+	nArt := 0
+	for _, bi := range b {
+		if bi < 0 {
+			nArt++
+		}
+	}
+	cols := n + m + nArt + 1
+	t := tableauT{rows: make([][]float64, m), basis: make([]int, m), cols: cols}
+	art := 0
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols)
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * a[i][j]
+		}
+		row[n+i] = sign // slack (+1) or surplus (−1)
+		row[cols-1] = sign * b[i]
+		if sign < 0 {
+			row[n+m+art] = 1
+			t.basis[i] = n + m + art
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.rows[i] = row
+	}
+
+	pivot := func(r, col int) {
+		pr := t.rows[r]
+		pv := pr[col]
+		for j := range pr {
+			pr[j] /= pv
+		}
+		for i := range t.rows {
+			if i == r {
+				continue
+			}
+			f := t.rows[i][col]
+			if f == 0 {
+				continue
+			}
+			for j := range t.rows[i] {
+				t.rows[i][j] -= f * pr[j]
+			}
+		}
+		t.basis[r] = col
+	}
+
+	// simplex runs the primal simplex for "maximize obj·x" over the
+	// allowed columns with Bland's rule, maintaining an explicit
+	// reduced-cost row (priced out against the current basis once, then
+	// updated on every pivot) so each iteration costs O(m·cols) instead
+	// of O(m·cols²). It returns ErrUnbounded when a column can enter with
+	// no leaving row.
+	simplex := func(obj []float64, allowed int) error {
+		// objRow[j] = z_j − c_j for the current basis.
+		objRow := make([]float64, t.cols)
+		for j := 0; j < t.cols-1; j++ {
+			if j < len(obj) {
+				objRow[j] = -obj[j]
+			}
+		}
+		for i := 0; i < m; i++ {
+			bi := t.basis[i]
+			var cb float64
+			if bi < len(obj) {
+				cb = obj[bi]
+			}
+			if cb == 0 {
+				continue
+			}
+			for j := range objRow {
+				objRow[j] += cb * t.rows[i][j]
+			}
+		}
+		for iter := 0; iter < 10000*(m+n+1); iter++ {
+			// Bland: the first improving column enters.
+			enter := -1
+			for j := 0; j < allowed; j++ {
+				if objRow[j] < -eps {
+					enter = j
+					break
+				}
+			}
+			if enter == -1 {
+				return nil // optimal
+			}
+			// Ratio test with Bland's tie-break (lowest basis index).
+			leave := -1
+			best := math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t.rows[i][enter] > eps {
+					ratio := t.rows[i][t.cols-1] / t.rows[i][enter]
+					if ratio < best-eps || (ratio < best+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+						best = ratio
+						leave = i
+					}
+				}
+			}
+			if leave == -1 {
+				return ErrUnbounded
+			}
+			pivot(leave, enter)
+			// Price the objective row through the same pivot.
+			f := objRow[enter]
+			if f != 0 {
+				pr := t.rows[leave]
+				for j := range objRow {
+					objRow[j] -= f * pr[j]
+				}
+			}
+		}
+		return errors.New("lp: simplex iteration limit exceeded")
+	}
+
+	// Phase 1: minimize Σ artificials = maximize −Σ artificials.
+	if nArt > 0 {
+		phase1 := make([]float64, n+m+nArt)
+		for j := n + m; j < n+m+nArt; j++ {
+			phase1[j] = -1
+		}
+		if err := simplex(phase1, t.cols-1); err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				return nil, 0, errors.New("lp: phase-1 unbounded (internal error)")
+			}
+			return nil, 0, err
+		}
+		// Feasible iff all artificials are (numerically) zero.
+		var artSum float64
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= n+m {
+				artSum += t.rows[i][t.cols-1]
+			}
+		}
+		if artSum > 1e-7 {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive any zero-valued artificial out of the basis when possible.
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= n+m {
+				swapped := false
+				for j := 0; j < n+m && !swapped; j++ {
+					if math.Abs(t.rows[i][j]) > eps {
+						pivot(i, j)
+						swapped = true
+					}
+				}
+				// A row with no eligible pivot is redundant; its artificial
+				// stays basic at value zero, which is harmless in phase 2
+				// because artificial columns are excluded from entering.
+			}
+		}
+	}
+
+	// Phase 2: the real objective over structural + slack columns only.
+	phase2 := make([]float64, n+m)
+	copy(phase2, c)
+	if err := simplex(phase2, n+m); err != nil {
+		return nil, 0, err
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < n {
+			x[t.basis[i]] = t.rows[i][t.cols-1]
+		}
+	}
+	var val float64
+	for j := 0; j < n; j++ {
+		val += c[j] * x[j]
+	}
+	return x, val, nil
+}
+
+// SolveMin minimizes c·x subject to A·x ≤ b, x ≥ 0 (a convenience wrapper
+// that negates the objective).
+func SolveMin(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	neg := make([]float64, len(c))
+	for i, v := range c {
+		neg[i] = -v
+	}
+	x, val, err := Solve(neg, a, b)
+	return x, -val, err
+}

@@ -1,0 +1,294 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  →  x=2, y=6, z=36.
+	x, val, err := Solve(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, val, 36, 1e-7, "objective")
+	approx(t, x[0], 2, 1e-7, "x")
+	approx(t, x[1], 6, 1e-7, "y")
+}
+
+func TestSolveSingleVariable(t *testing.T) {
+	x, val, err := Solve([]float64{2}, [][]float64{{1}}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, val, 10, 1e-9, "objective")
+	approx(t, x[0], 5, 1e-9, "x")
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// max x with only x >= 0: no upper bound.
+	_, _, err := Solve([]float64{1}, [][]float64{{-1}}, []float64{0})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x <= 1 and −x <= −3 (x >= 3): empty.
+	_, _, err := Solve([]float64{1}, [][]float64{{1}, {-1}}, []float64{1, -3})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// x >= 2 (as −x <= −2), x <= 5, max −x → x = 2.
+	x, val, err := Solve([]float64{-1}, [][]float64{{-1}, {1}}, []float64{-2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, x[0], 2, 1e-7, "x")
+	approx(t, val, -2, 1e-7, "objective")
+}
+
+func TestSolveEqualityViaPair(t *testing.T) {
+	// x + y = 4 encoded as <= and >=; max x s.t. x <= 3 → x=3, y=1.
+	x, _, err := Solve(
+		[]float64{1, 0},
+		[][]float64{{1, 1}, {-1, -1}, {1, 0}},
+		[]float64{4, -4, 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, x[0], 3, 1e-7, "x")
+	approx(t, x[1], 1, 1e-7, "y")
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Classic degenerate tableau (multiple constraints active at a vertex);
+	// Bland's rule must terminate.
+	x, val, err := Solve(
+		[]float64{10, -57, -9, -24},
+		[][]float64{
+			{0.5, -5.5, -2.5, 9},
+			{0.5, -1.5, -0.5, 1},
+			{1, 0, 0, 0},
+		},
+		[]float64{0, 0, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, val, 1, 1e-6, "Beale degenerate objective")
+	approx(t, x[0], 1, 1e-6, "x0")
+}
+
+func TestSolveZeroVariables(t *testing.T) {
+	x, val, err := Solve(nil, [][]float64{}, []float64{})
+	if err != nil || len(x) != 0 || val != 0 {
+		t.Fatalf("empty LP: %v %v %v", x, val, err)
+	}
+	if _, _, err := Solve(nil, [][]float64{{}}, []float64{-1}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("empty infeasible LP: %v", err)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, _, err := Solve([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row/b mismatch accepted")
+	}
+	if _, _, err := Solve([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("column mismatch accepted")
+	}
+	if _, _, err := Solve([]float64{math.NaN()}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("NaN objective accepted")
+	}
+}
+
+func TestSolveMin(t *testing.T) {
+	// min x + y s.t. x + y >= 2 (−x−y <= −2), x,y <= 5 → value 2.
+	_, val, err := SolveMin(
+		[]float64{1, 1},
+		[][]float64{{-1, -1}, {1, 0}, {0, 1}},
+		[]float64{-2, 5, 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, val, 2, 1e-7, "min objective")
+}
+
+// Randomized cross-check against brute-force vertex enumeration: for small
+// random feasible-bounded LPs, simplex must match the best vertex value.
+func TestSolveMatchesVertexEnumeration(t *testing.T) {
+	rng := xrand.New(77)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.IntRange(1, 3)
+		m := rng.IntRange(n, 5)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Uniform(-3, 3)
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Uniform(-2, 2)
+			}
+			b[i] = rng.Uniform(0.5, 4) // b > 0 keeps origin feasible
+		}
+		// Add box constraints x_j <= 10 so the LP is bounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			a = append(a, row)
+			b = append(b, 10)
+		}
+		m = len(b)
+		x, val, err := Solve(c, a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Verify feasibility of the returned point.
+		for i := 0; i < m; i++ {
+			var lhs float64
+			for j := 0; j < n; j++ {
+				lhs += a[i][j] * x[j]
+			}
+			if lhs > b[i]+1e-6 {
+				t.Fatalf("trial %d: solution violates constraint %d: %v > %v", trial, i, lhs, b[i])
+			}
+		}
+		for j := 0; j < n; j++ {
+			if x[j] < -1e-9 {
+				t.Fatalf("trial %d: negative variable %v", trial, x[j])
+			}
+		}
+		// Brute force over vertices: all subsets of n active constraints
+		// (including x_j = 0 planes).
+		best := bruteForceLP(c, a, b)
+		if val < best-1e-5 {
+			t.Fatalf("trial %d: simplex %v below vertex optimum %v", trial, val, best)
+		}
+		if val > best+1e-5 {
+			t.Fatalf("trial %d: simplex %v above vertex optimum %v (infeasible?)", trial, val, best)
+		}
+	}
+}
+
+// bruteForceLP enumerates candidate vertices as intersections of n active
+// hyperplanes drawn from {constraint rows} ∪ {coordinate planes} and returns
+// the best feasible objective.
+func bruteForceLP(c []float64, a [][]float64, b []float64) float64 {
+	n := len(c)
+	m := len(b)
+	// Build the full plane list: constraints (a_i·x = b_i) and x_j = 0.
+	planes := make([][]float64, 0, m+n)
+	rhs := make([]float64, 0, m+n)
+	for i := 0; i < m; i++ {
+		planes = append(planes, a[i])
+		rhs = append(rhs, b[i])
+	}
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		row[j] = 1
+		planes = append(planes, row)
+		rhs = append(rhs, 0)
+	}
+	best := math.Inf(-1)
+	idx := make([]int, n)
+	var rec func(depth, start int)
+	rec = func(depth, start int) {
+		if depth == n {
+			// Solve the n×n system.
+			mat := make([][]float64, n)
+			vec := make([]float64, n)
+			for r, pi := range idx {
+				mat[r] = append([]float64{}, planes[pi]...)
+				vec[r] = rhs[pi]
+			}
+			x, ok := gaussSolve(mat, vec)
+			if !ok {
+				return
+			}
+			// Feasible?
+			for j := 0; j < n; j++ {
+				if x[j] < -1e-7 {
+					return
+				}
+			}
+			for i := 0; i < m; i++ {
+				var lhs float64
+				for j := 0; j < n; j++ {
+					lhs += a[i][j] * x[j]
+				}
+				if lhs > b[i]+1e-7 {
+					return
+				}
+			}
+			var v float64
+			for j := 0; j < n; j++ {
+				v += c[j] * x[j]
+			}
+			if v > best {
+				best = v
+			}
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[depth] = i
+			rec(depth+1, i+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func gaussSolve(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-10 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for cc := col; cc < n; cc++ {
+				a[r][cc] -= f * a[col][cc]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for cc := r + 1; cc < n; cc++ {
+			s -= a[r][cc] * x[cc]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, true
+}

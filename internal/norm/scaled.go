@@ -1,0 +1,71 @@
+package norm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Scaled wraps a base norm with per-dimension positive scale factors:
+// ‖x‖ = base(s ⊙ x). The paper treats every interest attribute equally; in
+// practice attributes have different units and importance (e.g. "genre"
+// distance matters more than "tempo"), which a diagonal scaling captures
+// while preserving all norm axioms.
+type Scaled struct {
+	Base   Norm
+	Scales vec.V
+}
+
+// NewScaled validates and builds a scaled norm: the base must be non-nil and
+// every scale strictly positive and finite.
+func NewScaled(base Norm, scales vec.V) (Scaled, error) {
+	if base == nil {
+		return Scaled{}, fmt.Errorf("norm: nil base norm")
+	}
+	if len(scales) == 0 {
+		return Scaled{}, fmt.Errorf("norm: empty scales")
+	}
+	for i, s := range scales {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return Scaled{}, fmt.Errorf("norm: scale %d = %v must be positive and finite", i, s)
+		}
+	}
+	return Scaled{Base: base, Scales: scales.Clone()}, nil
+}
+
+// Len implements Norm.
+func (n Scaled) Len(v vec.V) float64 {
+	return n.Base.Len(n.apply(v))
+}
+
+// Dist implements Norm.
+func (n Scaled) Dist(a, b vec.V) float64 {
+	if len(a) != len(n.Scales) || len(b) != len(n.Scales) {
+		panic(fmt.Sprintf("norm: scaled dim mismatch %d/%d vs %d", len(a), len(b), len(n.Scales)))
+	}
+	d := make(vec.V, len(a))
+	for i := range a {
+		d[i] = n.Scales[i] * (a[i] - b[i])
+	}
+	return n.Base.Len(d)
+}
+
+// P implements Norm (the base exponent; scaling does not change it).
+func (n Scaled) P() float64 { return n.Base.P() }
+
+// Name implements Norm.
+func (n Scaled) Name() string { return "scaled-" + n.Base.Name() }
+
+func (n Scaled) apply(v vec.V) vec.V {
+	if len(v) != len(n.Scales) {
+		panic(fmt.Sprintf("norm: scaled dim mismatch %d vs %d", len(v), len(n.Scales)))
+	}
+	out := make(vec.V, len(v))
+	for i := range v {
+		out[i] = n.Scales[i] * v[i]
+	}
+	return out
+}
+
+var _ Norm = Scaled{}

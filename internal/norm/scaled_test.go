@@ -1,0 +1,117 @@
+package norm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestNewScaledValidation(t *testing.T) {
+	if _, err := NewScaled(nil, vec.Of(1)); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewScaled(L2{}, nil); err == nil {
+		t.Error("empty scales accepted")
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewScaled(L2{}, vec.Of(1, bad)); err == nil {
+			t.Errorf("scale %v accepted", bad)
+		}
+	}
+	s, err := NewScaled(L2{}, vec.Of(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "scaled-2-norm" || s.P() != 2 {
+		t.Errorf("name/P = %q/%v", s.Name(), s.P())
+	}
+}
+
+func TestScaledKnownValues(t *testing.T) {
+	s, err := NewScaled(L2{}, vec.Of(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ‖(1,1)‖ scaled = ‖(3,4)‖ = 5.
+	if got := s.Len(vec.Of(1, 1)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := s.Dist(vec.Of(1, 1), vec.Of(0, 0)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	s1, err := NewScaled(L1{}, vec.Of(2, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Dist(vec.Of(1, 2), vec.Of(0, 0)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("L1 scaled Dist = %v, want 3", got)
+	}
+}
+
+func TestScaledUnitScalesMatchBase(t *testing.T) {
+	s, err := NewScaled(L2{}, vec.Of(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(151)
+	for i := 0; i < 100; i++ {
+		a := vec.Of(rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-5, 5))
+		b := vec.Of(rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-5, 5))
+		if math.Abs(s.Dist(a, b)-(L2{}).Dist(a, b)) > 1e-12 {
+			t.Fatal("unit scaling changed distances")
+		}
+	}
+}
+
+func TestScaledNormAxioms(t *testing.T) {
+	s, err := NewScaled(L1{}, vec.Of(0.5, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(157)
+	for i := 0; i < 200; i++ {
+		u := vec.Of(rng.Uniform(-4, 4), rng.Uniform(-4, 4), rng.Uniform(-4, 4))
+		v := vec.Of(rng.Uniform(-4, 4), rng.Uniform(-4, 4), rng.Uniform(-4, 4))
+		if s.Len(u) < 0 {
+			t.Fatal("negative length")
+		}
+		c := rng.Uniform(-3, 3)
+		if math.Abs(s.Len(u.Scale(c))-math.Abs(c)*s.Len(u)) > 1e-9*(1+s.Len(u)) {
+			t.Fatal("homogeneity violated")
+		}
+		if s.Len(u.Add(v)) > s.Len(u)+s.Len(v)+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+	if s.Len(vec.New(3)) != 0 {
+		t.Fatal("zero vector has nonzero length")
+	}
+}
+
+func TestScaledAnisotropy(t *testing.T) {
+	// Heavily weighting dimension 0 makes moves along it costlier.
+	s, err := NewScaled(L2{}, vec.Of(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	along0 := s.Dist(vec.Of(0, 0), vec.Of(1, 0))
+	along1 := s.Dist(vec.Of(0, 0), vec.Of(0, 1))
+	if along0 <= along1 {
+		t.Fatalf("anisotropy lost: %v <= %v", along0, along1)
+	}
+}
+
+func TestScaledDimMismatchPanics(t *testing.T) {
+	s, err := NewScaled(L2{}, vec.Of(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch did not panic")
+		}
+	}()
+	s.Dist(vec.Of(1), vec.Of(1))
+}

@@ -1,0 +1,85 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/reward"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Anneal maximizes the round gain with simulated annealing: Gaussian moves
+// whose scale cools geometrically, with Metropolis acceptance. It escapes
+// the local basins the deterministic solvers settle into, at the cost of
+// more gain evaluations; it is provided for the inner-solver ablation and
+// for adversarial instances with many equal-height ridges.
+type Anneal struct {
+	// Seed drives the proposal chain (same seed ⇒ same result).
+	Seed uint64
+	// Steps is the number of proposals (default 2000).
+	Steps int
+	// T0 is the initial temperature relative to the instance's total
+	// weight (default 0.05).
+	T0 float64
+	// Cooling is the per-step geometric factor (default 0.995).
+	Cooling float64
+}
+
+// Name implements core.InnerSolver.
+func (Anneal) Name() string { return "anneal" }
+
+// Solve implements core.InnerSolver.
+func (a Anneal) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+	if in == nil {
+		return nil, errors.New("optimize: nil instance")
+	}
+	steps := a.Steps
+	if steps <= 0 {
+		steps = 2000
+	}
+	t0 := a.T0
+	if t0 <= 0 {
+		t0 = 0.05
+	}
+	cooling := a.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.995
+	}
+	rng := xrand.New(a.Seed ^ 0xa44ea1)
+
+	cur, curG := bestPointStart(in, y)
+	best, bestG := cur.Clone(), curG
+	temp := t0 * in.Set.TotalWeight()
+	scale := in.Radius / 2
+	lo, hi := in.Set.Bounds()
+
+	for s := 0; s < steps; s++ {
+		prop := cur.Clone()
+		for d := range prop {
+			prop[d] += scale * rng.NormFloat64()
+			// Keep proposals within the data region expanded by r; no
+			// useful center lies beyond it.
+			if min, max := lo[d]-in.Radius, hi[d]+in.Radius; prop[d] < min {
+				prop[d] = min
+			} else if prop[d] > max {
+				prop[d] = max
+			}
+		}
+		g := in.RoundGain(prop, y)
+		if g >= curG || rng.Float64() < math.Exp((g-curG)/math.Max(temp, 1e-12)) {
+			cur, curG = prop, g
+			if g > bestG {
+				best, bestG = prop.Clone(), g
+			}
+		}
+		temp *= cooling
+		scale *= math.Sqrt(cooling) // proposals shrink slower than temperature
+	}
+	// Final deterministic polish so the chain's end is at a local optimum.
+	polished, pg := CompassSearch(in, y, best, in.Radius/8, in.Radius*1e-3)
+	if pg > bestG {
+		return polished, nil
+	}
+	return best, nil
+}

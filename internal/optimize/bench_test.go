@@ -1,0 +1,49 @@
+package optimize
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/xrand"
+)
+
+func benchInstance(b *testing.B, n int) *reward.Instance {
+	b.Helper()
+	set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, xrand.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := reward.NewInstance(set, norm.L2{}, 1.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func benchSolver(b *testing.B, s core.InnerSolver) {
+	in := benchInstance(b, 40)
+	y := in.NewResiduals()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var g float64
+	for i := 0; i < b.N; i++ {
+		c, err := s.Solve(in, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = in.RoundGain(c, y)
+	}
+	b.ReportMetric(g, "gain")
+}
+
+func BenchmarkSolverGrid17(b *testing.B) { benchSolver(b, Grid{Per: 17, Workers: 1}) }
+func BenchmarkSolverMultistart(b *testing.B) {
+	benchSolver(b, Multistart{Workers: 1})
+}
+func BenchmarkSolverNelderMead(b *testing.B) { benchSolver(b, NelderMead{}) }
+func BenchmarkSolverWeiszfeld(b *testing.B)  { benchSolver(b, Weiszfeld{}) }
+func BenchmarkSolverAnneal(b *testing.B)     { benchSolver(b, Anneal{Seed: 1}) }
+func BenchmarkSolverCritical(b *testing.B)   { benchSolver(b, Critical{Workers: 1}) }

@@ -1,0 +1,85 @@
+package optimize
+
+import (
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestCriticalValidation(t *testing.T) {
+	if (Critical{}).Name() != "critical" {
+		t.Errorf("name = %q", (Critical{}).Name())
+	}
+	if _, err := (Critical{}).Solve(nil, nil); err == nil {
+		t.Error("nil instance accepted")
+	}
+	// 3-D is rejected: the planar critical-point characterization applies.
+	in3 := mustInstance(t, []vec.V{vec.Of(0, 0, 0)}, []float64{1}, norm.L2{}, 1)
+	if _, err := (Critical{}).Solve(in3, in3.NewResiduals()); err == nil {
+		t.Error("3-D accepted")
+	}
+}
+
+func TestCriticalFindsSquareCenter(t *testing.T) {
+	in := squareInstance(t)
+	y := in.NewResiduals()
+	c, err := Critical{}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := in.RoundGain(c, y); g < 1.7 {
+		t.Fatalf("critical gain = %v at %v, want ≈ 1.736", g, c)
+	}
+}
+
+// Critical's circle-intersection seeding must never lose to multistart by
+// more than a small slack, and frequently at least matches it — both are
+// approximations to the same NP-hard subproblem.
+func TestCriticalCompetitiveWithMultistart(t *testing.T) {
+	rng := xrand.New(179)
+	var critWins, msWins int
+	for trial := 0; trial < 25; trial++ {
+		n := rng.IntRange(5, 25)
+		pts := make([]vec.V, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+			ws[i] = float64(rng.IntRange(1, 5))
+		}
+		in := mustInstance(t, pts, ws, norm.L2{}, rng.Uniform(0.6, 2))
+		y := in.NewResiduals()
+		cc, err := Critical{}.Solve(in, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := Multistart{}.Solve(in, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, mg := in.RoundGain(cc, y), in.RoundGain(mc, y)
+		if cg < 0.95*mg {
+			t.Fatalf("trial %d: critical %v far below multistart %v", trial, cg, mg)
+		}
+		if cg > mg+1e-9 {
+			critWins++
+		}
+		if mg > cg+1e-9 {
+			msWins++
+		}
+	}
+	t.Logf("critical wins %d, multistart wins %d of 25", critWins, msWins)
+}
+
+func TestCriticalSinglePoint(t *testing.T) {
+	in := mustInstance(t, []vec.V{vec.Of(2, 2)}, []float64{3}, norm.L2{}, 1)
+	y := in.NewResiduals()
+	c, err := Critical{}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := in.RoundGain(c, y); g < 3-1e-9 {
+		t.Fatalf("gain = %v, want 3", g)
+	}
+}

@@ -1,0 +1,131 @@
+package optimize
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/reward"
+	"repro/internal/vec"
+)
+
+// NelderMead maximizes the round gain with the downhill-simplex method
+// (reflection / expansion / contraction / shrink), seeded from the best data
+// point plus axis-offset vertices. It is derivative-free like compass search
+// but adapts its step geometry, which helps on the reward surface's ridges
+// where coverage cones from several points overlap.
+type NelderMead struct {
+	// MaxIter bounds the simplex iterations (default 200).
+	MaxIter int
+	// InitScale is the initial simplex edge as a fraction of the coverage
+	// radius (default 0.5).
+	InitScale float64
+	// Tol stops when the simplex's gain spread falls below Tol relative to
+	// the best gain (default 1e-9).
+	Tol float64
+}
+
+// Name implements core.InnerSolver.
+func (NelderMead) Name() string { return "neldermead" }
+
+// Solve implements core.InnerSolver.
+func (nm NelderMead) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+	if in == nil {
+		return nil, errors.New("optimize: nil instance")
+	}
+	// Seed at the best single data point (greedy3's rule applied to the
+	// coverage gain), which is always a strong basin.
+	start, _ := bestPointStart(in, y)
+	c, _ := NelderMeadFrom(in, y, start, nm.MaxIter, nm.InitScale, nm.Tol)
+	return c, nil
+}
+
+// bestPointStart returns the data point with the highest round gain.
+func bestPointStart(in *reward.Instance, y []float64) (vec.V, float64) {
+	best, bestG := 0, in.RoundGain(in.Set.Point(0), y)
+	for i := 1; i < in.N(); i++ {
+		if g := in.RoundGain(in.Set.Point(i), y); g > bestG {
+			best, bestG = i, g
+		}
+	}
+	return in.Set.Point(best).Clone(), bestG
+}
+
+// NelderMeadFrom runs the simplex from an explicit start and returns the
+// best center with its gain. Exported so Multistart-style compositions and
+// the ablation benches can reuse it.
+func NelderMeadFrom(in *reward.Instance, y []float64, start vec.V, maxIter int, initScale, tol float64) (vec.V, float64) {
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	if initScale <= 0 {
+		initScale = 0.5
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	dim := start.Dim()
+	edge := initScale * in.Radius
+
+	type vertex struct {
+		x vec.V
+		g float64
+	}
+	eval := func(x vec.V) vertex { return vertex{x: x, g: in.RoundGain(x, y)} }
+
+	// Initial simplex: start plus one axis offset per dimension.
+	simplex := make([]vertex, dim+1)
+	simplex[0] = eval(start.Clone())
+	for d := 0; d < dim; d++ {
+		x := start.Clone()
+		x[d] += edge
+		simplex[d+1] = eval(x)
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		// Order best-first (maximization).
+		sort.SliceStable(simplex, func(a, b int) bool { return simplex[a].g > simplex[b].g })
+		best, worst := simplex[0], simplex[dim]
+		if best.g-worst.g <= tol*(1+best.g) {
+			break
+		}
+		// Centroid of all but the worst.
+		cen := vec.New(dim)
+		for _, v := range simplex[:dim] {
+			cen.AddInPlace(v.x)
+		}
+		cen.ScaleInPlace(1 / float64(dim))
+
+		reflect := eval(cen.Add(cen.Sub(worst.x).Scale(alpha)))
+		switch {
+		case reflect.g > best.g:
+			// Try to expand further along the same direction.
+			expand := eval(cen.Add(cen.Sub(worst.x).Scale(gamma)))
+			if expand.g > reflect.g {
+				simplex[dim] = expand
+			} else {
+				simplex[dim] = reflect
+			}
+		case reflect.g > simplex[dim-1].g:
+			simplex[dim] = reflect
+		default:
+			// Contract toward the centroid.
+			contract := eval(cen.Add(worst.x.Sub(cen).Scale(rho)))
+			if contract.g > worst.g {
+				simplex[dim] = contract
+			} else {
+				// Shrink everything toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					simplex[i] = eval(best.x.Add(simplex[i].x.Sub(best.x).Scale(sigma)))
+				}
+			}
+		}
+	}
+	sort.SliceStable(simplex, func(a, b int) bool { return simplex[a].g > simplex[b].g })
+	return simplex[0].x, simplex[0].g
+}

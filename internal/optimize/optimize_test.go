@@ -1,0 +1,183 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func mustInstance(t *testing.T, pts []vec.V, ws []float64, n norm.Norm, r float64) *reward.Instance {
+	t.Helper()
+	set, err := pointset.New(pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := reward.NewInstance(set, n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSolversRejectNil(t *testing.T) {
+	if _, err := (Grid{}).Solve(nil, nil); err == nil {
+		t.Error("Grid accepted nil instance")
+	}
+	if _, err := (Multistart{}).Solve(nil, nil); err == nil {
+		t.Error("Multistart accepted nil instance")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Grid{}).Name() != "grid17" {
+		t.Errorf("Grid name = %q", (Grid{}).Name())
+	}
+	if (Grid{Per: 5}).Name() != "grid5" {
+		t.Errorf("Grid{5} name = %q", (Grid{Per: 5}).Name())
+	}
+	if (Multistart{}).Name() != "multistart" {
+		t.Errorf("Multistart name = %q", (Multistart{}).Name())
+	}
+}
+
+func TestGridFindsSinglePoint(t *testing.T) {
+	in := mustInstance(t, []vec.V{vec.Of(1.5, 2.5)}, []float64{4}, norm.L2{}, 1)
+	y := in.NewResiduals()
+	c, err := Grid{Per: 9}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data points are always candidates, so the exact point must win.
+	if g := in.RoundGain(c, y); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("grid gain = %v, want 4 (center %v)", g, c)
+	}
+}
+
+func TestMultistartBeatsBestDataPointOnSquare(t *testing.T) {
+	// Square of side 0.8, r = 1: continuous optimum is the square center
+	// (gain ≈ 1.736); the best data point yields only 1.4.
+	pts := []vec.V{vec.Of(0, 0), vec.Of(0.8, 0), vec.Of(0, 0.8), vec.Of(0.8, 0.8)}
+	in := mustInstance(t, pts, []float64{1, 1, 1, 1}, norm.L2{}, 1)
+	y := in.NewResiduals()
+	c, err := Multistart{}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := in.RoundGain(c, y)
+	if g < 1.7 {
+		t.Fatalf("multistart gain = %v at %v, want ≈ 1.736", g, c)
+	}
+	if !c.ApproxEqual(vec.Of(0.4, 0.4), 0.02) {
+		t.Fatalf("multistart center = %v, want ≈ (0.4, 0.4)", c)
+	}
+}
+
+func TestMultistartNeverBelowGrid(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 15; trial++ {
+		n := rng.IntRange(3, 20)
+		pts := make([]vec.V, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+			ws[i] = float64(rng.IntRange(1, 5))
+		}
+		in := mustInstance(t, pts, ws, norm.L2{}, rng.Uniform(0.6, 2))
+		y := in.NewResiduals()
+		gc, err := Grid{Per: 5}.Solve(in, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := Multistart{GridPer: 5}.Solve(in, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gg, mg := in.RoundGain(gc, y), in.RoundGain(mc, y)
+		if mg < gg-1e-9 {
+			t.Fatalf("trial %d: multistart %v below grid %v", trial, mg, gg)
+		}
+	}
+}
+
+func TestCompassSearchMonotone(t *testing.T) {
+	rng := xrand.New(5)
+	pts := make([]vec.V, 10)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+	}
+	set, _ := pointset.UnitWeights(pts)
+	in, _ := reward.NewInstance(set, norm.L1{}, 1.5)
+	y := in.NewResiduals()
+	start := vec.Of(2, 2)
+	c, g := CompassSearch(in, y, start, 0.75, 1e-3)
+	if g < in.RoundGain(start, y)-1e-12 {
+		t.Fatalf("compass decreased gain: %v < start %v", g, in.RoundGain(start, y))
+	}
+	if math.Abs(g-in.RoundGain(c, y)) > 1e-9 {
+		t.Fatalf("reported gain %v != recomputed %v", g, in.RoundGain(c, y))
+	}
+	if start[0] != 2 || start[1] != 2 {
+		t.Fatal("CompassSearch mutated its start vector")
+	}
+}
+
+func TestRoundBasedWithSolvers(t *testing.T) {
+	rng := xrand.New(7)
+	pts := make([]vec.V, 15)
+	ws := make([]float64, 15)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+		ws[i] = float64(rng.IntRange(1, 5))
+	}
+	in := mustInstance(t, pts, ws, norm.L2{}, 1.2)
+	for _, s := range []core.InnerSolver{Grid{Per: 9}, Multistart{}} {
+		res, err := core.RoundBased{Solver: s}.Run(in, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		// Round-based with a decent solver should never lose to greedy3
+		// in the first round (greedy3's center is one of the starts).
+		r3, err := core.SimpleGreedy{}.Run(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Gains[0] < r3.Gains[0]-1e-9 {
+			t.Fatalf("%s round 1 %v < greedy3 %v", s.Name(), res.Gains[0], r3.Gains[0])
+		}
+	}
+}
+
+func TestSearchBoxMismatch(t *testing.T) {
+	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
+	bad := Grid{Box: pointset.PaperBox3D()}
+	if _, err := bad.Solve(in, in.NewResiduals()); err == nil {
+		t.Error("mismatched box dimension accepted")
+	}
+	good := Multistart{Box: pointset.PaperBox2D()}
+	if _, err := good.Solve(in, in.NewResiduals()); err != nil {
+		t.Errorf("valid box rejected: %v", err)
+	}
+}
+
+func TestGridDerivedBoxCoversData(t *testing.T) {
+	// Instance away from the origin: the derived search box must still
+	// surround the data so the grid can cover it.
+	in := mustInstance(t, []vec.V{vec.Of(10, 10), vec.Of(11, 10)}, []float64{1, 1}, norm.L2{}, 1)
+	y := in.NewResiduals()
+	c, err := Grid{Per: 9}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := in.RoundGain(c, y); g < 1 {
+		t.Fatalf("grid gain = %v with auto box", g)
+	}
+}

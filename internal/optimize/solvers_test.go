@@ -1,0 +1,141 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func squareInstance(t *testing.T) *reward.Instance {
+	t.Helper()
+	pts := []vec.V{vec.Of(0, 0), vec.Of(0.8, 0), vec.Of(0, 0.8), vec.Of(0.8, 0.8)}
+	return mustInstance(t, pts, []float64{1, 1, 1, 1}, norm.L2{}, 1)
+}
+
+func TestNelderMeadFindsSquareCenter(t *testing.T) {
+	in := squareInstance(t)
+	y := in.NewResiduals()
+	c, err := NelderMead{}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := in.RoundGain(c, y); g < 1.7 {
+		t.Fatalf("neldermead gain = %v at %v, want ≈ 1.736", g, c)
+	}
+}
+
+func TestAnnealFindsSquareCenter(t *testing.T) {
+	in := squareInstance(t)
+	y := in.NewResiduals()
+	c, err := Anneal{Seed: 5}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := in.RoundGain(c, y); g < 1.7 {
+		t.Fatalf("anneal gain = %v at %v, want ≈ 1.736", g, c)
+	}
+}
+
+func TestSolverNamesAndNil(t *testing.T) {
+	if (NelderMead{}).Name() != "neldermead" || (Anneal{}).Name() != "anneal" {
+		t.Error("names wrong")
+	}
+	if _, err := (NelderMead{}).Solve(nil, nil); err == nil {
+		t.Error("neldermead accepted nil instance")
+	}
+	if _, err := (Anneal{}).Solve(nil, nil); err == nil {
+		t.Error("anneal accepted nil instance")
+	}
+}
+
+func TestSolversNeverBelowBestDataPoint(t *testing.T) {
+	// Every solver starts from (or scores) the best data point, so its
+	// result can never be worse than greedy3's single-point rule.
+	rng := xrand.New(19)
+	solvers := []core.InnerSolver{NelderMead{}, Anneal{Seed: 3}, Multistart{}, Grid{Per: 9}}
+	for trial := 0; trial < 10; trial++ {
+		n := rng.IntRange(4, 25)
+		pts := make([]vec.V, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+			ws[i] = float64(rng.IntRange(1, 5))
+		}
+		in := mustInstance(t, pts, ws, norm.L2{}, rng.Uniform(0.6, 2))
+		y := in.NewResiduals()
+		_, baseline := bestPointStart(in, y)
+		for _, s := range solvers {
+			c, err := s.Solve(in, y)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if g := in.RoundGain(c, y); g < baseline-1e-9 {
+				t.Fatalf("trial %d: %s gain %v below best-point %v", trial, s.Name(), g, baseline)
+			}
+		}
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	rng := xrand.New(23)
+	pts := make([]vec.V, 15)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+	}
+	set, _ := pointset.UnitWeights(pts)
+	in, _ := reward.NewInstance(set, norm.L2{}, 1.2)
+	y := in.NewResiduals()
+	a, err := Anneal{Seed: 9}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal{Seed: 9}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("same seed produced %v and %v", a, b)
+	}
+}
+
+func TestNelderMeadFromRespectsStart(t *testing.T) {
+	in := squareInstance(t)
+	y := in.NewResiduals()
+	start := vec.Of(0.4, 0.4)
+	c, g := NelderMeadFrom(in, y, start, 100, 0.3, 1e-9)
+	if g < in.RoundGain(start, y)-1e-12 {
+		t.Fatalf("simplex decreased gain from %v to %v", in.RoundGain(start, y), g)
+	}
+	if math.Abs(g-in.RoundGain(c, y)) > 1e-9 {
+		t.Fatal("reported gain inconsistent with center")
+	}
+	if start[0] != 0.4 || start[1] != 0.4 {
+		t.Fatal("NelderMeadFrom mutated start")
+	}
+}
+
+func TestRoundBasedWithNewSolvers(t *testing.T) {
+	rng := xrand.New(29)
+	pts := make([]vec.V, 12)
+	ws := make([]float64, 12)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+		ws[i] = float64(rng.IntRange(1, 5))
+	}
+	in := mustInstance(t, pts, ws, norm.L1{}, 1.5)
+	for _, s := range []core.InnerSolver{NelderMead{}, Anneal{Seed: 1, Steps: 500}} {
+		res, err := core.RoundBased{Solver: s}.Run(in, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}

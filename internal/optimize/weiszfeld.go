@@ -1,0 +1,153 @@
+package optimize
+
+import (
+	"errors"
+
+	"repro/internal/reward"
+	"repro/internal/vec"
+)
+
+// Weiszfeld approximately solves the paper's per-round problem via the
+// alternating structure of its QP formulation (Eq. 11): fixing the selection
+// indicators s_i and the set of cap-bound points, the remaining objective is
+// Σ w_i·(1 − d(c, x_i)/r) over the active set — maximized by minimizing the
+// weighted Fermat–Weber cost Σ w_i·d(c, x_i), whose classical solver is
+// Weiszfeld's iteration (for the 2-norm). The solver alternates:
+//
+//  1. Active set: points within radius r of c whose residual y_i does not
+//     already cap their gain at distance d(c, x_i).
+//  2. Weiszfeld steps toward the weighted geometric median of that set.
+//
+// until the active set stabilizes, then polishes with a short compass
+// search (the active-set boundary makes the true objective piecewise, which
+// plain Weiszfeld cannot see). For non-Euclidean norms the geometric-median
+// step uses the component median (exact for the 1-norm).
+type Weiszfeld struct {
+	// MaxOuter bounds the active-set alternations (default 20).
+	MaxOuter int
+	// MaxInner bounds Weiszfeld iterations per alternation (default 50).
+	MaxInner int
+}
+
+// Name implements core.InnerSolver.
+func (Weiszfeld) Name() string { return "weiszfeld" }
+
+// Solve implements core.InnerSolver.
+func (w Weiszfeld) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+	if in == nil {
+		return nil, errors.New("optimize: nil instance")
+	}
+	maxOuter := w.MaxOuter
+	if maxOuter <= 0 {
+		maxOuter = 20
+	}
+	maxInner := w.MaxInner
+	if maxInner <= 0 {
+		maxInner = 50
+	}
+	best, bestG := bestPointStart(in, y)
+	c := best.Clone()
+	euclid := in.Norm.P() == 2
+
+	for outer := 0; outer < maxOuter; outer++ {
+		// Step 1: active set — covered points whose cap is not binding
+		// (z_i = 1 − d/r < y_i), i.e. moving c closer still helps them.
+		var idx []int
+		var wts []float64
+		for i := 0; i < in.N(); i++ {
+			cov := in.Coverage(c, i)
+			if cov > 0 && cov < y[i] {
+				idx = append(idx, i)
+				wts = append(wts, in.Set.Weight(i))
+			}
+		}
+		if len(idx) == 0 {
+			break
+		}
+		// Step 2: weighted geometric median of the active set.
+		var next vec.V
+		if euclid {
+			next = weiszfeldMedian(in, idx, wts, c, maxInner)
+		} else {
+			next = componentMedian(in, idx, wts)
+		}
+		if g := in.RoundGain(next, y); g > bestG {
+			best, bestG = next.Clone(), g
+		}
+		if next.ApproxEqual(c, 1e-9) {
+			break
+		}
+		c = next
+	}
+	// Piecewise boundaries (points entering/leaving coverage) are invisible
+	// to the median step; a short compass pass fixes that.
+	polished, pg := CompassSearch(in, y, best, in.Radius/4, in.Radius*1e-3)
+	if pg > bestG {
+		return polished, nil
+	}
+	return best, nil
+}
+
+// weiszfeldMedian iterates x ← Σ(w_i p_i / d_i) / Σ(w_i / d_i) from start,
+// the classical fixed point of the weighted Fermat–Weber problem.
+func weiszfeldMedian(in *reward.Instance, idx []int, wts []float64, start vec.V, iters int) vec.V {
+	c := start.Clone()
+	dim := c.Dim()
+	for it := 0; it < iters; it++ {
+		num := vec.New(dim)
+		var den float64
+		for j, i := range idx {
+			p := in.Set.Point(i)
+			d := c.Dist2(p)
+			if d < 1e-12 {
+				// Iterate sits on a data point: that point is a valid
+				// median candidate; stop here.
+				return p.Clone()
+			}
+			f := wts[j] / d
+			num.AddInPlace(p.Scale(f))
+			den += f
+		}
+		if den == 0 {
+			return c
+		}
+		next := num.ScaleInPlace(1 / den)
+		if next.ApproxEqual(c, 1e-10) {
+			return next
+		}
+		c = next
+	}
+	return c
+}
+
+// componentMedian returns the per-dimension weighted median of the active
+// points — the exact Fermat–Weber point under the 1-norm.
+func componentMedian(in *reward.Instance, idx []int, wts []float64) vec.V {
+	dim := in.Set.Dim()
+	c := vec.New(dim)
+	type wx struct{ x, w float64 }
+	for d := 0; d < dim; d++ {
+		vals := make([]wx, len(idx))
+		var total float64
+		for j, i := range idx {
+			vals[j] = wx{x: in.Set.Point(i)[d], w: wts[j]}
+			total += wts[j]
+		}
+		// Insertion sort: active sets are small.
+		for a := 1; a < len(vals); a++ {
+			for b := a; b > 0 && vals[b].x < vals[b-1].x; b-- {
+				vals[b], vals[b-1] = vals[b-1], vals[b]
+			}
+		}
+		var acc float64
+		c[d] = vals[len(vals)-1].x
+		for _, v := range vals {
+			acc += v.w
+			if acc >= total/2 {
+				c[d] = v.x
+				break
+			}
+		}
+	}
+	return c
+}

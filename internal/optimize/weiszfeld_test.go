@@ -1,0 +1,115 @@
+package optimize
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestWeiszfeldName(t *testing.T) {
+	if (Weiszfeld{}).Name() != "weiszfeld" {
+		t.Errorf("name = %q", (Weiszfeld{}).Name())
+	}
+	if _, err := (Weiszfeld{}).Solve(nil, nil); err == nil {
+		t.Error("nil instance accepted")
+	}
+}
+
+func TestWeiszfeldFindsSquareCenter(t *testing.T) {
+	in := squareInstance(t)
+	y := in.NewResiduals()
+	c, err := Weiszfeld{}.Solve(in, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := in.RoundGain(c, y); g < 1.7 {
+		t.Fatalf("weiszfeld gain = %v at %v, want ≈ 1.736", g, c)
+	}
+}
+
+func TestWeiszfeldNeverBelowBestPoint(t *testing.T) {
+	rng := xrand.New(111)
+	for trial := 0; trial < 20; trial++ {
+		n := rng.IntRange(3, 25)
+		pts := make([]vec.V, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+			ws[i] = float64(rng.IntRange(1, 5))
+		}
+		for _, nm := range []norm.Norm{norm.L1{}, norm.L2{}} {
+			in := mustInstance(t, pts, ws, nm, rng.Uniform(0.6, 2))
+			y := in.NewResiduals()
+			_, baseline := bestPointStart(in, y)
+			c, err := Weiszfeld{}.Solve(in, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := in.RoundGain(c, y); g < baseline-1e-9 {
+				t.Fatalf("trial %d %s: weiszfeld %v below best point %v", trial, nm.Name(), g, baseline)
+			}
+		}
+	}
+}
+
+func TestWeiszfeldMedianConvergence(t *testing.T) {
+	// Geometric median of three unit-weight points at the vertices of an
+	// equilateral triangle is the centroid.
+	pts := []vec.V{vec.Of(0, 0), vec.Of(1, 0), vec.Of(0.5, 0.8660254)}
+	in := mustInstance(t, pts, []float64{1, 1, 1}, norm.L2{}, 10)
+	idx := []int{0, 1, 2}
+	wts := []float64{1, 1, 1}
+	m := weiszfeldMedian(in, idx, wts, vec.Of(0.2, 0.2), 200)
+	if !m.ApproxEqual(vec.Of(0.5, 0.28867513), 1e-4) {
+		t.Fatalf("median = %v, want centroid ≈ (0.5, 0.289)", m)
+	}
+}
+
+func TestWeiszfeldMedianOnDataPoint(t *testing.T) {
+	// Dominant weight pulls the median onto the heavy point exactly; the
+	// iteration must handle landing on a data point without dividing by 0.
+	pts := []vec.V{vec.Of(0, 0), vec.Of(1, 0), vec.Of(2, 0)}
+	in := mustInstance(t, pts, []float64{100, 1, 1}, norm.L2{}, 10)
+	m := weiszfeldMedian(in, []int{0, 1, 2}, []float64{100, 1, 1}, vec.Of(0, 0), 100)
+	if !m.ApproxEqual(vec.Of(0, 0), 1e-9) {
+		t.Fatalf("median = %v, want the heavy point", m)
+	}
+}
+
+func TestComponentMedianExactL1(t *testing.T) {
+	pts := []vec.V{vec.Of(0, 5), vec.Of(1, 1), vec.Of(9, 2)}
+	in := mustInstance(t, pts, []float64{1, 1, 1}, norm.L1{}, 10)
+	m := componentMedian(in, []int{0, 1, 2}, []float64{1, 1, 1})
+	if !m.ApproxEqual(vec.Of(1, 2), 1e-12) {
+		t.Fatalf("component median = %v, want (1, 2)", m)
+	}
+}
+
+func TestRoundBasedWithWeiszfeld(t *testing.T) {
+	rng := xrand.New(113)
+	pts := make([]vec.V, 15)
+	ws := make([]float64, 15)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+		ws[i] = float64(rng.IntRange(1, 5))
+	}
+	in := mustInstance(t, pts, ws, norm.L2{}, 1.3)
+	res, err := core.RoundBased{Solver: Weiszfeld{}}.Run(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Must not lose to greedy3 (its start point is weiszfeld's too).
+	r3, err := core.SimpleGreedy{}.Run(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < r3.Total-1e-9 {
+		t.Fatalf("weiszfeld-driven greedy1 %v below greedy3 %v", res.Total, r3.Total)
+	}
+}

@@ -1,0 +1,91 @@
+// Package parallel provides the small work-distribution primitives the
+// library uses to spread candidate scans, trials, and exhaustive enumeration
+// across cores. Results are always written to pre-indexed slots so that
+// parallel execution is deterministic: the reduction order never depends on
+// goroutine scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers reports the worker count used when a caller passes
+// workers <= 0: the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn(i) for every i in [0, n) using the given number of workers
+// (workers <= 0 selects DefaultWorkers). Indices are handed out dynamically
+// in chunks so that uneven per-index cost still balances. fn must be safe to
+// call concurrently; it must only write to state owned by index i.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Chunked dynamic scheduling: amortizes the atomic op over chunk items.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapReduce evaluates score(i) for every i in [0, n) in parallel and returns
+// the index with the best score under better(a, b) ("a strictly better than
+// b"). Ties are broken toward the lowest index regardless of scheduling, so
+// the result is deterministic. It returns -1 when n <= 0.
+func MapReduce(n, workers int, score func(i int) float64, better func(a, b float64) bool) (int, float64) {
+	if n <= 0 {
+		return -1, 0
+	}
+	scores := make([]float64, n)
+	For(n, workers, func(i int) { scores[i] = score(i) })
+	best := 0
+	for i := 1; i < n; i++ {
+		if better(scores[i], scores[best]) {
+			best = i
+		}
+	}
+	return best, scores[best]
+}
+
+// ArgmaxFloat returns the index of the strictly greatest score with ties
+// broken toward the lowest index — the paper's tie-break rule ("selection
+// will be based on the index of the points").
+func ArgmaxFloat(n, workers int, score func(i int) float64) (int, float64) {
+	return MapReduce(n, workers, score, func(a, b float64) bool { return a > b })
+}

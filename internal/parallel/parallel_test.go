@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int64, n)
+		For(n, workers, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSmall(t *testing.T) {
+	For(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	For(-3, 4, func(int) { t.Fatal("fn called for n<0") })
+	hit := false
+	For(1, 8, func(i int) { hit = true })
+	if !hit {
+		t.Fatal("n=1 not visited")
+	}
+}
+
+func TestForParallelism(t *testing.T) {
+	// With many workers, at least two goroutines should run concurrently.
+	var cur, peak int64
+	For(200, 8, func(i int) {
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ { // small spin to overlap
+			_ = j
+		}
+		atomic.AddInt64(&cur, -1)
+	})
+	if DefaultWorkers() > 1 && atomic.LoadInt64(&peak) < 2 {
+		t.Skip("no observed overlap; scheduler dependent")
+	}
+}
+
+func TestArgmaxDeterministicTieBreak(t *testing.T) {
+	scores := []float64{1, 5, 5, 3, 5}
+	for _, workers := range []int{1, 4, 16} {
+		idx, best := ArgmaxFloat(len(scores), workers, func(i int) float64 { return scores[i] })
+		if idx != 1 || best != 5 {
+			t.Fatalf("workers=%d: argmax = (%d, %v), want (1, 5)", workers, idx, best)
+		}
+	}
+}
+
+func TestArgmaxEmpty(t *testing.T) {
+	idx, _ := ArgmaxFloat(0, 4, func(int) float64 { return 0 })
+	if idx != -1 {
+		t.Fatalf("empty argmax = %d, want -1", idx)
+	}
+}
+
+func TestMapReduceMin(t *testing.T) {
+	scores := []float64{4, 2, 9, 2}
+	idx, best := MapReduce(len(scores), 4,
+		func(i int) float64 { return scores[i] },
+		func(a, b float64) bool { return a < b })
+	if idx != 1 || best != 2 {
+		t.Fatalf("min = (%d, %v), want (1, 2)", idx, best)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}

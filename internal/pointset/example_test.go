@@ -1,0 +1,22 @@
+package pointset_test
+
+import (
+	"fmt"
+
+	"repro/internal/pointset"
+	"repro/internal/xrand"
+)
+
+// The paper's 2-D workload: n users uniform in the 4×4 box with random
+// integer weights in 1..5, reproducible from the seed alone.
+func ExampleGenUniform() {
+	set, _ := pointset.GenUniform(40, pointset.PaperBox2D(), pointset.RandomIntWeight, xrand.New(42))
+	lo, hi := set.Bounds()
+	fmt.Println("users:", set.Len(), "dim:", set.Dim())
+	fmt.Println("inside box:", lo[0] >= 0 && hi[0] <= 4 && lo[1] >= 0 && hi[1] <= 4)
+	fmt.Println("Σw integral:", set.TotalWeight() == float64(int(set.TotalWeight())))
+	// Output:
+	// users: 40 dim: 2
+	// inside box: true
+	// Σw integral: true
+}

@@ -1,0 +1,253 @@
+package pointset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := New([]vec.V{vec.Of(1, 2)}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := New([]vec.V{vec.Of(1), vec.Of(1, 2)}, []float64{1, 1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := New([]vec.V{vec.Of(1, 2)}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := New([]vec.V{vec.Of(1, 2)}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := New([]vec.V{vec.Of(math.Inf(1), 2)}, []float64{1}); err == nil {
+		t.Error("non-finite point accepted")
+	}
+	s, err := New([]vec.V{vec.Of(1, 2), vec.Of(3, 4)}, []float64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Dim() != 2 {
+		t.Errorf("Len/Dim = %d/%d", s.Len(), s.Dim())
+	}
+	if s.Weight(1) != 5 || !s.Point(0).Equal(vec.Of(1, 2)) {
+		t.Error("accessors wrong")
+	}
+	if s.TotalWeight() != 7 {
+		t.Errorf("TotalWeight = %v", s.TotalWeight())
+	}
+}
+
+func TestNewCopiesInputs(t *testing.T) {
+	pts := []vec.V{vec.Of(1, 2)}
+	ws := []float64{3}
+	s, err := New(pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts[0][0] = 99
+	ws[0] = 99
+	if s.Point(0)[0] != 1 || s.Weight(0) != 3 {
+		t.Error("Set aliases caller slices")
+	}
+}
+
+func TestUnitWeights(t *testing.T) {
+	s, err := UnitWeights([]vec.V{vec.Of(0, 0), vec.Of(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Weight(i) != 1 {
+			t.Errorf("weight %d = %v", i, s.Weight(i))
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s, _ := UnitWeights([]vec.V{vec.Of(1, 5), vec.Of(3, 2)})
+	lo, hi := s.Bounds()
+	if !lo.Equal(vec.Of(1, 2)) || !hi.Equal(vec.Of(3, 5)) {
+		t.Errorf("Bounds = %v %v", lo, hi)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	s, _ := New([]vec.V{vec.Of(0, 0), vec.Of(1, 1), vec.Of(2, 2)}, []float64{1, 2, 3})
+	sub, err := s.Subset([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.Weight(0) != 3 || !sub.Point(1).Equal(vec.Of(0, 0)) {
+		t.Errorf("Subset wrong: %v", sub)
+	}
+	if _, err := s.Subset([]int{5}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := s.Subset(nil); err == nil {
+		t.Error("empty subset accepted")
+	}
+}
+
+func TestWithWeights(t *testing.T) {
+	s, _ := UnitWeights([]vec.V{vec.Of(0, 0), vec.Of(1, 1)})
+	s2, err := s.WithWeights([]float64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Weight(0) != 4 || s.Weight(0) != 1 {
+		t.Error("WithWeights wrong or mutated original")
+	}
+}
+
+func TestBoxSampleContains(t *testing.T) {
+	box := PaperBox2D()
+	if !box.Valid() || box.Dim() != 2 {
+		t.Fatal("PaperBox2D invalid")
+	}
+	rng := xrand.New(1)
+	for i := 0; i < 1000; i++ {
+		p := box.Sample(rng)
+		if !box.Contains(p) {
+			t.Fatalf("sample %v outside box", p)
+		}
+	}
+	if box.Contains(vec.Of(5, 1)) || box.Contains(vec.Of(1, 2, 3)) {
+		t.Error("Contains accepted outside/mismatched point")
+	}
+	bad := Box{Lo: vec.Of(1, 1), Hi: vec.Of(0, 0)}
+	if bad.Valid() {
+		t.Error("inverted box reported valid")
+	}
+}
+
+func TestGenUniformPaperSetup(t *testing.T) {
+	rng := xrand.New(2)
+	s, err := GenUniform(40, PaperBox2D(), RandomIntWeight, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 40 || s.Dim() != 2 {
+		t.Fatalf("Len/Dim = %d/%d", s.Len(), s.Dim())
+	}
+	box := PaperBox2D()
+	seen := make(map[float64]bool)
+	for i := 0; i < s.Len(); i++ {
+		if !box.Contains(s.Point(i)) {
+			t.Errorf("point %v outside 4x4 box", s.Point(i))
+		}
+		w := s.Weight(i)
+		if w != math.Trunc(w) || w < 1 || w > 5 {
+			t.Errorf("weight %v not an integer in [1,5]", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("weights not varied: %v", seen)
+	}
+
+	u, err := GenUniform(10, PaperBox3D(), UnitWeight, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Dim() != 3 || u.TotalWeight() != 10 {
+		t.Errorf("3-D unit set wrong: dim=%d total=%v", u.Dim(), u.TotalWeight())
+	}
+}
+
+func TestGenUniformDeterministic(t *testing.T) {
+	a, _ := GenUniform(10, PaperBox2D(), RandomIntWeight, xrand.New(7))
+	b, _ := GenUniform(10, PaperBox2D(), RandomIntWeight, xrand.New(7))
+	for i := 0; i < 10; i++ {
+		if !a.Point(i).Equal(b.Point(i)) || a.Weight(i) != b.Weight(i) {
+			t.Fatal("same seed gave different sets")
+		}
+	}
+}
+
+func TestGenUniformRejectsBadArgs(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := GenUniform(0, PaperBox2D(), UnitWeight, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GenUniform(5, Box{Lo: vec.Of(1), Hi: vec.Of(0)}, UnitWeight, rng); err == nil {
+		t.Error("invalid box accepted")
+	}
+	if _, err := GenUniform(5, PaperBox2D(), WeightScheme(99), rng); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestGenClustered(t *testing.T) {
+	rng := xrand.New(3)
+	s, err := GenClustered(100, 3, 0.2, PaperBox2D(), UnitWeight, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := PaperBox2D()
+	for i := 0; i < s.Len(); i++ {
+		if !box.Contains(s.Point(i)) {
+			t.Fatalf("clustered point %v escaped box", s.Point(i))
+		}
+	}
+	if _, err := GenClustered(10, 0, 0.1, PaperBox2D(), UnitWeight, rng); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := GenClustered(10, 2, -1, PaperBox2D(), UnitWeight, rng); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	pts, err := GridPoints(PaperBox2D(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("len = %d, want 9", len(pts))
+	}
+	// Corners and center must be present.
+	want := []vec.V{vec.Of(0, 0), vec.Of(4, 4), vec.Of(2, 2)}
+	for _, w := range want {
+		found := false
+		for _, p := range pts {
+			if p.ApproxEqual(w, 1e-12) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("grid missing %v", w)
+		}
+	}
+	one, err := GridPoints(PaperBox2D(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || !one[0].ApproxEqual(vec.Of(2, 2), 1e-12) {
+		t.Errorf("per=1 grid = %v", one)
+	}
+	cube, err := GridPoints(PaperBox3D(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube) != 64 {
+		t.Errorf("3-D grid len = %d, want 64", len(cube))
+	}
+	if _, err := GridPoints(PaperBox2D(), 0); err == nil {
+		t.Error("per=0 accepted")
+	}
+}
+
+func TestWeightSchemeString(t *testing.T) {
+	if UnitWeight.String() != "same-weight" || RandomIntWeight.String() != "random-weight" {
+		t.Error("scheme strings wrong")
+	}
+	if WeightScheme(9).String() == "" {
+		t.Error("unknown scheme string empty")
+	}
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars — the terminal rendition of the
+// paper's grouped-bar figures (Figs. 4–9). Each row is one group (e.g. a
+// (k, r) configuration); each series contributes one bar per group, scaled
+// to the global maximum.
+type BarChart struct {
+	Title  string
+	groups []string
+	series []string
+	values map[string][]float64 // series -> per-group values
+}
+
+// NewBarChart creates a chart over the given group labels.
+func NewBarChart(title string, groups ...string) *BarChart {
+	return &BarChart{Title: title, groups: groups, values: map[string][]float64{}}
+}
+
+// AddSeries registers a named series with one value per group. Extra values
+// are dropped; missing ones render as zero-length bars.
+func (b *BarChart) AddSeries(name string, vals ...float64) {
+	b.series = append(b.series, name)
+	cp := make([]float64, len(b.groups))
+	copy(cp, vals)
+	b.values[name] = cp
+}
+
+// Render draws the chart with bars of at most width characters.
+func (b *BarChart) Render(width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	var maxVal float64
+	for _, vals := range b.values {
+		for _, v := range vals {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	labelW := 0
+	for _, g := range b.groups {
+		if len(g) > labelW {
+			labelW = len(g)
+		}
+	}
+	for _, s := range b.series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", b.Title)
+	}
+	glyphs := []byte{'#', '=', '*', '+', 'o', 'x'}
+	for gi, g := range b.groups {
+		fmt.Fprintf(&sb, "%-*s\n", labelW, g)
+		for si, s := range b.series {
+			v := b.values[s][gi]
+			n := int(v / maxVal * float64(width))
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(&sb, "  %-*s %s %.4g\n", labelW, s,
+				strings.Repeat(string(glyphs[si%len(glyphs)]), n), v)
+		}
+	}
+	return sb.String()
+}

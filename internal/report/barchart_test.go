@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	b := NewBarChart("rewards", "k=2,r=1", "k=4,r=2")
+	b.AddSeries("greedy2", 10, 40)
+	b.AddSeries("greedy3", 5, 20)
+	out := b.Render(20)
+	for _, want := range []string{"== rewards ==", "k=2,r=1", "greedy2", "greedy3", "#", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The max value gets the full width; half gets about half.
+	lines := strings.Split(out, "\n")
+	var full, half int
+	for _, l := range lines {
+		if strings.Contains(l, "greedy2") && strings.Contains(l, "40") {
+			full = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "greedy3") && strings.Contains(l, "20") {
+			half = strings.Count(l, "=")
+		}
+	}
+	if full != 20 {
+		t.Errorf("max bar = %d chars, want 20", full)
+	}
+	if half != 10 {
+		t.Errorf("half bar = %d chars, want 10", half)
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	b := NewBarChart("", "g")
+	b.AddSeries("zero", 0)
+	b.AddSeries("tiny", 1e-9)
+	b.AddSeries("missing") // no value: zero-length bar
+	out := b.Render(0)
+	if strings.HasPrefix(out, "==") {
+		t.Error("empty title rendered")
+	}
+	// A tiny positive value still shows a minimal bar.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "tiny") && !strings.ContainsAny(l, "=") {
+			t.Errorf("tiny bar invisible: %q", l)
+		}
+	}
+}

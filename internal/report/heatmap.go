@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a scalar field over a 2-D region as ASCII shades — used
+// to visualize the round-gain landscape g(c) that the inner solvers climb.
+type Heatmap struct {
+	Title              string
+	LoX, HiX, LoY, HiY float64
+	Cols, Rows         int
+}
+
+// shades orders glyphs from low to high intensity.
+var shades = []byte(" .:-=+*#%@")
+
+// Render samples f at every cell center and draws the field, normalizing to
+// the observed min/max. Screen rows run top-down; the field's y axis runs
+// bottom-up, matching the Scatter convention.
+func (h Heatmap) Render(f func(x, y float64) float64) string {
+	cols, rows := h.Cols, h.Rows
+	if cols <= 0 {
+		cols = 64
+	}
+	if rows <= 0 {
+		rows = 24
+	}
+	vals := make([][]float64, rows)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for r := 0; r < rows; r++ {
+		vals[r] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			x := h.LoX + (h.HiX-h.LoX)*(float64(c)+0.5)/float64(cols)
+			y := h.LoY + (h.HiY-h.LoY)*(float64(rows-1-r)+0.5)/float64(rows)
+			v := f(x, y)
+			vals[r][c] = v
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if !(minV < maxV) {
+		maxV = minV + 1
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", h.Title)
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	for r := 0; r < rows; r++ {
+		b.WriteString("|")
+		for c := 0; c < cols; c++ {
+			t := (vals[r][c] - minV) / (maxV - minV)
+			idx := int(t * float64(len(shades)-1))
+			b.WriteByte(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	fmt.Fprintf(&b, "low %.4f %q ... %q high %.4f\n", minV, shades[0], shades[len(shades)-1], maxV)
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	h := Heatmap{Title: "cone", LoX: -1, HiX: 1, LoY: -1, HiY: 1, Cols: 21, Rows: 11}
+	out := h.Render(func(x, y float64) float64 { return -(x*x + y*y) })
+	if !strings.Contains(out, "== cone ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Border + 11 rows + border + legend.
+	if len(lines) < 15 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	// The peak (center) must be the brightest glyph '@', corners dim.
+	mid := lines[1+5] // border at 1 line offset (title), rows start at 2... recompute
+	var gridLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 11 {
+		t.Fatalf("grid rows = %d", len(gridLines))
+	}
+	mid = gridLines[5]
+	if mid[11] != '@' {
+		t.Errorf("center glyph = %q, want '@': %q", mid[11], mid)
+	}
+	corner := gridLines[0][1]
+	if corner != ' ' && corner != '.' {
+		t.Errorf("corner glyph = %q, want dim", corner)
+	}
+	if !strings.Contains(out, "low ") || !strings.Contains(out, "high ") {
+		t.Error("legend missing")
+	}
+}
+
+func TestHeatmapConstantField(t *testing.T) {
+	h := Heatmap{LoX: 0, HiX: 1, LoY: 0, HiY: 1, Cols: 5, Rows: 3}
+	out := h.Render(func(x, y float64) float64 { return 7 })
+	if !strings.Contains(out, "|     |") {
+		t.Errorf("constant field should render uniformly dim:\n%s", out)
+	}
+}
+
+func TestHeatmapDefaults(t *testing.T) {
+	h := Heatmap{LoX: 0, HiX: 1, LoY: 0, HiY: 1}
+	out := h.Render(func(x, y float64) float64 { return x })
+	rows := strings.Count(out, "|") / 2
+	if rows != 24 {
+		t.Errorf("default rows = %d, want 24", rows)
+	}
+}

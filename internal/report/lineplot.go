@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LinePlot renders a Figure's series as an ASCII chart so the regenerated
+// paper figures can be eyeballed in a terminal without leaving the CLI.
+// Each series gets a distinct glyph; collisions show the later series.
+func LinePlot(f *Figure, cols, rows int) string {
+	if cols <= 0 {
+		cols = 72
+	}
+	if rows <= 0 {
+		rows = 20
+	}
+	if len(f.Series) == 0 {
+		return fmt.Sprintf("== %s: %s ==\n(no series)\n", f.ID, f.Title)
+	}
+	// Data bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if !(minX < maxX) {
+		maxX = minX + 1
+	}
+	if !(minY < maxY) {
+		maxY = minY + 1
+	}
+	// A little headroom so extremes are not glued to the frame.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', 'd', 'q', '#', '%'}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(cols-1))
+			r := int((s.Y[i] - minY) / (maxY - minY) * float64(rows-1))
+			grid[rows-1-r][c] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for r, row := range grid {
+		// Left axis labels at top, middle, bottom.
+		label := "         "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3f ", maxY)
+		case rows / 2:
+			label = fmt.Sprintf("%8.3f ", (minY+maxY)/2)
+		case rows - 1:
+			label = fmt.Sprintf("%8.3f ", minY)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("         +" + strings.Repeat("-", cols) + "\n")
+	fmt.Fprintf(&b, "          %-8.3g%*s\n", minX, cols-8, fmt.Sprintf("%.3g", maxX))
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	fmt.Fprintf(&b, "  x: %s | y: %s\n", f.XLabel, f.YLabel)
+	return b.String()
+}

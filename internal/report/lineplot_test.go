@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinePlotBasic(t *testing.T) {
+	f := &Figure{ID: "demo", Title: "two lines", XLabel: "k", YLabel: "ratio"}
+	f.Add("rising", []float64{1, 2, 3, 4}, []float64{0.1, 0.4, 0.7, 1.0})
+	f.Add("flat", []float64{1, 2, 3, 4}, []float64{0.5, 0.5, 0.5, 0.5})
+	out := LinePlot(f, 40, 10)
+	for _, want := range []string{"demo", "rising", "flat", "*", "o", "x: k | y: ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Header + 10 rows + axis + x labels + 2 legend + xy label line.
+	if len(lines) < 15 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestLinePlotEmptyAndDegenerate(t *testing.T) {
+	f := &Figure{ID: "empty", Title: "none"}
+	if out := LinePlot(f, 0, 0); !strings.Contains(out, "no series") {
+		t.Errorf("empty plot = %q", out)
+	}
+	// Single point: degenerate ranges must not divide by zero.
+	g := &Figure{ID: "one", Title: "dot"}
+	g.Add("p", []float64{2}, []float64{3})
+	out := LinePlot(g, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestLinePlotRisingShape(t *testing.T) {
+	// A strictly rising series must place its max glyph above its min glyph.
+	f := &Figure{ID: "shape", Title: "monotone"}
+	f.Add("s", []float64{0, 1}, []float64{0, 1})
+	out := LinePlot(f, 21, 7)
+	lines := strings.Split(out, "\n")
+	var firstRow, lastRow int = -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Fatalf("expected glyphs on distinct rows:\n%s", out)
+	}
+	// Top row holds the right/high point, bottom the left/low point.
+	top, bottom := lines[firstRow], lines[lastRow]
+	if strings.IndexByte(top, '*') < strings.IndexByte(bottom, '*') {
+		t.Errorf("rising series rendered falling:\n%s", out)
+	}
+}

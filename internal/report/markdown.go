@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderMarkdown emits the table as GitHub-flavored markdown, so experiment
+// outputs can be pasted directly into EXPERIMENTS.md.
+func (t *Table) RenderMarkdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// RenderMarkdown emits the figure as a markdown table with one column per
+// series (x values merged and sorted as in RenderCSV).
+func (f *Figure) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s: %s** (x: %s, y: %s)\n\n", f.ID, f.Title, f.XLabel, f.YLabel)
+	csv := f.RenderCSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) == 0 {
+		return b.String()
+	}
+	headers := strings.Split(lines[0], ",")
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(headers)) + "\n")
+	for _, line := range lines[1:] {
+		b.WriteString("| " + strings.Join(strings.Split(line, ","), " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// RenderMarkdown flattens an experiment-style bundle of tables and figures
+// under a heading. It lives here (not in experiments) so any caller holding
+// report artifacts can export them.
+func RenderMarkdown(heading string, tables []*Table, figures []*Figure, notes []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n\n", heading)
+	for _, t := range tables {
+		b.WriteString(t.RenderMarkdown())
+		b.WriteByte('\n')
+	}
+	for _, f := range figures {
+		b.WriteString(f.RenderMarkdown())
+		b.WriteByte('\n')
+	}
+	for _, n := range notes {
+		fmt.Fprintf(&b, "> %s\n", strings.ReplaceAll(n, "\n", "\n> "))
+	}
+	if len(notes) > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

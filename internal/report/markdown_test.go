@@ -1,0 +1,42 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := NewTable("Totals", "alg", "total")
+	tb.AddRow("greedy2", 44.6301)
+	tb.AddRow("has|pipe", 1.0)
+	md := tb.RenderMarkdown()
+	for _, want := range []string{"**Totals**", "| alg | total |", "|---|---|", "| greedy2 | 44.6301 |", "has\\|pipe"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestFigureRenderMarkdown(t *testing.T) {
+	f := &Figure{ID: "fig2", Title: "ratios", XLabel: "k", YLabel: "ratio"}
+	f.Add("approx1", []float64{1, 2}, []float64{1, 0.75})
+	md := f.RenderMarkdown()
+	for _, want := range []string{"**fig2: ratios**", "| x | approx1 |", "| 2 | 0.750000 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("figure markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRenderMarkdownBundle(t *testing.T) {
+	tb := NewTable("T", "a")
+	tb.AddRow(1)
+	f := &Figure{ID: "f", Title: "t"}
+	f.Add("s", []float64{0}, []float64{0})
+	md := RenderMarkdown("Experiment X", []*Table{tb}, []*Figure{f}, []string{"note one"})
+	for _, want := range []string{"## Experiment X", "**T**", "**f: t**", "> note one"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("bundle missing %q:\n%s", want, md)
+		}
+	}
+}

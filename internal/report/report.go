@@ -1,0 +1,160 @@
+// Package report renders the experiment harness's outputs: fixed-width
+// ASCII tables (the paper's Table I), named data series (the rows/series
+// behind each figure), and an ASCII scatter plot used to reproduce Fig. 3's
+// center-placement illustration in a terminal.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v. Short rows are padded.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			switch v := cells[i].(type) {
+			case float64:
+				row[i] = fmt.Sprintf("%.4f", v)
+			default:
+				row[i] = fmt.Sprintf("%v", v)
+			}
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render draws the table with a title line, a header row, and a separator.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a figure: parallel X/Y slices.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a named collection of series — the machine-readable form of one
+// paper figure. Render emits a plain-text block (one series per paragraph);
+// RenderCSV emits a wide CSV with one column per series for plotting.
+type Figure struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a series.
+func (f *Figure) Add(name string, x, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Render emits a human-readable block.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%s:\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "  %10.4f  %10.4f\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// RenderCSV emits "x,series1,series2,..." rows, merging series on x values.
+func (f *Figure) RenderCSV() string {
+	// Collect the union of x values in sorted order.
+	xsSet := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			val, found := "", false
+			for i := range s.X {
+				if s.X[i] == x {
+					val = fmt.Sprintf("%.6f", s.Y[i])
+					found = true
+					break
+				}
+			}
+			if found {
+				fmt.Fprintf(&b, ",%s", val)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "alg", "round1", "total")
+	tb.AddRow("greedy2", 14.3145, 44.6301)
+	tb.AddRow("greedy4", 20.3867, 63.5571)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.Render()
+	for _, want := range []string{"== Demo ==", "alg", "greedy2", "14.3145", "63.5571", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: header line and data line have equal prefix widths.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines: %q", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	out := tb.Render()
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row lost: %q", out)
+	}
+}
+
+func TestFigureRenderAndCSV(t *testing.T) {
+	f := &Figure{ID: "fig2", Title: "approx ratios", XLabel: "k", YLabel: "ratio"}
+	f.Add("approx1", []float64{1, 2}, []float64{1, 0.75})
+	f.Add("approx2", []float64{1, 2, 3}, []float64{0.1, 0.19, 0.27})
+	out := f.Render()
+	for _, want := range []string{"fig2", "approx1", "approx2", "0.7500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	csv := f.RenderCSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "x,approx1,approx2" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 4 { // x = 1, 2, 3
+		t.Fatalf("csv rows = %d, want 4: %q", len(lines), csv)
+	}
+	// x=3 exists only in approx2: approx1 cell empty.
+	if !strings.HasPrefix(lines[3], "3,,") {
+		t.Errorf("missing-cell row = %q", lines[3])
+	}
+}
+
+func TestScatter(t *testing.T) {
+	s, err := NewScatter(0, 4, 0, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Plot(vec.Of(0, 0), WeightGlyph(5))
+	s.Plot(vec.Of(4, 4), '@')
+	s.Plot(vec.Of(99, 99), 'X')  // clipped
+	s.Plot(vec.Of(1, 2, 3), 'X') // wrong dim ignored
+	out := s.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "@") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+	if strings.Contains(out, "X") {
+		t.Errorf("clipped point rendered:\n%s", out)
+	}
+	// (0,0) is bottom-left: last grid row, first column.
+	lines := strings.Split(out, "\n")
+	bottom := lines[8] // border + 8 rows; row index 8 = last grid row
+	if bottom[1] != '*' {
+		t.Errorf("bottom-left glyph = %q, line %q", bottom[1], bottom)
+	}
+	top := lines[1]
+	if top[8] != '@' {
+		t.Errorf("top-right glyph = %q, line %q", top[8], top)
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	if _, err := NewScatter(1, 1, 0, 4, 8, 8); err == nil {
+		t.Error("empty x-range accepted")
+	}
+	if _, err := NewScatter(0, 4, 5, 4, 8, 8); err == nil {
+		t.Error("inverted y-range accepted")
+	}
+	s, err := NewScatter(0, 1, 0, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cols != 64 || s.Rows != 32 {
+		t.Errorf("defaults = %dx%d", s.Cols, s.Rows)
+	}
+}
+
+func TestWeightGlyphs(t *testing.T) {
+	want := map[float64]byte{1: 'o', 2: '+', 3: 'd', 4: 'q', 5: '*', 7: '?', 0: '?'}
+	for w, g := range want {
+		if got := WeightGlyph(w); got != g {
+			t.Errorf("WeightGlyph(%v) = %q, want %q", w, got, g)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vec"
+)
+
+// Scatter renders 2-D points in a character grid — the terminal rendition of
+// the paper's Fig. 3 panels. Points are plotted with a glyph per weight
+// class (the paper's *, □, ◇, +, ○ become 5..1) and centers with '@'.
+type Scatter struct {
+	LoX, HiX, LoY, HiY float64
+	Cols, Rows         int
+	grid               [][]byte
+}
+
+// NewScatter creates a plot over the given region. Cols/Rows <= 0 default to
+// 64×32. It returns an error for an empty region.
+func NewScatter(loX, hiX, loY, hiY float64, cols, rows int) (*Scatter, error) {
+	if !(loX < hiX) || !(loY < hiY) {
+		return nil, fmt.Errorf("report: empty scatter region [%v,%v]x[%v,%v]", loX, hiX, loY, hiY)
+	}
+	if cols <= 0 {
+		cols = 64
+	}
+	if rows <= 0 {
+		rows = 32
+	}
+	g := make([][]byte, rows)
+	for r := range g {
+		g[r] = []byte(strings.Repeat(".", cols))
+	}
+	return &Scatter{LoX: loX, HiX: hiX, LoY: loY, HiY: hiY, Cols: cols, Rows: rows, grid: g}, nil
+}
+
+// WeightGlyph maps an integer weight 1..5 to the plot glyph; out-of-range
+// weights map to '?'.
+func WeightGlyph(w float64) byte {
+	switch int(w) {
+	case 1:
+		return 'o'
+	case 2:
+		return '+'
+	case 3:
+		return 'd'
+	case 4:
+		return 'q'
+	case 5:
+		return '*'
+	default:
+		return '?'
+	}
+}
+
+// Plot places glyph at the 2-D point p, clipping silently when p falls
+// outside the region or is not 2-D.
+func (s *Scatter) Plot(p vec.V, glyph byte) {
+	if p.Dim() != 2 {
+		return
+	}
+	if p[0] < s.LoX || p[0] > s.HiX || p[1] < s.LoY || p[1] > s.HiY {
+		return
+	}
+	c := int((p[0] - s.LoX) / (s.HiX - s.LoX) * float64(s.Cols-1))
+	r := int((p[1] - s.LoY) / (s.HiY - s.LoY) * float64(s.Rows-1))
+	// Screen rows grow downward; plot rows grow upward.
+	s.grid[s.Rows-1-r][c] = glyph
+}
+
+// Render returns the plot with a border and a legend line.
+func (s *Scatter) Render() string {
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", s.Cols) + "+\n")
+	for _, row := range s.grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", s.Cols) + "+\n")
+	b.WriteString("legend: weight 1=o 2=+ 3=d 4=q 5=*  center=@\n")
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package reward
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// stubFinder returns a fixed conservative candidate list.
+type stubFinder struct{ idx []int }
+
+func (s stubFinder) Near(vec.V) []int { return append([]int{}, s.idx...) }
+
+func TestFinderPathsMatchFullScan(t *testing.T) {
+	rng := xrand.New(167)
+	for trial := 0; trial < 60; trial++ {
+		in, centers := randomSetup(t, rng, norm.L2{})
+		c := centers[0]
+		// Conservative finder: all indices (unsorted, duplicated order
+		// not allowed — Near must return each index at most once).
+		all := make([]int, in.N())
+		for i := range all {
+			all[in.N()-1-i] = i // reversed order: nearSorted must fix it
+		}
+		y1 := in.NewResiduals()
+		gainPlain := in.RoundGain(c, y1)
+		coveredPlain := in.CoveredIndices(c)
+		applyPlain, zPlain := in.ApplyRound(c, y1)
+
+		in.SetFinder(stubFinder{idx: all})
+		y2 := in.NewResiduals()
+		if g := in.RoundGain(c, y2); g != gainPlain {
+			t.Fatalf("trial %d: finder RoundGain %v != %v", trial, g, gainPlain)
+		}
+		coveredF := in.CoveredIndices(c)
+		if len(coveredF) != len(coveredPlain) {
+			t.Fatalf("trial %d: covered sets differ", trial)
+		}
+		for i := range coveredF {
+			if coveredF[i] != coveredPlain[i] {
+				t.Fatalf("trial %d: covered order differs", trial)
+			}
+		}
+		applyF, zF := in.ApplyRound(c, y2)
+		if applyF != applyPlain {
+			t.Fatalf("trial %d: finder ApplyRound %v != %v", trial, applyF, applyPlain)
+		}
+		for i := range zF {
+			if zF[i] != zPlain[i] {
+				t.Fatalf("trial %d: z vectors differ at %d", trial, i)
+			}
+		}
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("trial %d: residuals differ at %d", trial, i)
+			}
+		}
+		in.SetFinder(nil)
+	}
+}
+
+func TestFinderSubsetIsExactWhenConservative(t *testing.T) {
+	// A finder returning only the truly-covered indices gives identical
+	// gains (zero terms are the only ones skipped).
+	in := mustInstance(t,
+		[]vec.V{vec.Of(0, 0), vec.Of(0.5, 0), vec.Of(3, 3)},
+		[]float64{1, 2, 1}, norm.L2{}, 1)
+	c := vec.Of(0, 0)
+	y := in.NewResiduals()
+	want := in.RoundGain(c, y)
+	in.SetFinder(stubFinder{idx: []int{1, 0}}) // covered points only, unsorted
+	if got := in.RoundGain(c, y); math.Abs(got-want) > 0 {
+		t.Fatalf("subset finder gain %v != %v", got, want)
+	}
+}

@@ -1,0 +1,97 @@
+package reward
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestEvaluatorMatchesObjective(t *testing.T) {
+	rng := xrand.New(139)
+	for trial := 0; trial < 80; trial++ {
+		in, centers := randomSetup(t, rng, norm.L2{})
+		e, err := NewEvaluator(in, centers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.K() != len(centers) {
+			t.Fatalf("K = %d, want %d", e.K(), len(centers))
+		}
+		want := in.Objective(centers)
+		if got := e.Objective(); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: evaluator %v != objective %v", trial, got, want)
+		}
+		// Random sequence of replacements, re-verified against the direct
+		// evaluation after each.
+		for step := 0; step < 5; step++ {
+			j := rng.Intn(len(centers))
+			c := vec.New(in.Set.Dim())
+			for d := range c {
+				c[d] = rng.Uniform(0, 4)
+			}
+			// Hypothetical must match committed.
+			hyp, err := e.ObjectiveIfReplaced(j, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Replace(j, c); err != nil {
+				t.Fatal(err)
+			}
+			centers[j] = c
+			want := in.Objective(centers)
+			if math.Abs(hyp-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d: hypothetical %v != %v", trial, hyp, want)
+			}
+			if got := e.Objective(); math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d: after replace %v != %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(nil, nil); err == nil {
+		t.Error("nil instance accepted")
+	}
+	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
+	e, err := NewEvaluator(in, []vec.V{vec.Of(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(vec.Of(1, 2, 3)); err == nil {
+		t.Error("dim mismatch Add accepted")
+	}
+	if err := e.Replace(5, vec.Of(0, 0)); err == nil {
+		t.Error("out-of-range Replace accepted")
+	}
+	if err := e.Replace(0, vec.Of(1)); err == nil {
+		t.Error("dim mismatch Replace accepted")
+	}
+	if _, err := e.ObjectiveIfReplaced(9, vec.Of(0, 0)); err == nil {
+		t.Error("out-of-range hypothetical accepted")
+	}
+	if _, err := e.ObjectiveIfReplaced(0, vec.Of(1)); err == nil {
+		t.Error("dim mismatch hypothetical accepted")
+	}
+}
+
+func TestEvaluatorCentersAreCopies(t *testing.T) {
+	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
+	orig := vec.Of(1, 1)
+	e, err := NewEvaluator(in, []vec.V{orig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig[0] = 99 // mutating the caller's vector must not affect the evaluator
+	got := e.Centers()
+	if got[0][0] != 1 {
+		t.Fatal("evaluator aliased the caller's center")
+	}
+	got[0][0] = 77 // and mutating the returned copy must not affect internals
+	if e.Centers()[0][0] != 1 {
+		t.Fatal("Centers returned aliased storage")
+	}
+}

@@ -1,0 +1,210 @@
+// Package reward implements the paper's reward model (Eqs. 1–7): a point
+// x_i with maximum reward w_i covered by a center c at distance d gains
+// w_i·(1 − d/r) when d ≤ r, and the total reward a point collects over all
+// k centers is capped at w_i. It also implements the residual bookkeeping
+// (y_i, z_i) shared by all four algorithms (Eqs. 10, 13, 14, 15).
+package reward
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/vec"
+)
+
+// NeighborFinder narrows coverage evaluation to the points that could lie
+// within the coverage radius of a query center. It must be conservative:
+// every point within radius r of c (under the instance norm) must be
+// returned; extras are harmless because their coverage is zero. Package
+// spatial provides a uniform-grid implementation valid for every p ≥ 1.
+type NeighborFinder interface {
+	Near(c vec.V) []int
+}
+
+// Instance binds a weighted point set to an interest-distance norm and a
+// coverage radius r. It is the immutable problem description every algorithm
+// consumes. An optional NeighborFinder accelerates gain evaluation at large
+// n without changing any result bit (the evaluator sorts the candidate
+// indices and IEEE addition of skipped zero terms is exact).
+type Instance struct {
+	Set    *pointset.Set
+	Norm   norm.Norm
+	Radius float64
+
+	finder NeighborFinder
+}
+
+// SetFinder installs (or clears, with nil) a neighbor accelerator. It must
+// index exactly this instance's points at exactly this instance's radius.
+func (in *Instance) SetFinder(f NeighborFinder) { in.finder = f }
+
+// NewInstance validates and builds an Instance. The radius must be positive
+// and finite.
+func NewInstance(set *pointset.Set, n norm.Norm, radius float64) (*Instance, error) {
+	if set == nil {
+		return nil, errors.New("reward: nil point set")
+	}
+	if n == nil {
+		return nil, errors.New("reward: nil norm")
+	}
+	if radius <= 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		return nil, fmt.Errorf("reward: invalid radius %v", radius)
+	}
+	return &Instance{Set: set, Norm: n, Radius: radius}, nil
+}
+
+// N reports the number of points.
+func (in *Instance) N() int { return in.Set.Len() }
+
+// Coverage returns [1 − d(c, x_i)/r]_+, the unweighted reward fraction point
+// i receives from a center at c (paper Eq. 1 divided by w_i).
+func (in *Instance) Coverage(c vec.V, i int) float64 {
+	d := in.Norm.Dist(c, in.Set.Point(i))
+	if d >= in.Radius {
+		return 0
+	}
+	return 1 - d/in.Radius
+}
+
+// PointReward returns ψ(c, x_i) = w_i·[1 − d/r]_+ (paper Eq. 1).
+func (in *Instance) PointReward(c vec.V, i int) float64 {
+	return in.Set.Weight(i) * in.Coverage(c, i)
+}
+
+// Objective evaluates f(C) = Σ_i w_i·min(Σ_j [1 − d(c_j, x_i)/r]_+, 1)
+// (paper Eq. 7) for an arbitrary center set.
+func (in *Instance) Objective(centers []vec.V) float64 {
+	var total float64
+	for i := 0; i < in.N(); i++ {
+		var frac float64
+		for _, c := range centers {
+			frac += in.Coverage(c, i)
+			if frac >= 1 {
+				frac = 1
+				break
+			}
+		}
+		total += in.Set.Weight(i) * frac
+	}
+	return total
+}
+
+// NewResiduals returns the initial residual vector y with y_i = 1 for all i
+// (line 1 of Algorithms 1–4).
+func (in *Instance) NewResiduals() []float64 {
+	y := make([]float64, in.N())
+	for i := range y {
+		y[i] = 1
+	}
+	return y
+}
+
+// RoundGain evaluates the round objective g for center c against residuals
+// y: Σ_i w_i·min([1 − d(c, x_i)/r]_+, y_i) (the inner objective of
+// Eqs. 10/13/14/15). y is not modified.
+func (in *Instance) RoundGain(c vec.V, y []float64) float64 {
+	if in.finder != nil {
+		idx := in.nearSorted(c)
+		var g float64
+		for _, i := range idx {
+			z := in.Coverage(c, i)
+			if yi := y[i]; z > yi {
+				z = yi
+			}
+			g += in.Set.Weight(i) * z
+		}
+		return g
+	}
+	var g float64
+	for i := 0; i < in.N(); i++ {
+		z := in.Coverage(c, i)
+		if yi := y[i]; z > yi {
+			z = yi
+		}
+		g += in.Set.Weight(i) * z
+	}
+	return g
+}
+
+// nearSorted queries the finder and returns the candidate indices in
+// ascending order so that accelerated sums match full scans bit for bit.
+func (in *Instance) nearSorted(c vec.V) []int {
+	idx := in.finder.Near(c)
+	sort.Ints(idx)
+	return idx
+}
+
+// ApplyRound commits center c: it computes z_i = min([1 − d/r]_+, y_i),
+// subtracts it from y in place (line "update y_i^{j+1} = y_i^j − z_i^j"),
+// and returns the round gain together with the per-point z vector.
+func (in *Instance) ApplyRound(c vec.V, y []float64) (gain float64, z []float64) {
+	z = make([]float64, in.N())
+	apply := func(i int) {
+		zi := in.Coverage(c, i)
+		if yi := y[i]; zi > yi {
+			zi = yi
+		}
+		z[i] = zi
+		y[i] -= zi
+		if y[i] < 0 { // guard against float drift; y_i is ≥ 0 by construction
+			y[i] = 0
+		}
+		gain += in.Set.Weight(i) * zi
+	}
+	if in.finder != nil {
+		for _, i := range in.nearSorted(c) {
+			apply(i)
+		}
+		return gain, z
+	}
+	for i := 0; i < in.N(); i++ {
+		apply(i)
+	}
+	return gain, z
+}
+
+// CoveredIndices returns the indices of points strictly inside the radius-r
+// ball at c (coverage fraction > 0), in ascending order. Algorithm 4 grows
+// its disk from these.
+func (in *Instance) CoveredIndices(c vec.V) []int {
+	var idx []int
+	if in.finder != nil {
+		for _, i := range in.nearSorted(c) {
+			if in.Coverage(c, i) > 0 {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	for i := 0; i < in.N(); i++ {
+		if in.Coverage(c, i) > 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ValidResiduals reports whether every y_i lies in [0, 1] (an invariant the
+// algorithms maintain; exported for tests and debugging assertions).
+func ValidResiduals(y []float64) bool {
+	for _, v := range y {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// SumRounds re-derives the total reward from a sequence of per-round gains;
+// by construction Σ_j g(j) == f-value achieved by the committed centers.
+func SumRounds(gains []float64) float64 {
+	var s float64
+	for _, g := range gains {
+		s += g
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+// Package sim runs repeated randomized trials in parallel and aggregates
+// named metrics. Each trial receives its own deterministic RNG derived from
+// the experiment seed and the trial index, so results are reproducible and
+// independent of scheduling, worker count, and trial interleaving.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// TrialFunc runs one trial and returns named scalar observations. It must be
+// safe to call concurrently with other trials.
+type TrialFunc func(trial int, rng *xrand.Rand) (map[string]float64, error)
+
+// Result aggregates per-metric summaries over all trials.
+type Result struct {
+	Trials    int
+	Summaries map[string]stats.Summary
+	// Samples holds the raw per-trial values in trial order.
+	Samples map[string][]float64
+}
+
+// Mean returns the mean of a metric, or 0 with ok=false when absent.
+func (r *Result) Mean(metric string) (float64, bool) {
+	s, ok := r.Summaries[metric]
+	if !ok {
+		return 0, false
+	}
+	return s.Mean, true
+}
+
+// MetricNames returns the sorted metric names.
+func (r *Result) MetricNames() []string {
+	names := make([]string, 0, len(r.Summaries))
+	for n := range r.Summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunTrials executes fn for trial = 0..trials−1, spreading trials over
+// workers (<= 0 uses all CPUs). Trial t's RNG is seeded with
+// seed ⊕ splitmix(t), so every trial is reproducible in isolation. The first
+// trial error aborts the aggregation.
+func RunTrials(trials, workers int, seed uint64, fn TrialFunc) (*Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials = %d must be positive", trials)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil trial function")
+	}
+	type out struct {
+		metrics map[string]float64
+		err     error
+	}
+	outs := make([]out, trials)
+	parallel.For(trials, workers, func(t int) {
+		rng := xrand.New(seed ^ (0x9e3779b97f4a7c15 * (uint64(t) + 1)))
+		m, err := fn(t, rng)
+		outs[t] = out{metrics: m, err: err}
+	})
+	samples := map[string][]float64{}
+	for t, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("sim: trial %d: %w", t, o.err)
+		}
+		for k, v := range o.metrics {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	res := &Result{Trials: trials, Summaries: map[string]stats.Summary{}, Samples: samples}
+	for k, vs := range samples {
+		s, err := stats.Summarize(vs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: metric %q: %w", k, err)
+		}
+		res.Summaries[k] = s
+	}
+	return res, nil
+}

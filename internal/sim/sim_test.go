@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRunTrialsAggregates(t *testing.T) {
+	res, err := RunTrials(10, 4, 1, func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+		return map[string]float64{
+			"trial": float64(trial),
+			"const": 3,
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 10 {
+		t.Fatalf("Trials = %d", res.Trials)
+	}
+	if m, ok := res.Mean("trial"); !ok || m != 4.5 {
+		t.Errorf("mean trial = %v, %v", m, ok)
+	}
+	if m, ok := res.Mean("const"); !ok || m != 3 {
+		t.Errorf("mean const = %v", m)
+	}
+	if _, ok := res.Mean("missing"); ok {
+		t.Error("missing metric found")
+	}
+	names := res.MetricNames()
+	if len(names) != 2 || names[0] != "const" || names[1] != "trial" {
+		t.Errorf("names = %v", names)
+	}
+	// Samples preserved in trial order.
+	if res.Samples["trial"][3] != 3 {
+		t.Errorf("samples out of order: %v", res.Samples["trial"])
+	}
+}
+
+func TestRunTrialsDeterministicAcrossWorkers(t *testing.T) {
+	fn := func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+		return map[string]float64{"x": rng.Float64()}, nil
+	}
+	a, err := RunTrials(20, 1, 99, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrials(20, 8, 99, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples["x"] {
+		if a.Samples["x"][i] != b.Samples["x"][i] {
+			t.Fatalf("trial %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunTrialsDistinctSeedsPerTrial(t *testing.T) {
+	res, err := RunTrials(50, 4, 7, func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+		return map[string]float64{"x": rng.Float64()}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, v := range res.Samples["x"] {
+		if seen[v] {
+			t.Fatal("two trials drew identical values: RNGs correlated")
+		}
+		seen[v] = true
+	}
+}
+
+func TestRunTrialsErrors(t *testing.T) {
+	if _, err := RunTrials(0, 1, 1, func(int, *xrand.Rand) (map[string]float64, error) { return nil, nil }); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := RunTrials(3, 1, 1, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := RunTrials(5, 2, 1, func(trial int, _ *xrand.Rand) (map[string]float64, error) {
+		if trial == 3 {
+			return nil, boom
+		}
+		return map[string]float64{"x": 1}, nil
+	}); err == nil || !errors.Is(err, boom) {
+		t.Errorf("trial error not propagated: %v", err)
+	}
+	if _, err := RunTrials(2, 1, 1, func(int, *xrand.Rand) (map[string]float64, error) {
+		return map[string]float64{"bad": math.NaN()}, nil
+	}); err == nil {
+		t.Error("NaN metric accepted")
+	}
+}

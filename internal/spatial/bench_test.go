@@ -1,0 +1,60 @@
+package spatial
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func BenchmarkNewGrid_N10000(b *testing.B) {
+	rng := xrand.New(1)
+	pts := randPoints(rng, 10000, 2, 0, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewGrid(pts, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchNear(b *testing.B, n int, radius float64) {
+	rng := xrand.New(2)
+	pts := randPoints(rng, n, 2, 0, 100)
+	g, err := NewGrid(pts, radius)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]vec.V, 256)
+	for i := range queries {
+		queries[i] = vec.Of(rng.Uniform(0, 100), rng.Uniform(0, 100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Near(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkNear_N10000_R1(b *testing.B)  { benchNear(b, 10000, 1) }
+func BenchmarkNear_N10000_R10(b *testing.B) { benchNear(b, 10000, 10) }
+
+// Baseline for comparison: the full linear scan the index replaces.
+func BenchmarkLinearScan_N10000(b *testing.B) {
+	rng := xrand.New(3)
+	pts := randPoints(rng, 10000, 2, 0, 100)
+	q := vec.Of(50, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for _, p := range pts {
+			dx, dy := p[0]-q[0], p[1]-q[1]
+			if dx*dx+dy*dy <= 1 {
+				count++
+			}
+		}
+		_ = count
+	}
+}

@@ -1,0 +1,141 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func randPoints(rng *xrand.Rand, n, dim int, lo, hi float64) []vec.V {
+	pts := make([]vec.V, n)
+	for i := range pts {
+		p := vec.New(dim)
+		for d := range p {
+			p[d] = rng.Uniform(lo, hi)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(nil, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	pts := []vec.V{vec.Of(0, 0)}
+	for _, r := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewGrid(pts, r); err == nil {
+			t.Errorf("radius %v accepted", r)
+		}
+	}
+	if _, err := NewGrid([]vec.V{vec.Of(0, 0), vec.Of(1)}, 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	g, err := NewGrid(pts, 1)
+	if err != nil || g.N() != 1 {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+}
+
+// Property: Near is a superset of the exact within-radius set for every
+// p-norm, at interior, boundary, and exterior query points.
+func TestNearIsConservative(t *testing.T) {
+	rng := xrand.New(7)
+	norms := []norm.Norm{norm.L1{}, norm.L2{}, norm.LInf{}, norm.LP{Exp: 3}}
+	for trial := 0; trial < 100; trial++ {
+		dim := rng.IntRange(1, 4)
+		n := rng.IntRange(1, 60)
+		r := rng.Uniform(0.2, 2)
+		pts := randPoints(rng, n, dim, 0, 4)
+		g, err := NewGrid(pts, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 10; q++ {
+			c := vec.New(dim)
+			for d := range c {
+				c[d] = rng.Uniform(-2, 6) // include exterior queries
+			}
+			got := g.Near(c)
+			in := map[int]bool{}
+			for _, i := range got {
+				in[i] = true
+			}
+			for _, nm := range norms {
+				for i, p := range pts {
+					if nm.Dist(c, p) <= r && !in[i] {
+						t.Fatalf("trial %d: %s: point %d at dist %v <= r=%v missing from Near",
+							trial, nm.Name(), i, nm.Dist(c, p), r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNearNoDuplicates(t *testing.T) {
+	rng := xrand.New(11)
+	pts := randPoints(rng, 200, 2, 0, 4)
+	g, err := NewGrid(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 50; q++ {
+		c := vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+		got := g.Near(c)
+		sort.Ints(got)
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Fatalf("duplicate index %d in Near result", got[i])
+			}
+		}
+	}
+}
+
+func TestNearPrunes(t *testing.T) {
+	// Points spread widely with a small radius: a query must return far
+	// fewer candidates than n.
+	rng := xrand.New(13)
+	pts := randPoints(rng, 1000, 2, 0, 100)
+	g, err := NewGrid(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for q := 0; q < 20; q++ {
+		c := vec.Of(rng.Uniform(0, 100), rng.Uniform(0, 100))
+		total += len(g.Near(c))
+	}
+	if avg := float64(total) / 20; avg > 50 {
+		t.Errorf("average Near size %v — index not pruning", avg)
+	}
+}
+
+func TestNearFarOutsideReturnsNil(t *testing.T) {
+	pts := []vec.V{vec.Of(0, 0), vec.Of(1, 1)}
+	g, err := NewGrid(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Near(vec.Of(50, 50)); got != nil {
+		t.Errorf("far query returned %v", got)
+	}
+	if got := g.Near(vec.Of(1, 2, 3)); got != nil {
+		t.Errorf("dim-mismatched query returned %v", got)
+	}
+}
+
+func TestSinglePointGrid(t *testing.T) {
+	g, err := NewGrid([]vec.V{vec.Of(2, 2)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Near(vec.Of(2.5, 2.5))
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Near = %v", got)
+	}
+}

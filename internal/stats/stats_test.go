@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample variance of 1..4 is 5/3.
+	if math.Abs(s.Variance-5.0/3) > 1e-12 {
+		t.Fatalf("variance = %v, want 5/3", s.Variance)
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("stddev = %v", s.Stddev())
+	}
+	if s.CI95() <= 0 {
+		t.Errorf("CI95 = %v", s.CI95())
+	}
+	if !strings.Contains(s.String(), "n=4") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variance != 0 || s.Mean != 7 || s.CI95() != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeRejects(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := Summarize([]float64{math.Inf(1)}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty mean/median not 0")
+	}
+	if Mean([]float64{1, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Error("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median wrong")
+	}
+	// Median must not reorder the caller's slice.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// Exact line y = 3x + 1.
+	slope, icept, err := LinearFit([]float64{0, 1, 2, 3}, []float64{1, 4, 7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-3) > 1e-12 || math.Abs(icept-1) > 1e-12 {
+		t.Fatalf("fit = %v, %v", slope, icept)
+	}
+	// Log-log of a quadratic has slope 2.
+	xs, ys := []float64{}, []float64{}
+	for _, n := range []float64{10, 20, 40, 80} {
+		xs = append(xs, math.Log(n))
+		ys = append(ys, math.Log(5*n*n))
+	}
+	slope, _, err = LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-9 {
+		t.Fatalf("log-log slope = %v, want 2", slope)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+	if _, _, err := LinearFit([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Error("degenerate Jain not 0")
+	}
+	if got := JainIndex([]float64{2, 2, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("even Jain = %v", got)
+	}
+	// One user gets everything: index = 1/n.
+	if got := JainIndex([]float64{5, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("skewed Jain = %v, want 0.25", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "under: 1") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(6, 5, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+}

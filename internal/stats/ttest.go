@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TTestResult is the outcome of a two-sample Welch t-test.
+type TTestResult struct {
+	T  float64 // t statistic (meanA − meanB over pooled SE)
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchT compares the means of two independent samples without assuming
+// equal variances. The experiment harness uses it to report whether an
+// algorithm's advantage over a baseline is statistically meaningful at the
+// trial counts used. Requires at least two observations per sample.
+func WelchT(a, b []float64) (TTestResult, error) {
+	sa, err := Summarize(a)
+	if err != nil {
+		return TTestResult{}, fmt.Errorf("stats: sample A: %w", err)
+	}
+	sb, err := Summarize(b)
+	if err != nil {
+		return TTestResult{}, fmt.Errorf("stats: sample B: %w", err)
+	}
+	if sa.N < 2 || sb.N < 2 {
+		return TTestResult{}, errors.New("stats: Welch t needs >= 2 observations per sample")
+	}
+	va := sa.Variance / float64(sa.N)
+	vb := sb.Variance / float64(sb.N)
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		// Identical constant samples: no evidence of difference (p = 1)
+		// or infinite evidence (p = 0) depending on the means.
+		if sa.Mean == sb.Mean {
+			return TTestResult{T: 0, DF: float64(sa.N + sb.N - 2), P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(sa.Mean - sb.Mean)), DF: float64(sa.N + sb.N - 2), P: 0}, nil
+	}
+	t := (sa.Mean - sb.Mean) / se
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1))
+	p := 2 * (1 - StudentTCDF(math.Abs(t), df))
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// StudentTCDF returns P(T ≤ t) for Student's t distribution with df degrees
+// of freedom, via the regularized incomplete beta function:
+// for t ≥ 0, P = 1 − I_{df/(df+t²)}(df/2, 1/2)/2.
+func StudentTCDF(t, df float64) float64 {
+	if math.IsNaN(t) || df <= 0 {
+		return math.NaN()
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	ib := RegIncBeta(df/2, 0.5, x)
+	if t >= 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the Lentz continued-fraction expansion (Numerical-Recipes style),
+// accurate to ~1e-12 over the needed domain.
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// Prefactor x^a (1−x)^b / (a B(a,b)) in log space.
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lbeta)
+	// Use the symmetry that converges fastest.
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - math.Exp(b*math.Log(1-x)+a*math.Log(x)-lbeta)*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		tiny    = 1e-300
+		eps     = 1e-14
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.5, 0.5},     // uniform
+		{2, 2, 0.5, 0.5},     // symmetric
+		{1, 1, 0.25, 0.25},   // I_x(1,1) = x
+		{2, 1, 0.5, 0.25},    // I_x(2,1) = x²
+		{1, 2, 0.5, 0.75},    // I_x(1,2) = 1-(1-x)²
+		{0.5, 0.5, 0.5, 0.5}, // arcsine distribution, symmetric
+		// Via the binomial identity I_x(5,3) = P(Bin(7, x) >= 5):
+		// 21·0.7⁵·0.3² + 7·0.7⁶·0.3 + 0.7⁷ = 0.6470695.
+		{5, 3, 0.7, 0.6470695},
+	}
+	for _, c := range cases {
+		if got := RegIncBeta(c.a, c.b, c.x); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("I_%g(%g,%g) = %.10f, want %.10f", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 5, 0.5},
+		{1, 1, 0.75}, // t(1) is Cauchy: CDF(1) = 3/4
+		{-1, 1, 0.25},
+		{2.0, 10, 0.963306},   // reference
+		{1.812, 10, 0.95},     // t_{0.95,10} ≈ 1.812
+		{12.706, 1, 0.975},    // t_{0.975,1} ≈ 12.706
+		{1.96, 1e6, 0.975002}, // ~normal for huge df
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.t, c.df); math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("T(%g; df=%g) = %.6f, want %.6f", c.t, c.df, got, c.want)
+		}
+	}
+	if StudentTCDF(math.Inf(1), 5) != 1 || StudentTCDF(math.Inf(-1), 5) != 0 {
+		t.Error("infinite t wrong")
+	}
+	if !math.IsNaN(StudentTCDF(1, -1)) {
+		t.Error("invalid df not NaN")
+	}
+}
+
+func TestWelchTDetectsDifference(t *testing.T) {
+	rng := xrand.New(171)
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = 10 + rng.NormFloat64()
+		b[i] = 12 + rng.NormFloat64()
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("2-sigma mean gap not detected: p = %v", res.P)
+	}
+	if res.T >= 0 {
+		t.Errorf("t should be negative (meanA < meanB): %v", res.T)
+	}
+}
+
+func TestWelchTNoDifference(t *testing.T) {
+	rng := xrand.New(173)
+	rejections := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 15)
+		b := make([]float64, 15)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		res, err := WelchT(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejections++
+		}
+	}
+	// Under the null, ~5% false rejections; allow generous slack.
+	if rejections > trials/5 {
+		t.Errorf("false rejection rate %d/%d far above nominal 5%%", rejections, trials)
+	}
+}
+
+func TestWelchTEdgeCases(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("single observation accepted")
+	}
+	if _, err := WelchT(nil, []float64{1, 2}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	// Identical constant samples: p = 1.
+	res, err := WelchT([]float64{3, 3, 3}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical constants p = %v, want 1", res.P)
+	}
+	// Distinct constant samples: p = 0.
+	res, err = WelchT([]float64{3, 3, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("distinct constants p = %v, want 0", res.P)
+	}
+}
+
+func TestWelchTSymmetry(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 3, 4, 5, 7}
+	ab, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := WelchT(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab.T+ba.T) > 1e-12 || math.Abs(ab.P-ba.P) > 1e-12 {
+		t.Errorf("asymmetric: %+v vs %+v", ab, ba)
+	}
+}

@@ -1,0 +1,30 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/pointset"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Generate a Zipf-topic population, filter to its heavy users, and
+// round-trip through JSON.
+func ExampleGenerate() {
+	tr, _ := trace.Generate(trace.Config{
+		N:      100,
+		Box:    pointset.PaperBox2D(),
+		Kind:   trace.ZipfTopics,
+		Scheme: pointset.RandomIntWeight,
+	}, xrand.New(8))
+	heavy, _ := tr.Filter(func(u trace.User) bool { return u.Weight >= 4 })
+	var buf bytes.Buffer
+	_ = heavy.WriteJSON(&buf)
+	back, _ := trace.ReadJSON(&buf)
+	fmt.Println("all users:", len(tr.Users))
+	fmt.Println("heavy survived round-trip:", len(back.Users) == len(heavy.Users))
+	// Output:
+	// all users: 100
+	// heavy survived round-trip: true
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: arbitrary bytes must never panic the parser, and anything
+// it accepts must re-serialize and re-parse to the same population.
+func FuzzReadJSON(f *testing.F) {
+	valid := `{"dim":2,"lo":[0,0],"hi":[4,4],"users":[{"id":0,"interest":[1,2],"weight":3}]}`
+	f.Add(valid)
+	f.Add(`{"dim":0}`)
+	f.Add(`{"dim":2,"lo":[0],"hi":[4,4],"users":[]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"dim":2,"lo":[0,0],"hi":[4,4],"keywords":["a"],"users":[{"id":0,"interest":[1,2],"weight":1}]}`)
+	f.Add(`{"dim":1,"lo":[0],"hi":[1],"users":[{"id":0,"interest":[0.5],"weight":1e309}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must round-trip losslessly.
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if len(back.Users) != len(tr.Users) || back.Dim != tr.Dim {
+			t.Fatal("round-trip changed the population")
+		}
+	})
+}
+
+// FuzzReadCSV: arbitrary CSV bytes must never panic, and accepted traces
+// must convert to valid point sets.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,weight,x0,x1\n0,1,2,3\n")
+	f.Add("id,weight,x0\nnot-an-int,1,2\n")
+	f.Add("id,weight\n")
+	f.Add(",,,,\n,,,,\n")
+	f.Add("id,weight,x0\n0,NaN,1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := tr.ToSet(); err != nil {
+			t.Fatalf("accepted CSV produced invalid set: %v", err)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/xrand"
+)
+
+// Timeline is a sequence of population snapshots, one per broadcast period —
+// a recorded trace that can be replayed deterministically through the
+// broadcast simulator (or any consumer), decoupling workload generation from
+// scheduling the way real trace-driven evaluation does.
+type Timeline struct {
+	Snapshots []*Trace `json:"snapshots"`
+}
+
+// Validate checks that the timeline is non-empty and every snapshot is a
+// valid trace over the same region and dimension.
+func (tl *Timeline) Validate() error {
+	if len(tl.Snapshots) == 0 {
+		return errors.New("trace: empty timeline")
+	}
+	base := tl.Snapshots[0]
+	if err := base.Validate(); err != nil {
+		return fmt.Errorf("trace: timeline snapshot 0: %w", err)
+	}
+	for i, tr := range tl.Snapshots[1:] {
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("trace: timeline snapshot %d: %w", i+1, err)
+		}
+		if tr.Dim != base.Dim {
+			return fmt.Errorf("trace: timeline snapshot %d dim %d != %d", i+1, tr.Dim, base.Dim)
+		}
+		for d := 0; d < base.Dim; d++ {
+			if tr.Lo[d] != base.Lo[d] || tr.Hi[d] != base.Hi[d] {
+				return fmt.Errorf("trace: timeline snapshot %d has different bounds", i+1)
+			}
+		}
+	}
+	return nil
+}
+
+// Periods reports the number of snapshots.
+func (tl *Timeline) Periods() int { return len(tl.Snapshots) }
+
+// RecordTimeline evolves an initial population for the given number of
+// periods under Gaussian interest drift, storing an independent snapshot per
+// period. The initial trace is snapshot 0 and is not modified.
+func RecordTimeline(initial *Trace, periods int, driftSigma float64, rng *xrand.Rand) (*Timeline, error) {
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	if periods <= 0 {
+		return nil, fmt.Errorf("trace: periods = %d", periods)
+	}
+	if driftSigma < 0 {
+		return nil, fmt.Errorf("trace: drift sigma = %v", driftSigma)
+	}
+	cur := cloneTrace(initial)
+	tl := &Timeline{}
+	for p := 0; p < periods; p++ {
+		tl.Snapshots = append(tl.Snapshots, cloneTrace(cur))
+		if p == periods-1 {
+			break
+		}
+		if driftSigma > 0 {
+			if err := Drift(cur, driftSigma, rng); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tl, nil
+}
+
+func cloneTrace(tr *Trace) *Trace {
+	cp := &Trace{Dim: tr.Dim, Lo: append([]float64{}, tr.Lo...), Hi: append([]float64{}, tr.Hi...)}
+	cp.Users = make([]User, len(tr.Users))
+	for i, u := range tr.Users {
+		cp.Users[i] = User{ID: u.ID, Interest: append([]float64{}, u.Interest...), Weight: u.Weight}
+	}
+	return cp
+}
+
+// WriteJSON serializes the timeline.
+func (tl *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tl)
+}
+
+// ReadTimelineJSON parses and validates a timeline.
+func ReadTimelineJSON(r io.Reader) (*Timeline, error) {
+	var tl Timeline
+	if err := json.NewDecoder(r).Decode(&tl); err != nil {
+		return nil, fmt.Errorf("trace: timeline decode: %w", err)
+	}
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	return &tl, nil
+}

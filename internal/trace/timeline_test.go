@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRecordTimeline(t *testing.T) {
+	tr := genValid(t, Uniform)
+	tl, err := RecordTimeline(tr, 5, 0.2, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Periods() != 5 {
+		t.Fatalf("periods = %d", tl.Periods())
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot 0 equals the initial population; later snapshots drift.
+	for i, u := range tl.Snapshots[0].Users {
+		if u.Interest[0] != tr.Users[i].Interest[0] {
+			t.Fatal("snapshot 0 differs from initial trace")
+		}
+	}
+	moved := false
+	for i, u := range tl.Snapshots[4].Users {
+		if u.Interest[0] != tr.Users[i].Interest[0] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("no drift across the timeline")
+	}
+	// Snapshots are independent copies.
+	tl.Snapshots[1].Users[0].Interest[0] = -99
+	if tl.Snapshots[2].Users[0].Interest[0] == -99 || tr.Users[0].Interest[0] == -99 {
+		t.Fatal("snapshots share storage")
+	}
+}
+
+func TestRecordTimelineValidation(t *testing.T) {
+	tr := genValid(t, Uniform)
+	if _, err := RecordTimeline(tr, 0, 0.1, xrand.New(1)); err == nil {
+		t.Error("periods=0 accepted")
+	}
+	if _, err := RecordTimeline(tr, 3, -1, xrand.New(1)); err == nil {
+		t.Error("negative drift accepted")
+	}
+	bad := &Trace{Dim: 2}
+	if _, err := RecordTimeline(bad, 3, 0.1, xrand.New(1)); err == nil {
+		t.Error("invalid initial trace accepted")
+	}
+}
+
+func TestTimelineJSONRoundTrip(t *testing.T) {
+	tr := genValid(t, Clustered)
+	tl, err := RecordTimeline(tr, 3, 0.15, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTimelineJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Periods() != 3 {
+		t.Fatalf("periods lost: %d", back.Periods())
+	}
+	for p := range back.Snapshots {
+		for i := range back.Snapshots[p].Users {
+			if back.Snapshots[p].Users[i].Interest[0] != tl.Snapshots[p].Users[i].Interest[0] {
+				t.Fatal("interests lost in round trip")
+			}
+		}
+	}
+}
+
+func TestTimelineValidateRejects(t *testing.T) {
+	if err := (&Timeline{}).Validate(); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	a := genValid(t, Uniform)
+	threeD, err := Generate(Config{N: 5, Box: a.Box(), Kind: Uniform,
+		Scheme: 0}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	threeD.Dim = 3 // corrupt
+	tl := &Timeline{Snapshots: []*Trace{a, threeD}}
+	if err := tl.Validate(); err == nil {
+		t.Error("mismatched snapshot accepted")
+	}
+}

@@ -1,0 +1,368 @@
+// Package trace generates and serializes the synthetic interest traces the
+// paper evaluates on ("we evaluate the algorithms in synthetic traces",
+// §I/§VI). A trace holds a user population in interest space; generators
+// cover the paper's uniform workload plus clustered and Zipf-topic
+// populations the broadcast substrate uses. Traces round-trip through JSON
+// and CSV so the CLIs can pipeline them.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/pointset"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// User is one trace participant: an interest point with a maximum reward.
+type User struct {
+	ID       int       `json:"id"`
+	Interest []float64 `json:"interest"`
+	Weight   float64   `json:"weight"`
+}
+
+// Trace is a user population over a named region. Keywords optionally name
+// the interest dimensions — the paper represents contents and interests as
+// "m keywords in m-D space" (§I), so axis 0 might be "genre" and axis 1
+// "tempo"; when present there must be exactly one keyword per dimension.
+type Trace struct {
+	Dim      int       `json:"dim"`
+	Lo       []float64 `json:"lo"`
+	Hi       []float64 `json:"hi"`
+	Keywords []string  `json:"keywords,omitempty"`
+	Users    []User    `json:"users"`
+}
+
+// Validate checks structural consistency.
+func (tr *Trace) Validate() error {
+	if tr.Dim <= 0 {
+		return fmt.Errorf("trace: dim = %d", tr.Dim)
+	}
+	if len(tr.Lo) != tr.Dim || len(tr.Hi) != tr.Dim {
+		return fmt.Errorf("trace: bounds dim mismatch (lo=%d hi=%d dim=%d)", len(tr.Lo), len(tr.Hi), tr.Dim)
+	}
+	if len(tr.Keywords) != 0 && len(tr.Keywords) != tr.Dim {
+		return fmt.Errorf("trace: %d keywords for %d dimensions", len(tr.Keywords), tr.Dim)
+	}
+	for i, kw := range tr.Keywords {
+		if kw == "" {
+			return fmt.Errorf("trace: keyword %d is empty", i)
+		}
+	}
+	if len(tr.Users) == 0 {
+		return errors.New("trace: no users")
+	}
+	for i, u := range tr.Users {
+		if len(u.Interest) != tr.Dim {
+			return fmt.Errorf("trace: user %d has %d-dim interest, want %d", i, len(u.Interest), tr.Dim)
+		}
+		if u.Weight < 0 || math.IsNaN(u.Weight) || math.IsInf(u.Weight, 0) {
+			return fmt.Errorf("trace: user %d weight %v invalid", i, u.Weight)
+		}
+	}
+	return nil
+}
+
+// Box returns the trace region.
+func (tr *Trace) Box() pointset.Box {
+	return pointset.Box{Lo: vec.Of(tr.Lo...), Hi: vec.Of(tr.Hi...)}
+}
+
+// ToSet converts the trace to the point set the algorithms consume.
+func (tr *Trace) ToSet() (*pointset.Set, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	pts := make([]vec.V, len(tr.Users))
+	ws := make([]float64, len(tr.Users))
+	for i, u := range tr.Users {
+		pts[i] = vec.Of(u.Interest...)
+		ws[i] = u.Weight
+	}
+	return pointset.New(pts, ws)
+}
+
+// FromSet builds a trace from a point set over the given box.
+func FromSet(set *pointset.Set, box pointset.Box) (*Trace, error) {
+	if set == nil {
+		return nil, errors.New("trace: nil set")
+	}
+	if !box.Valid() || box.Dim() != set.Dim() {
+		return nil, fmt.Errorf("trace: invalid box for dim %d", set.Dim())
+	}
+	tr := &Trace{Dim: set.Dim(), Lo: append([]float64{}, box.Lo...), Hi: append([]float64{}, box.Hi...)}
+	for i := 0; i < set.Len(); i++ {
+		tr.Users = append(tr.Users, User{
+			ID:       i,
+			Interest: append([]float64{}, set.Point(i)...),
+			Weight:   set.Weight(i),
+		})
+	}
+	return tr, nil
+}
+
+// Kind selects a population generator.
+type Kind int
+
+const (
+	// Uniform scatters users uniformly — the paper's workload.
+	Uniform Kind = iota
+	// Clustered scatters users around uniformly placed Gaussian communities.
+	Clustered
+	// ZipfTopics scatters users around topic centers whose popularity
+	// follows a Zipf law: a few mainstream topics dominate.
+	ZipfTopics
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case ZipfTopics:
+		return "zipf"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KindByName parses a generator name.
+func KindByName(s string) (Kind, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "clustered":
+		return Clustered, nil
+	case "zipf":
+		return ZipfTopics, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown kind %q", s)
+	}
+}
+
+// Config parameterizes Generate.
+type Config struct {
+	N      int
+	Box    pointset.Box
+	Kind   Kind
+	Scheme pointset.WeightScheme
+	// Topics is the community/topic count for Clustered and ZipfTopics
+	// (default 5).
+	Topics int
+	// Sigma is the within-community spread (default 0.3).
+	Sigma float64
+	// ZipfS is the topic-popularity exponent for ZipfTopics (default 1).
+	ZipfS float64
+}
+
+// Generate draws a trace from the configured population model.
+func Generate(cfg Config, rng *xrand.Rand) (*Trace, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("trace: n = %d", cfg.N)
+	}
+	if !cfg.Box.Valid() {
+		return nil, errors.New("trace: invalid box")
+	}
+	topics := cfg.Topics
+	if topics <= 0 {
+		topics = 5
+	}
+	sigma := cfg.Sigma
+	if sigma <= 0 {
+		sigma = 0.3
+	}
+	zs := cfg.ZipfS
+	if zs <= 0 {
+		zs = 1
+	}
+
+	var set *pointset.Set
+	var err error
+	switch cfg.Kind {
+	case Uniform:
+		set, err = pointset.GenUniform(cfg.N, cfg.Box, cfg.Scheme, rng)
+	case Clustered:
+		set, err = pointset.GenClustered(cfg.N, topics, sigma, cfg.Box, cfg.Scheme, rng)
+	case ZipfTopics:
+		set, err = genZipf(cfg.N, topics, sigma, zs, cfg.Box, cfg.Scheme, rng)
+	default:
+		return nil, fmt.Errorf("trace: unknown kind %v", cfg.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return FromSet(set, cfg.Box)
+}
+
+func genZipf(n, topics int, sigma, zipfS float64, box pointset.Box, scheme pointset.WeightScheme, rng *xrand.Rand) (*pointset.Set, error) {
+	centers := make([]vec.V, topics)
+	for i := range centers {
+		centers[i] = box.Sample(rng)
+	}
+	z := xrand.NewZipf(topics, zipfS)
+	pts := make([]vec.V, n)
+	ws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ctr := centers[z.Rank(rng)-1]
+		p := vec.New(box.Dim())
+		for d := range p {
+			x := ctr[d] + sigma*rng.NormFloat64()
+			p[d] = math.Min(math.Max(x, box.Lo[d]), box.Hi[d])
+		}
+		pts[i] = p
+		switch scheme {
+		case pointset.UnitWeight:
+			ws[i] = 1
+		case pointset.RandomIntWeight:
+			ws[i] = float64(rng.IntRange(1, 5))
+		default:
+			return nil, fmt.Errorf("trace: unknown weight scheme %v", scheme)
+		}
+	}
+	return pointset.New(pts, ws)
+}
+
+// Drift perturbs every user's interest by a Gaussian step of scale sigma,
+// reflecting at the box boundary. It models interests slowly evolving
+// between broadcast periods in the substrate simulator.
+func Drift(tr *Trace, sigma float64, rng *xrand.Rand) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	if sigma < 0 {
+		return fmt.Errorf("trace: negative drift sigma %v", sigma)
+	}
+	for ui := range tr.Users {
+		for d := 0; d < tr.Dim; d++ {
+			x := tr.Users[ui].Interest[d] + sigma*rng.NormFloat64()
+			lo, hi := tr.Lo[d], tr.Hi[d]
+			// Reflect into [lo, hi].
+			for x < lo || x > hi {
+				if x < lo {
+					x = 2*lo - x
+				}
+				if x > hi {
+					x = 2*hi - x
+				}
+			}
+			tr.Users[ui].Interest[d] = x
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the trace with indentation.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadJSON parses and validates a trace.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// WriteCSV emits "id,weight,x0,x1,..." rows with a header.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"id", "weight"}
+	for d := 0; d < tr.Dim; d++ {
+		header = append(header, fmt.Sprintf("x%d", d))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, u := range tr.Users {
+		row := []string{strconv.Itoa(u.ID), strconv.FormatFloat(u.Weight, 'g', -1, 64)}
+		for _, x := range u.Interest {
+			row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses rows written by WriteCSV. The region bounds are recomputed
+// from the data (CSV does not carry them).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, errors.New("trace: csv has no data rows")
+	}
+	dim := len(rows[0]) - 2
+	if dim <= 0 {
+		return nil, fmt.Errorf("trace: csv header %v has no coordinates", rows[0])
+	}
+	tr := &Trace{Dim: dim}
+	for _, row := range rows[1:] {
+		if len(row) != dim+2 {
+			return nil, fmt.Errorf("trace: csv row has %d fields, want %d", len(row), dim+2)
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv id %q: %w", row[0], err)
+		}
+		w, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv weight %q: %w", row[1], err)
+		}
+		interest := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			interest[d], err = strconv.ParseFloat(row[2+d], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: csv coord %q: %w", row[2+d], err)
+			}
+		}
+		tr.Users = append(tr.Users, User{ID: id, Interest: interest, Weight: w})
+	}
+	// Recompute bounds.
+	lo := append([]float64{}, tr.Users[0].Interest...)
+	hi := append([]float64{}, tr.Users[0].Interest...)
+	for _, u := range tr.Users[1:] {
+		for d, x := range u.Interest {
+			if x < lo[d] {
+				lo[d] = x
+			}
+			if x > hi[d] {
+				hi[d] = x
+			}
+		}
+	}
+	// Widen degenerate bounds so Box stays valid.
+	for d := range lo {
+		if lo[d] == hi[d] {
+			hi[d] = lo[d] + 1e-9
+		}
+	}
+	tr.Lo, tr.Hi = lo, hi
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

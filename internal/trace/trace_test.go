@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pointset"
+	"repro/internal/xrand"
+)
+
+func genValid(t *testing.T, kind Kind) *Trace {
+	t.Helper()
+	tr, err := Generate(Config{
+		N:      50,
+		Box:    pointset.PaperBox2D(),
+		Kind:   kind,
+		Scheme: pointset.RandomIntWeight,
+	}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []Kind{Uniform, Clustered, ZipfTopics} {
+		tr := genValid(t, kind)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(tr.Users) != 50 || tr.Dim != 2 {
+			t.Fatalf("%v: shape wrong", kind)
+		}
+		box := tr.Box()
+		for _, u := range tr.Users {
+			p := u.Interest
+			if p[0] < box.Lo[0] || p[0] > box.Hi[0] || p[1] < box.Lo[1] || p[1] > box.Hi[1] {
+				t.Fatalf("%v: user %v outside box", kind, u)
+			}
+			if u.Weight < 1 || u.Weight > 5 {
+				t.Fatalf("%v: weight %v", kind, u.Weight)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := Generate(Config{N: 0, Box: pointset.PaperBox2D()}, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Generate(Config{N: 5}, rng); err == nil {
+		t.Error("zero box accepted")
+	}
+	if _, err := Generate(Config{N: 5, Box: pointset.PaperBox2D(), Kind: Kind(42)}, rng); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestZipfConcentration(t *testing.T) {
+	// With a strong Zipf exponent, most users cluster near topic 1; the
+	// population should be far more concentrated than uniform. Compare
+	// mean nearest-neighbor style dispersion via coordinate variance.
+	rng := xrand.New(9)
+	zf, err := Generate(Config{N: 400, Box: pointset.PaperBox2D(), Kind: ZipfTopics,
+		Scheme: pointset.UnitWeight, Topics: 10, Sigma: 0.1, ZipfS: 2.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := Generate(Config{N: 400, Box: pointset.PaperBox2D(), Kind: Uniform,
+		Scheme: pointset.UnitWeight}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varOf := func(tr *Trace) float64 {
+		var mean, m2 float64
+		for _, u := range tr.Users {
+			mean += u.Interest[0]
+		}
+		mean /= float64(len(tr.Users))
+		for _, u := range tr.Users {
+			d := u.Interest[0] - mean
+			m2 += d * d
+		}
+		return m2 / float64(len(tr.Users))
+	}
+	if varOf(zf) >= varOf(un) {
+		t.Errorf("zipf variance %v not below uniform %v", varOf(zf), varOf(un))
+	}
+}
+
+func TestToSetFromSetRoundTrip(t *testing.T) {
+	tr := genValid(t, Uniform)
+	set, err := tr.ToSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 50 {
+		t.Fatalf("set len = %d", set.Len())
+	}
+	back, err := FromSet(set, tr.Box())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range back.Users {
+		if u.Weight != tr.Users[i].Weight {
+			t.Fatalf("weight %d changed", i)
+		}
+		for d := range u.Interest {
+			if u.Interest[d] != tr.Users[i].Interest[d] {
+				t.Fatalf("interest %d changed", i)
+			}
+		}
+	}
+	if _, err := FromSet(nil, tr.Box()); err == nil {
+		t.Error("nil set accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := genValid(t, Clustered)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != len(tr.Users) || back.Dim != tr.Dim {
+		t.Fatal("shape lost")
+	}
+	for i := range back.Users {
+		if back.Users[i].Weight != tr.Users[i].Weight {
+			t.Fatal("weights lost")
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"dim":2,"lo":[0,0],"hi":[4,4],"users":[]}`)); err == nil {
+		t.Error("empty users accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"dim":2,"lo":[0,0],"hi":[4,4],"users":[{"id":0,"interest":[1],"weight":1}]}`)); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := genValid(t, Uniform)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id,weight,x0,x1") {
+		t.Fatalf("csv header wrong: %q", buf.String()[:30])
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != len(tr.Users) || back.Dim != 2 {
+		t.Fatal("shape lost")
+	}
+	for i := range back.Users {
+		if math.Abs(back.Users[i].Interest[0]-tr.Users[i].Interest[0]) > 1e-12 {
+			t.Fatal("coords lost precision")
+		}
+	}
+}
+
+func TestReadCSVRejectsInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"id,weight,x0\n",
+		"id,weight\n1,2\n",
+		"id,weight,x0\nabc,1,2\n",
+		"id,weight,x0\n1,xx,2\n",
+		"id,weight,x0\n1,1,yy\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestDrift(t *testing.T) {
+	tr := genValid(t, Uniform)
+	before := make([][]float64, len(tr.Users))
+	for i, u := range tr.Users {
+		before[i] = append([]float64{}, u.Interest...)
+	}
+	if err := Drift(tr, 0.2, xrand.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	box := tr.Box()
+	moved := 0
+	for i, u := range tr.Users {
+		p := u.Interest
+		if p[0] < box.Lo[0] || p[0] > box.Hi[0] || p[1] < box.Lo[1] || p[1] > box.Hi[1] {
+			t.Fatalf("drifted user %d outside box: %v", i, p)
+		}
+		if p[0] != before[i][0] || p[1] != before[i][1] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no user moved under drift")
+	}
+	if err := Drift(tr, -0.1, xrand.New(5)); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	// Zero drift keeps everyone in place.
+	snap := append([]float64{}, tr.Users[0].Interest...)
+	if err := Drift(tr, 0, xrand.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Users[0].Interest[0] != snap[0] {
+		t.Error("zero drift moved a user")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for _, k := range []Kind{Uniform, Clustered, ZipfTopics} {
+		parsed, err := KindByName(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("round trip %v failed: %v %v", k, parsed, err)
+		}
+	}
+	if _, err := KindByName("nope"); err == nil {
+		t.Error("bad name accepted")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}

@@ -1,0 +1,246 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZero(t *testing.T) {
+	v := New(4)
+	if v.Dim() != 4 {
+		t.Fatalf("Dim = %d, want 4", v.Dim())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("component %d = %v, want 0", i, x)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestOfCopies(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	v := Of(xs...)
+	xs[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Of aliased its arguments: v[0] = %v", v[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Of(1, 2)
+	w := v.Clone()
+	w[0] = 7
+	if v[0] != 1 {
+		t.Fatalf("Clone aliased storage: v = %v", v)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	v, w := Of(1, 2, 3), Of(4, 5, 6)
+	if got := v.Add(w); !got.Equal(Of(5, 7, 9)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.Equal(Of(3, 3, 3)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.Equal(Of(2, 4, 6)) {
+		t.Errorf("Scale = %v", got)
+	}
+	// Operands untouched.
+	if !v.Equal(Of(1, 2, 3)) || !w.Equal(Of(4, 5, 6)) {
+		t.Errorf("operands mutated: v=%v w=%v", v, w)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	v := Of(1, 2)
+	v.AddInPlace(Of(3, 4))
+	if !v.Equal(Of(4, 6)) {
+		t.Errorf("AddInPlace = %v", v)
+	}
+	v.ScaleInPlace(0.5)
+	if !v.Equal(Of(2, 3)) {
+		t.Errorf("ScaleInPlace = %v", v)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Of(1, 2, 3).Dot(Of(4, 5, 6)); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched dims did not panic")
+		}
+	}()
+	Of(1).Add(Of(1, 2))
+}
+
+func TestNorm2KnownValues(t *testing.T) {
+	cases := []struct {
+		v    V
+		want float64
+	}{
+		{Of(3, 4), 5},
+		{Of(0, 0, 0), 0},
+		{Of(1, 1, 1, 1), 2},
+		{Of(-3, -4), 5},
+	}
+	for _, c := range cases {
+		if got := c.v.Norm2(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Norm2(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNorm2OverflowSafe(t *testing.T) {
+	v := Of(1e300, 1e300)
+	got := v.Norm2()
+	want := 1e300 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Norm2 overflowed: got %v, want %v", got, want)
+	}
+}
+
+func TestDist2(t *testing.T) {
+	if got := Of(1, 1).Dist2(Of(4, 5)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist2 = %v, want 5", got)
+	}
+	if got := Of(2, 2).Dist2(Of(2, 2)); got != 0 {
+		t.Errorf("Dist2 of equal points = %v, want 0", got)
+	}
+}
+
+func TestLerpMid(t *testing.T) {
+	v, w := Of(0, 0), Of(10, 20)
+	if got := v.Lerp(w, 0.25); !got.ApproxEqual(Of(2.5, 5), 1e-12) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := v.Mid(w); !got.ApproxEqual(Of(5, 10), 1e-12) {
+		t.Errorf("Mid = %v", got)
+	}
+	if got := v.Lerp(w, 0); !got.Equal(v) {
+		t.Errorf("Lerp t=0 = %v", got)
+	}
+	if got := v.Lerp(w, 1); !got.Equal(w) {
+		t.Errorf("Lerp t=1 = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Of(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if Of(1, math.NaN()).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if Of(math.Inf(1)).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(1, 2.5).String(); got != "(1.000, 2.500)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c, err := Centroid([]V{Of(0, 0), Of(2, 4), Of(4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.ApproxEqual(Of(2, 2), 1e-12) {
+		t.Errorf("Centroid = %v", c)
+	}
+	if _, err := Centroid(nil); err == nil {
+		t.Error("Centroid(nil) returned no error")
+	}
+	if _, err := Centroid([]V{Of(1), Of(1, 2)}); err == nil {
+		t.Error("Centroid with mismatched dims returned no error")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	lo, hi, err := Bounds([]V{Of(1, 5), Of(3, 2), Of(-1, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Equal(Of(-1, 2)) || !hi.Equal(Of(3, 5)) {
+		t.Errorf("Bounds = %v, %v", lo, hi)
+	}
+	if _, _, err := Bounds(nil); err == nil {
+		t.Error("Bounds(nil) returned no error")
+	}
+}
+
+func TestEqualAndApprox(t *testing.T) {
+	if !Of(1, 2).Equal(Of(1, 2)) {
+		t.Error("Equal false for identical vectors")
+	}
+	if Of(1, 2).Equal(Of(1, 2, 3)) {
+		t.Error("Equal true across dimensions")
+	}
+	if !Of(1, 2).ApproxEqual(Of(1.0000001, 2), 1e-3) {
+		t.Error("ApproxEqual false within tolerance")
+	}
+	if Of(1, 2).ApproxEqual(Of(1.1, 2), 1e-3) {
+		t.Error("ApproxEqual true outside tolerance")
+	}
+}
+
+// clampV maps arbitrary quick-generated components into a well-conditioned
+// range so float-error tolerances stay simple.
+func clampV(xs []float64) V {
+	v := make(V, len(xs))
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		v[i] = math.Mod(x, 1e6)
+	}
+	return v
+}
+
+// Property: triangle inequality and symmetry for the Euclidean distance.
+func TestDist2Properties(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		u, v, w := clampV(a[:]), clampV(b[:]), clampV(c[:])
+		duv, dvu := u.Dist2(v), v.Dist2(u)
+		if math.Abs(duv-dvu) > 1e-9*(1+duv) {
+			return false
+		}
+		return duv <= u.Dist2(w)+w.Dist2(v)+1e-9*(1+duv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add is commutative and Sub is its inverse.
+func TestAddSubProperties(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		u, v := clampV(a[:]), clampV(b[:])
+		if !u.Add(v).Equal(v.Add(u)) {
+			return false
+		}
+		back := u.Add(v).Sub(v)
+		return back.ApproxEqual(u, 1e-6*(1+u.Norm2()+v.Norm2()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
