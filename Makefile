@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race check bench-baseline clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full tier-1 verification: build + vet + test + race.
+check:
+	./scripts/check.sh
+
+# Regenerate the committed benchmark baseline (BENCH_baseline.json).
+bench-baseline:
+	./scripts/bench_baseline.sh
+
+clean:
+	$(GO) clean ./...

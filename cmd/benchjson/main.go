@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, suitable for committing as a benchmark
+// baseline and diffing across revisions:
+//
+//	go test -run '^$' -bench . -benchmem . ./internal/spatial | go run ./cmd/benchjson
+//
+// Each benchmark line ("BenchmarkFoo-8  100  12345 ns/op  67 B/op  8 allocs/op")
+// becomes one entry keyed by name, with every value/unit pair preserved.
+// goos/goarch/pkg/cpu header lines are captured as environment metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the full document.
+type Baseline struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// splitName separates the -P procs suffix go test appends to benchmark names.
+func splitName(s string) (string, int) {
+	i := strings.LastIndex(s, "-")
+	if i < 0 {
+		return s, 0
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil || p <= 0 {
+		return s, 0
+	}
+	return s[:i], p
+}
+
+// Parse reads `go test -bench` output and collects results plus header
+// metadata. Unrecognized lines (test output, PASS/ok) are skipped.
+func Parse(r io.Reader) (*Baseline, error) {
+	b := &Baseline{Env: map[string]string{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			b.Env[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		// Name, iterations, then value/unit pairs: at least one pair.
+		if len(f) < 4 || (len(f)-2)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name, procs := splitName(f[0])
+		res := Result{Name: name, Pkg: pkg, Procs: procs, Iterations: iters,
+			Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[f[i+1]] = v
+		}
+		if !ok || len(res.Metrics) == 0 {
+			continue
+		}
+		b.Benchmarks = append(b.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(b.Benchmarks, func(i, j int) bool {
+		if b.Benchmarks[i].Pkg != b.Benchmarks[j].Pkg {
+			return b.Benchmarks[i].Pkg < b.Benchmarks[j].Pkg
+		}
+		return b.Benchmarks[i].Name < b.Benchmarks[j].Name
+	})
+	return b, nil
+}
+
+func run(in io.Reader, out io.Writer) error {
+	b, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(b.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

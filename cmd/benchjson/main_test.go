@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkGreedy2_N40-8   	    1234	    987654 ns/op	   45678 B/op	     321 allocs/op
+BenchmarkGreedy3_N40-8   	    5000	    200000 ns/op
+some test chatter
+PASS
+ok  	repro	1.234s
+pkg: repro/internal/spatial
+BenchmarkNear_N10000_R1-8	   10000	     11111 ns/op	     128 B/op	       2 allocs/op
+PASS
+ok  	repro/internal/spatial	0.5s
+`
+
+func TestParse(t *testing.T) {
+	b, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Env["goos"] != "linux" || b.Env["goarch"] != "amd64" || b.Env["cpu"] == "" {
+		t.Errorf("env not captured: %v", b.Env)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(b.Benchmarks))
+	}
+	// Sorted by pkg then name: repro before repro/internal/spatial.
+	g2 := b.Benchmarks[0]
+	if g2.Name != "BenchmarkGreedy2_N40" || g2.Pkg != "repro" || g2.Procs != 8 {
+		t.Errorf("first entry wrong: %+v", g2)
+	}
+	if g2.Iterations != 1234 {
+		t.Errorf("iterations = %d", g2.Iterations)
+	}
+	if g2.Metrics["ns/op"] != 987654 || g2.Metrics["B/op"] != 45678 || g2.Metrics["allocs/op"] != 321 {
+		t.Errorf("metrics wrong: %v", g2.Metrics)
+	}
+	sp := b.Benchmarks[2]
+	if sp.Pkg != "repro/internal/spatial" || sp.Name != "BenchmarkNear_N10000_R1" {
+		t.Errorf("spatial entry wrong: %+v", sp)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\nok \trepro\t0.1s\n"), &out); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"BenchmarkGreedy2_N40"`) {
+		t.Errorf("JSON output missing benchmark name:\n%s", out.String())
+	}
+}

@@ -9,6 +9,7 @@
 //	cdbench -list
 //	cdbench -run fig2 -plot           # render ASCII charts too
 //	cdbench -run fig2 -csv out/       # also write each figure as CSV
+//	cdbench -run all -metrics m.json  # telemetry snapshot incl. wall times
 package main
 
 import (

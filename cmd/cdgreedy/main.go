@@ -6,6 +6,7 @@
 //
 //	cdtrace -n 40 | cdgreedy -alg greedy2 -k 4 -r 1
 //	cdgreedy -trace trace.json -alg greedy4 -k 2 -r 1.5 -norm l1 -exhaustive
+//	cdtrace -n 1000 | cdgreedy -all -k 4 -metrics out.json -events ev.jsonl
 package main
 
 import (

@@ -7,6 +7,7 @@
 //
 //	cdtrace -n 60 -kind zipf | cdstation -alg greedy2 -k 3 -periods 10
 //	cdstation -trace t.json -alg greedy4 -k 2 -r 1.5 -drift 0.2 -churn 0.1
+//	cdtrace -n 500 | cdstation -periods 200 -pprof localhost:6060 -metrics -
 package main
 
 import (

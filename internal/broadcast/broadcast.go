@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/norm"
+	"repro/internal/obs"
 	"repro/internal/reward"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -103,6 +104,10 @@ type Config struct {
 	SlotsPerPeriod int
 	// Seed drives drift and churn.
 	Seed uint64
+	// Obs, when set, receives reward-oracle telemetry (gain/apply/objective
+	// evaluation counts) from every period's instance. Scheduler-level
+	// round events are the scheduler's own concern (core.Instrument).
+	Obs obs.Collector
 }
 
 func (c Config) validate() error {
@@ -205,6 +210,7 @@ func Run(tr *trace.Trace, sched Scheduler, cfg Config) (*Metrics, error) {
 		if err != nil {
 			return nil, err
 		}
+		in.SetCollector(cfg.Obs)
 		centers, err := sched.Schedule(in, cfg.K)
 		if err != nil {
 			return nil, fmt.Errorf("broadcast: period %d: %w", p, err)
@@ -342,6 +348,7 @@ func RunTimeline(tl *trace.Timeline, sched Scheduler, cfg Config) (*Metrics, err
 		if err != nil {
 			return nil, err
 		}
+		in.SetCollector(ccfg.Obs)
 		centers, err := sched.Schedule(in, ccfg.K)
 		if err != nil {
 			return nil, fmt.Errorf("broadcast: timeline period %d: %w", p, err)

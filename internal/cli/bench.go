@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -27,6 +28,7 @@ func Bench(args []string, stdout io.Writer) error {
 		mdPath  = fs.String("md", "", "file to write a consolidated markdown report into")
 		plot    = fs.Bool("plot", false, "render each figure as an ASCII chart too")
 		list    = fs.Bool("list", false, "list experiment ids and exit")
+		metrics = fs.String("metrics", "", "write a telemetry snapshot (per-experiment wall time plus solver counters) as JSON to this file ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,8 +39,13 @@ func Bench(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
+	tel, err := newTelemetry(*metrics, "")
+	if err != nil {
+		return err
+	}
+	col := tel.Collector()
 
-	cfg := experiments.RunConfig{Seed: *seed, Trials: *trials, Workers: *workers, Quick: *quick}
+	cfg := experiments.RunConfig{Seed: *seed, Trials: *trials, Workers: *workers, Quick: *quick, Obs: col}
 	var todo []experiments.Experiment
 	if *runID == "all" {
 		todo = experiments.Registry()
@@ -56,6 +63,13 @@ func Bench(args []string, stdout io.Writer) error {
 		out, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("cdbench: %s: %w", e.ID, err)
+		}
+		if obs.Active(col) {
+			col.Count(obs.CtrExperiments, 1)
+			ns := time.Since(start).Nanoseconds()
+			col.TimeNS(obs.TimExperiment, ns)
+			col.Emit(obs.Event{Type: obs.EvExperiment, Alg: e.ID,
+				Fields: map[string]float64{"wall_ns": float64(ns)}})
 		}
 		if *mdPath != "" {
 			md.WriteString(report.RenderMarkdown(
@@ -89,5 +103,5 @@ func Bench(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *mdPath)
 	}
-	return nil
+	return tel.Close(stdout)
 }

@@ -38,6 +38,8 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 		exh       = fs.Bool("exhaustive", false, "also compute the exhaustive baseline and ratio")
 		gridPer   = fs.Int("grid", 5, "exhaustive candidate-lattice resolution per dimension (0 = points only)")
 		asJSON    = fs.Bool("json", false, "emit the result as JSON instead of a table")
+		metrics   = fs.String("metrics", "", "write a telemetry snapshot (counters, timers, per-round events) as JSON to this file ('-' = stdout)")
+		events    = fs.String("events", "", "stream telemetry events (round/scan spans, SEB calls) as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,18 +60,24 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tel, err := newTelemetry(*metrics, *events)
+	if err != nil {
+		return err
+	}
+	in.SetCollector(tel.Collector())
 	if *asJSON {
 		alg, err := AlgorithmByName(*algName)
 		if err != nil {
 			return err
 		}
+		alg = core.Instrument(alg, tel.Collector())
 		res, err := alg.Run(in, *k)
 		if err != nil {
 			return err
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(struct {
+		err = enc.Encode(struct {
 			Algorithm string      `json:"algorithm"`
 			K         int         `json:"k"`
 			Radius    float64     `json:"radius"`
@@ -88,6 +96,10 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 			Total:     res.Total,
 			MaxReward: set.TotalWeight(),
 		})
+		if err != nil {
+			return err
+		}
+		return tel.Close(stdout)
 	}
 
 	var res *core.Result
@@ -99,6 +111,7 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
+			a = core.Instrument(a, tel.Collector())
 			rr, err := a.Run(in, *k)
 			if err != nil {
 				return err
@@ -114,6 +127,7 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		alg = core.Instrument(alg, tel.Collector())
 		res, err = alg.Run(in, *k)
 		if err != nil {
 			return err
@@ -148,5 +162,5 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "exhaustive baseline: %.4f — approximation ratio %.4f\n", ex.Total, res.Total/ex.Total)
 	}
-	return nil
+	return tel.Close(stdout)
 }

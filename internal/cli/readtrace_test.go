@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTraceMissingFile(t *testing.T) {
+	_, err := ReadTrace(filepath.Join(t.TempDir(), "nope.json"), nil)
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if !os.IsNotExist(err) {
+		t.Errorf("want not-exist error, got %v", err)
+	}
+}
+
+func TestReadTraceMalformedCSV(t *testing.T) {
+	cases := map[string]string{
+		"not csv at all":   "this is { not csv\nanything\n",
+		"bad weight":       "x,y,w\n0.1,0.2,oops\n",
+		"ragged row":       "x,y,w\n0.1,0.2,1\n0.3,0.4\n",
+		"no rows":          "x,y,w\n",
+		"non-finite coord": "x,y,w\nNaN,0.2,1\n",
+	}
+	dir := t.TempDir()
+	for name, body := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".csv")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadTrace(path, nil); err == nil {
+			t.Errorf("%s: malformed CSV accepted", name)
+		}
+	}
+}
+
+func TestReadTraceMalformedJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"users": [`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(path, nil); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+// TestReadTraceStdinRoundTrip pipes cdtrace JSON output back in via "-" and
+// checks the parsed trace matches what the generator reported.
+func TestReadTraceStdinRoundTrip(t *testing.T) {
+	js := genJSON(t, "-n", "17", "-dim", "3")
+	tr, err := ReadTrace("-", strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Users) != 17 {
+		t.Errorf("users = %d, want 17", len(tr.Users))
+	}
+	if tr.Dim != 3 {
+		t.Errorf("dim = %d, want 3", tr.Dim)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("round-tripped trace invalid: %v", err)
+	}
+	// Files without a .csv suffix go through the JSON parser too.
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadTrace(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Users) != len(tr.Users) {
+		t.Errorf("file vs stdin mismatch: %d vs %d users", len(tr2.Users), len(tr.Users))
+	}
+}
+
+func TestReadTraceStdinMalformed(t *testing.T) {
+	if _, err := ReadTrace("-", strings.NewReader("not json")); err == nil {
+		t.Error("malformed stdin JSON accepted")
+	}
+}

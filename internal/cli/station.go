@@ -4,14 +4,32 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 
 	"repro/internal/broadcast"
+	"repro/internal/core"
 	"repro/internal/norm"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// servePprof starts the net/http/pprof endpoint on addr and returns a stop
+// function. The listener binds synchronously so a bad address fails fast;
+// serving happens in the background for the lifetime of the run.
+func servePprof(addr string, stdout io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen: %w", err)
+	}
+	srv := &http.Server{} // nil handler: the DefaultServeMux pprof routes
+	go srv.Serve(ln)
+	fmt.Fprintf(stdout, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+	return func() { srv.Close() }, nil
+}
 
 // Station implements cdstation: the time-slotted base-station simulation.
 func Station(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -33,12 +51,29 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 		assign    = fs.String("assign", "nearest-anchor", "multi-station user assignment: random | nearest-anchor")
 		timeline  = fs.Bool("timeline", false, "treat the input as a recorded timeline (cdtrace -timeline) and replay it")
 		seed      = fs.Uint64("seed", 1, "simulation seed")
+		metrics   = fs.String("metrics", "", "write a telemetry snapshot (counters, timers, per-round events) as JSON to this file ('-' = stdout)")
+		events    = fs.String("events", "", "stream telemetry events as JSONL to this file")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *pprofAddr != "" {
+		stop, err := servePprof(*pprofAddr, stdout)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	tel, err := newTelemetry(*metrics, *events)
+	if err != nil {
+		return err
+	}
 	if *timeline {
-		return stationTimeline(*tracePath, stdin, stdout, *algName, *k, *r, *normName, *slots)
+		if err := stationTimeline(*tracePath, stdin, stdout, *algName, *k, *r, *normName, *slots, tel); err != nil {
+			return err
+		}
+		return tel.Close(stdout)
 	}
 	tr, err := ReadTrace(*tracePath, stdin)
 	if err != nil {
@@ -52,11 +87,12 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	alg = core.Instrument(alg, tel.Collector())
 	cfg := broadcast.Config{
 		K: *k, Radius: *r, Norm: nm, Periods: *periods,
 		DriftSigma: *drift, ChurnRate: *churn,
 		ArrivalRate: *arrivals, DepartRate: *departs,
-		SlotsPerPeriod: *slots, Seed: *seed,
+		SlotsPerPeriod: *slots, Seed: *seed, Obs: tel.Collector(),
 	}
 	sched := broadcast.AlgorithmScheduler{Algo: alg}
 	if *stations > 1 {
@@ -86,7 +122,7 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprint(stdout, tb.Render())
 		fmt.Fprintf(stdout, "aggregate satisfaction: %.4f (total budget %d broadcasts/period)\n",
 			mm.MeanSatisfaction, mm.TotalBroadcasts)
-		return nil
+		return tel.Close(stdout)
 	}
 	m, err := broadcast.Run(tr, sched, cfg)
 	if err != nil {
@@ -111,11 +147,12 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "per-user satisfaction distribution (%d users):\n%s", h.N(), h.Render(32))
 		}
 	}
-	return nil
+	return tel.Close(stdout)
 }
 
-// stationTimeline replays a recorded timeline through the scheduler.
-func stationTimeline(path string, stdin io.Reader, stdout io.Writer, algName string, k int, r float64, normName string, slots int) error {
+// stationTimeline replays a recorded timeline through the scheduler. The
+// caller owns the telemetry's lifecycle; only the collector is used here.
+func stationTimeline(path string, stdin io.Reader, stdout io.Writer, algName string, k int, r float64, normName string, slots int, tel *telemetry) error {
 	var rdr io.Reader = stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -137,8 +174,9 @@ func stationTimeline(path string, stdin io.Reader, stdout io.Writer, algName str
 	if err != nil {
 		return err
 	}
+	alg = core.Instrument(alg, tel.Collector())
 	m, err := broadcast.RunTimeline(tl, broadcast.AlgorithmScheduler{Algo: alg}, broadcast.Config{
-		K: k, Radius: r, Norm: nm, SlotsPerPeriod: slots,
+		K: k, Radius: r, Norm: nm, SlotsPerPeriod: slots, Obs: tel.Collector(),
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// telemetry bundles the optional observability outputs every tool shares:
+// a -metrics JSON snapshot and an -events JSONL stream. The zero cost rule
+// holds end to end — with both paths empty, Collector() returns nil and the
+// instrumented packages skip their telemetry branches.
+type telemetry struct {
+	metrics     *obs.Metrics
+	metricsFile *os.File // nil when the snapshot goes to stdout
+	sink        *obs.Sink
+	eventsFile  *os.File
+	col         obs.Collector
+}
+
+// newTelemetry opens the requested outputs. metricsPath "-" writes the
+// snapshot to stdout at Close; eventsPath is always a file (JSONL is a
+// stream, not a report). Both files open eagerly so a bad path fails
+// before any solver work is spent.
+func newTelemetry(metricsPath, eventsPath string) (*telemetry, error) {
+	t := &telemetry{}
+	var parts []obs.Collector
+	if metricsPath != "" {
+		t.metrics = obs.NewMetrics()
+		if metricsPath != "-" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				return nil, fmt.Errorf("metrics output: %w", err)
+			}
+			t.metricsFile = f
+		}
+		parts = append(parts, t.metrics)
+	}
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return nil, fmt.Errorf("events output: %w", err)
+		}
+		t.eventsFile = f
+		t.sink = obs.NewSink(f)
+		parts = append(parts, t.sink)
+	}
+	if len(parts) > 0 {
+		t.col = obs.Multi(parts...)
+	}
+	return t, nil
+}
+
+// Collector returns the combined collector, or nil when telemetry is off.
+func (t *telemetry) Collector() obs.Collector { return t.col }
+
+// Close flushes the event stream and writes the metrics snapshot. It must
+// run on the success path only after all instrumented work finished; stdout
+// is used when the metrics path is "-".
+func (t *telemetry) Close(stdout io.Writer) error {
+	if t.sink != nil {
+		err := t.sink.Flush()
+		if cerr := t.eventsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("events output: %w", err)
+		}
+	}
+	if t.metrics != nil {
+		if t.metricsFile == nil {
+			return t.metrics.WriteJSON(stdout)
+		}
+		werr := t.metrics.WriteJSON(t.metricsFile)
+		if cerr := t.metricsFile.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("metrics output: %w", werr)
+		}
+	}
+	return nil
+}

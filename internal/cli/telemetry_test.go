@@ -1,0 +1,194 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// readSnapshot parses a -metrics output file.
+func readSnapshot(t *testing.T, path string) obs.Snapshot {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("metrics file not a Snapshot: %v\n%.200s", err, data)
+	}
+	return s
+}
+
+// TestGreedyMetricsAllAlgorithms is the acceptance path: -all -metrics must
+// emit per-round gains, reward-evaluation counts, and wall time per round
+// for every algorithm in one snapshot.
+func TestGreedyMetricsAllAlgorithms(t *testing.T) {
+	js := genJSON(t, "-n", "40")
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.json")
+	ePath := filepath.Join(dir, "e.jsonl")
+	var out bytes.Buffer
+	err := Greedy([]string{"-all", "-k", "2", "-r", "1.5", "-metrics", mPath, "-events", ePath},
+		strings.NewReader(js), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := readSnapshot(t, mPath)
+	if s.Counters[obs.CtrGainEvals] == 0 {
+		t.Error("no reward evaluations counted")
+	}
+	if s.Counters[obs.CtrRounds] != 4*2 {
+		t.Errorf("rounds counter = %d, want 8 (4 algorithms × k=2)", s.Counters[obs.CtrRounds])
+	}
+	for _, alg := range []string{"greedy1", "greedy2", "greedy3", "greedy4"} {
+		rounds := 0
+		for _, e := range s.Events {
+			if e.Type == obs.EvRoundEnd && e.Alg == alg {
+				rounds++
+				if _, ok := e.Fields["gain"]; !ok {
+					t.Errorf("%s round event missing gain", alg)
+				}
+				if e.Fields["wall_ns"] <= 0 {
+					t.Errorf("%s round event missing wall time", alg)
+				}
+			}
+		}
+		if rounds != 2 {
+			t.Errorf("%s: %d round_end events, want 2", alg, rounds)
+		}
+	}
+	// The event stream must be valid JSONL with monotonic timestamps.
+	f, err := os.Open(ePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var last int64 = -1
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("events line %d invalid: %v", lines, err)
+		}
+		if e.TNS < last {
+			t.Fatalf("events line %d: t_ns went backwards", lines)
+		}
+		last = e.TNS
+	}
+	if lines == 0 {
+		t.Fatal("no events streamed")
+	}
+}
+
+func TestGreedyMetricsToStdout(t *testing.T) {
+	js := genJSON(t)
+	var out bytes.Buffer
+	err := Greedy([]string{"-json", "-alg", "greedy3", "-k", "1", "-r", "1.5", "-metrics", "-"},
+		strings.NewReader(js), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two JSON documents on stdout: the result, then the snapshot.
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	var result map[string]any
+	if err := dec.Decode(&result); err != nil {
+		t.Fatalf("result doc: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("snapshot doc: %v", err)
+	}
+	if snap.Counters[obs.CtrRounds] != 1 {
+		t.Errorf("rounds = %d, want 1", snap.Counters[obs.CtrRounds])
+	}
+}
+
+func TestGreedyEventsBadPathRejected(t *testing.T) {
+	js := genJSON(t)
+	var out bytes.Buffer
+	err := Greedy([]string{"-k", "1", "-events", filepath.Join(t.TempDir(), "no", "such", "dir", "e.jsonl")},
+		strings.NewReader(js), &out)
+	if err == nil {
+		t.Error("unwritable events path accepted")
+	}
+}
+
+// Bad -metrics paths must fail before any solver work runs, not after.
+func TestGreedyMetricsBadPathRejectedEagerly(t *testing.T) {
+	js := genJSON(t)
+	var out bytes.Buffer
+	err := Greedy([]string{"-k", "1", "-metrics", filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")},
+		strings.NewReader(js), &out)
+	if err == nil {
+		t.Fatal("unwritable metrics path accepted")
+	}
+	if out.Len() > 0 {
+		t.Errorf("solver ran before the metrics path was checked:\n%s", out.String())
+	}
+}
+
+func TestStationMetricsAndPprof(t *testing.T) {
+	js := genJSON(t)
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.json")
+	var out bytes.Buffer
+	err := Station([]string{"-alg", "greedy2-lazy", "-k", "2", "-periods", "2",
+		"-metrics", mPath, "-pprof", "127.0.0.1:0"},
+		strings.NewReader(js), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pprof: http://") {
+		t.Error("pprof address not announced")
+	}
+	s := readSnapshot(t, mPath)
+	// 2 periods × k=2 rounds, scheduled by the lazy algorithm.
+	if s.Counters[obs.CtrRounds] < 4 {
+		t.Errorf("rounds = %d, want >= 4", s.Counters[obs.CtrRounds])
+	}
+	// The simulator's per-period reward instances carry the collector too.
+	if s.Counters[obs.CtrGainEvals] == 0 {
+		t.Error("broadcast instances did not count reward evaluations")
+	}
+	if err := Station([]string{"-pprof", "256.256.256.256:99999"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad pprof address accepted")
+	}
+}
+
+func TestBenchMetrics(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.json")
+	var out bytes.Buffer
+	if err := Bench([]string{"-run", "table1", "-quick", "-metrics", mPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := readSnapshot(t, mPath)
+	if s.Counters[obs.CtrExperiments] != 1 {
+		t.Errorf("experiments counter = %d, want 1", s.Counters[obs.CtrExperiments])
+	}
+	if s.TimersNS[obs.TimExperiment].Count != 1 {
+		t.Error("experiment wall time not recorded")
+	}
+	// The table1 driver runs greedy 2/3/4 with cfg.Obs attached.
+	if s.Counters[obs.CtrRounds] == 0 {
+		t.Error("experiment rounds not traced through RunConfig.Obs")
+	}
+	found := false
+	for _, e := range s.Events {
+		if e.Type == obs.EvExperiment && e.Alg == "table1" {
+			found = true
+		}
+	}
+	if !found && s.EventsDropped == 0 {
+		t.Error("no experiment event emitted")
+	}
+}

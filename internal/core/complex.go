@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/reward"
 	"repro/internal/vec"
@@ -66,6 +68,12 @@ type ComplexGreedy struct {
 	// Seed drives the Welzl shuffle only; the result is the exact ball
 	// regardless of its value.
 	Seed uint64
+	// Obs receives per-round telemetry: candidate-scan spans over the n
+	// seed walks, hill-climb steps (obs.CtrWalkSteps), and every
+	// enclosing-ball construction (obs.CtrSEBCalls and obs.EvSEB via
+	// package geom). It must be safe for concurrent use; the walks run in
+	// parallel.
+	Obs obs.Collector
 }
 
 // Name implements Algorithm.
@@ -87,11 +95,25 @@ func (a ComplexGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 	cands := make([]candidate, n)
 
 	for j := 0; j < k; j++ {
-		parallel.For(n, a.Workers, func(i int) {
+		rs := startRound(a.Obs, a.Name(), j+1)
+		if rs.active() {
+			rs.c.Emit(obs.Event{Type: obs.EvScanStart, Alg: a.Name(), Round: j + 1})
+		}
+		var steps int64
+		parallel.ForObs(n, a.Workers, a.Obs, func(i int) {
 			rng := xrand.New(a.Seed ^ (uint64(j)<<32 + uint64(i) + 0x9e37))
-			c, g := a.walk(in, y, i, rng)
+			c, g, st := a.walk(in, y, i, rng)
 			cands[i] = candidate{center: c, gain: g}
+			if rs.active() {
+				atomic.AddInt64(&steps, int64(st))
+			}
 		})
+		if rs.active() {
+			rs.c.Count(obs.CtrCandidates, int64(n))
+			rs.c.Count(obs.CtrWalkSteps, steps)
+			rs.c.Emit(obs.Event{Type: obs.EvScanEnd, Alg: a.Name(), Round: j + 1,
+				Fields: map[string]float64{"candidates": float64(n), "walk_steps": float64(steps)}})
+		}
 		best := 0
 		for i := 1; i < n; i++ {
 			if cands[i].gain > cands[best].gain {
@@ -103,16 +125,19 @@ func (a ComplexGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 		res.Centers = append(res.Centers, c)
 		res.Gains = append(res.Gains, gain)
 		res.Total += gain
+		rs.end(gain, map[string]float64{"walk_steps": float64(steps)})
 	}
 	return res, nil
 }
 
 // walk performs the new-center hill climb from seed point i against
-// residuals y and returns the best center found with its round gain.
-func (a ComplexGreedy) walk(in *reward.Instance, y []float64, seed int, rng *xrand.Rand) (vec.V, float64) {
+// residuals y and returns the best center found with its round gain and the
+// number of improving steps taken.
+func (a ComplexGreedy) walk(in *reward.Instance, y []float64, seed int, rng *xrand.Rand) (vec.V, float64, int) {
 	c := in.Set.Point(seed).Clone()
 	gain := in.RoundGain(c, y)
 	n := in.N()
+	steps := 0
 	const eps = 1e-12
 	for step := 0; step < n-1; step++ {
 		covered := in.CoveredIndices(c)
@@ -154,8 +179,9 @@ func (a ComplexGreedy) walk(in *reward.Instance, y []float64, seed int, rng *xra
 			break // no strictly improving move (paper step 5 "otherwise")
 		}
 		c, gain = bestC, bestG
+		steps++
 	}
-	return c, gain
+	return c, gain, steps
 }
 
 // ballCenter returns the center of the smallest disk covering the points at
@@ -180,7 +206,7 @@ func (a ComplexGreedy) ballCenter(in *reward.Instance, covered []int, extra int,
 	case a.Mode == BallExactLP && in.Norm.P() == 1:
 		b, err = geom.MinBallL1LP(pts)
 	default:
-		b, err = geom.EnclosingBall(in.Norm, pts, rng)
+		b, err = geom.EnclosingBallObs(in.Norm, pts, rng, a.Obs)
 	}
 	if err != nil {
 		return nil, false

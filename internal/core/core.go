@@ -20,9 +20,16 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/reward"
 	"repro/internal/vec"
 )
+
+// SumTolerance is the absolute tolerance used when comparing a sum of
+// per-round gains against a stored total. k rounds of IEEE summation over
+// well-scaled gains drift far less than this; a larger discrepancy means a
+// bookkeeping bug, not float error.
+const SumTolerance = 1e-6
 
 // Result is the outcome of running an algorithm: the k selected centers in
 // selection order, the per-round gains g(1..k), and their sum (the achieved
@@ -61,7 +68,7 @@ func (r *Result) Validate() error {
 		}
 		s += g
 	}
-	if diff := s - r.Total; diff > 1e-6 || diff < -1e-6 {
+	if diff := s - r.Total; diff > SumTolerance || diff < -SumTolerance {
 		return fmt.Errorf("core: gain sum %v != total %v", s, r.Total)
 	}
 	return nil
@@ -78,6 +85,81 @@ type Algorithm interface {
 
 // ErrNilInstance is returned when Run receives a nil instance.
 var ErrNilInstance = errors.New("core: nil instance")
+
+// Instrument returns a copy of alg with the telemetry collector attached.
+// Every algorithm in this package carries an optional Obs field; unknown
+// algorithms are returned unchanged. A SwapLocalSearch seed is instrumented
+// recursively so its rounds are traced too. Instrument only attaches the
+// collector to the algorithm itself; attach it to the instance with
+// reward.Instance.SetCollector to also count reward evaluations.
+func Instrument(a Algorithm, c obs.Collector) Algorithm {
+	if !obs.Active(c) {
+		return a
+	}
+	switch t := a.(type) {
+	case RoundBased:
+		t.Obs = c
+		return t
+	case LocalGreedy:
+		t.Obs = c
+		return t
+	case LazyGreedy:
+		t.Obs = c
+		return t
+	case SimpleGreedy:
+		t.Obs = c
+		return t
+	case ComplexGreedy:
+		t.Obs = c
+		return t
+	case SwapLocalSearch:
+		t.Obs = c
+		if t.Seed != nil {
+			t.Seed = Instrument(t.Seed, c)
+		}
+		return t
+	default:
+		return a
+	}
+}
+
+// roundScope bundles the shared per-round instrumentation all algorithms
+// emit: a round_start event on entry and a round_end event carrying the
+// gain, wall time, and any extra fields on exit.
+type roundScope struct {
+	c     obs.Collector
+	alg   string
+	round int
+	timer obs.Timer
+}
+
+// startRound opens an instrumented round scope. With an inactive collector
+// it returns an inert scope at zero cost beyond the branch.
+func startRound(c obs.Collector, alg string, round int) roundScope {
+	if !obs.Active(c) {
+		return roundScope{}
+	}
+	c.Emit(obs.Event{Type: obs.EvRoundStart, Alg: alg, Round: round})
+	return roundScope{c: c, alg: alg, round: round, timer: obs.StartTimer(c, obs.TimRound)}
+}
+
+// active reports whether the scope carries a live collector.
+func (rs roundScope) active() bool { return rs.c != nil }
+
+// end closes the scope, recording the round gain and wall time merged with
+// any extra fields (extra may be nil; it is not retained).
+func (rs roundScope) end(gain float64, extra map[string]float64) {
+	if rs.c == nil {
+		return
+	}
+	ns := rs.timer.Stop()
+	fields := map[string]float64{"gain": gain, "wall_ns": float64(ns)}
+	for k, v := range extra {
+		fields[k] = v
+	}
+	rs.c.Count(obs.CtrRounds, 1)
+	rs.c.Emit(obs.Event{Type: obs.EvRoundEnd, Alg: rs.alg, Round: rs.round, Fields: fields})
+}
 
 // checkArgs validates the shared Run preconditions.
 func checkArgs(in *reward.Instance, k int) error {

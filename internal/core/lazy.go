@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 
+	"repro/internal/obs"
 	"repro/internal/reward"
 )
 
@@ -15,7 +16,13 @@ import (
 // they reach the top. The selected centers, per-round gains, and tie-breaks
 // are bit-identical to LocalGreedy; only the number of gain evaluations
 // changes (often O(n log n)-ish total instead of O(kn²) at large n).
-type LazyGreedy struct{}
+type LazyGreedy struct {
+	// Obs receives per-round telemetry, including the number of stale
+	// heap entries re-evaluated per round (obs.CtrLazyRepops) — the
+	// number that quantifies how many evaluations laziness saved versus
+	// LocalGreedy's n per round.
+	Obs obs.Collector
+}
 
 // Name implements Algorithm. The name reflects equivalence to Algorithm 2.
 func (LazyGreedy) Name() string { return "greedy2-lazy" }
@@ -68,13 +75,16 @@ func (a LazyGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 	heap.Init(&h)
 
 	for j := 0; j < k; j++ {
+		rs := startRound(a.Obs, a.Name(), j+1)
 		// Refresh stale tops until the best entry's bound is current for
 		// this round; bounds only shrink, so once the top is fresh no
 		// stale entry below can beat it.
+		repops := 0
 		for h[0].round != j {
 			h[0].bound = in.RoundGain(in.Set.Point(h[0].idx), y)
 			h[0].round = j
 			heap.Fix(&h, 0)
+			repops++
 		}
 		best := h[0]
 		c := in.Set.Point(best.idx).Clone()
@@ -84,6 +94,20 @@ func (a LazyGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 		res.Total += gain
 		// The chosen entry's bound is now stale for the next round; it is
 		// refreshed like any other candidate when it resurfaces.
+		if rs.active() {
+			// Round 0 charges the n initial exact evaluations; later
+			// rounds only the re-pops actually performed.
+			evals := repops
+			if j == 0 {
+				evals += n
+			}
+			rs.c.Count(obs.CtrLazyRepops, int64(repops))
+			rs.c.Count(obs.CtrCandidates, int64(evals))
+			rs.end(gain, map[string]float64{
+				"repops":     float64(repops),
+				"candidates": float64(evals),
+			})
+		}
 	}
 	return res, nil
 }

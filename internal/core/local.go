@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/reward"
 	"repro/internal/vec"
@@ -15,6 +16,9 @@ import (
 type LocalGreedy struct {
 	// Workers bounds the candidate-scan parallelism; <= 0 uses all CPUs.
 	Workers int
+	// Obs receives per-round and per-scan telemetry; nil runs
+	// uninstrumented.
+	Obs obs.Collector
 }
 
 // Name implements Algorithm.
@@ -29,14 +33,24 @@ func (a LocalGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 	y := in.NewResiduals()
 	res := &Result{Algorithm: a.Name()}
 	for j := 0; j < k; j++ {
-		idx, _ := parallel.ArgmaxFloat(n, a.Workers, func(i int) float64 {
+		rs := startRound(a.Obs, a.Name(), j+1)
+		if rs.active() {
+			rs.c.Emit(obs.Event{Type: obs.EvScanStart, Alg: a.Name(), Round: j + 1})
+		}
+		idx, _ := parallel.ArgmaxFloatObs(n, a.Workers, a.Obs, func(i int) float64 {
 			return in.RoundGain(in.Set.Point(i), y)
 		})
+		if rs.active() {
+			rs.c.Count(obs.CtrCandidates, int64(n))
+			rs.c.Emit(obs.Event{Type: obs.EvScanEnd, Alg: a.Name(), Round: j + 1,
+				Fields: map[string]float64{"candidates": float64(n)}})
+		}
 		c := in.Set.Point(idx).Clone()
 		gain, _ := in.ApplyRound(c, y)
 		res.Centers = append(res.Centers, c)
 		res.Gains = append(res.Gains, gain)
 		res.Total += gain
+		rs.end(gain, map[string]float64{"candidates": float64(n)})
 	}
 	return res, nil
 }

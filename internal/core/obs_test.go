@@ -1,0 +1,219 @@
+// Package core_test (external) because the instrumentation tests need
+// package optimize for greedy1's inner solver, and optimize imports core.
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/obs"
+	"repro/internal/optimize"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func obsInstance(t *testing.T, n int) *reward.Instance {
+	t.Helper()
+	set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := reward.NewInstance(set, norm.L2{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// roundEvents extracts the round_end events for alg in order.
+func roundEvents(s obs.Snapshot, alg string) []obs.Event {
+	var out []obs.Event
+	for _, e := range s.Events {
+		if e.Type == obs.EvRoundEnd && e.Alg == alg {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestInstrumentedAlgorithmsEmitRounds runs every algorithm with a live
+// collector and checks the shared contract: k round_end events whose gains
+// match Result.Gains, a positive rounds counter, and unchanged results
+// relative to the uninstrumented run.
+func TestInstrumentedAlgorithmsEmitRounds(t *testing.T) {
+	in := obsInstance(t, 30)
+	const k = 3
+	algs := []core.Algorithm{
+		core.RoundBased{Solver: optimize.Multistart{Workers: 1}},
+		core.LocalGreedy{Workers: 1},
+		core.LazyGreedy{},
+		core.SimpleGreedy{},
+		core.ComplexGreedy{Workers: 1},
+		core.SwapLocalSearch{},
+	}
+	for _, bare := range algs {
+		bare := bare
+		t.Run(bare.Name(), func(t *testing.T) {
+			plain, err := bare.Run(in, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := obs.NewMetrics()
+			inst := core.Instrument(bare, m)
+			res, err := inst.Run(in, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Total != plain.Total {
+				t.Errorf("instrumentation changed the result: %v != %v", res.Total, plain.Total)
+			}
+			s := m.Snapshot()
+			rounds := roundEvents(s, bare.Name())
+			if len(rounds) != k {
+				t.Fatalf("%d round_end events, want %d", len(rounds), k)
+			}
+			for j, e := range rounds {
+				if e.Round != j+1 {
+					t.Errorf("round %d event numbered %d", j+1, e.Round)
+				}
+				if e.Fields["gain"] != res.Gains[j] {
+					t.Errorf("round %d event gain %v != result gain %v", j+1, e.Fields["gain"], res.Gains[j])
+				}
+				if e.Fields["wall_ns"] < 0 {
+					t.Errorf("round %d negative wall time", j+1)
+				}
+			}
+			if s.Counters[obs.CtrRounds] != k {
+				t.Errorf("rounds counter = %d, want %d", s.Counters[obs.CtrRounds], k)
+			}
+		})
+	}
+}
+
+// TestLazyRepopsBelowFullScan checks the claim the telemetry exists to
+// verify: LazyGreedy's evaluations after round 1 are fewer than
+// LocalGreedy's full n-per-round rescans on a non-trivial instance.
+func TestLazyRepopsBelowFullScan(t *testing.T) {
+	in := obsInstance(t, 120)
+	const k = 6
+	m := obs.NewMetrics()
+	if _, err := core.Instrument(core.LazyGreedy{}, m).Run(in, k); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	repops := s.Counters[obs.CtrLazyRepops]
+	full := int64(120 * (k - 1)) // what LocalGreedy would re-evaluate after round 1
+	if repops >= full {
+		t.Errorf("lazy repops %d not below full rescan %d", repops, full)
+	}
+	// Total candidate evaluations = n (initial) + repops.
+	if got := s.Counters[obs.CtrCandidates]; got != 120+repops {
+		t.Errorf("candidates counter %d != n + repops %d", got, 120+repops)
+	}
+}
+
+// TestInstrumentedInstanceCountsRewardEvals wires the collector into the
+// instance and checks gain-evaluation accounting for greedy2: exactly n
+// RoundGain calls per round plus one ApplyRound per round.
+func TestInstrumentedInstanceCountsRewardEvals(t *testing.T) {
+	in := obsInstance(t, 25)
+	const k = 2
+	m := obs.NewMetrics()
+	in.SetCollector(m)
+	defer in.SetCollector(nil)
+	if _, err := core.Instrument(core.LocalGreedy{Workers: 1}, m).Run(in, k); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if got := s.Counters[obs.CtrGainEvals]; got != 25*k {
+		t.Errorf("gain evals = %d, want %d", got, 25*k)
+	}
+	if got := s.Counters[obs.CtrApplyRounds]; got != k {
+		t.Errorf("apply rounds = %d, want %d", got, k)
+	}
+}
+
+// TestComplexGreedySEBTelemetry checks that greedy4 reports its
+// enclosing-ball constructions and walk steps.
+func TestComplexGreedySEBTelemetry(t *testing.T) {
+	in := obsInstance(t, 25)
+	m := obs.NewMetrics()
+	if _, err := core.Instrument(core.ComplexGreedy{Workers: 1}, m).Run(in, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Counters[obs.CtrSEBCalls] < 1 {
+		t.Error("no SEB calls recorded")
+	}
+	if s.Histograms[obs.ObsSEBPoints].Count < 1 {
+		t.Error("no SEB point-count samples recorded")
+	}
+	sawSEB := false
+	for _, e := range s.Events {
+		if e.Type == obs.EvSEB {
+			sawSEB = true
+			if e.Fields["points"] < 1 {
+				t.Errorf("seb event without points field: %+v", e)
+			}
+			break
+		}
+	}
+	if !sawSEB && s.EventsDropped == 0 {
+		t.Error("no seb events recorded")
+	}
+}
+
+// TestInstrumentPreservesBehavior checks Instrument is a no-op for inactive
+// collectors and recursively instruments swap seeds.
+func TestInstrumentPreservesBehavior(t *testing.T) {
+	if a := core.Instrument(core.SimpleGreedy{}, nil); a.(core.SimpleGreedy).Obs != nil {
+		t.Error("core.Instrument(nil) attached a collector")
+	}
+	m := obs.NewMetrics()
+	sw := core.Instrument(core.SwapLocalSearch{Seed: core.LazyGreedy{}}, m).(core.SwapLocalSearch)
+	if sw.Obs == nil {
+		t.Error("swap not instrumented")
+	}
+	if sw.Seed.(core.LazyGreedy).Obs == nil {
+		t.Error("swap seed not instrumented")
+	}
+	in := obsInstance(t, 20)
+	res, err := sw.Run(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roundEvents(m.Snapshot(), "greedy2-lazy")) == 0 {
+		t.Error("seed rounds not traced")
+	}
+	if err := res.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateToleranceBoundary pins the shared core.SumTolerance constant: a
+// discrepancy just inside it passes, just outside fails.
+func TestValidateToleranceBoundary(t *testing.T) {
+	mk := func(totalDelta float64) *core.Result {
+		return &core.Result{
+			Algorithm: "x",
+			Centers:   []vec.V{vec.Of(0, 0), vec.Of(1, 1)},
+			Gains:     []float64{1, 2},
+			Total:     3 + totalDelta,
+		}
+	}
+	if err := mk(core.SumTolerance / 2).Validate(); err != nil {
+		t.Errorf("delta inside tolerance rejected: %v", err)
+	}
+	if err := mk(-core.SumTolerance / 2).Validate(); err != nil {
+		t.Errorf("negative delta inside tolerance rejected: %v", err)
+	}
+	if err := mk(core.SumTolerance * 2).Validate(); err == nil {
+		t.Error("delta outside tolerance accepted")
+	}
+	if err := mk(-core.SumTolerance * 2).Validate(); err == nil {
+		t.Error("negative delta outside tolerance accepted")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"repro/internal/obs"
 	"repro/internal/reward"
 	"repro/internal/vec"
 )
@@ -26,6 +27,9 @@ type InnerSolver interface {
 // the Theorem-1 ratio 1 − (1 − 1/k)^k ≥ 1 − 1/e.
 type RoundBased struct {
 	Solver InnerSolver
+	// Obs receives per-round telemetry, including one obs.EvInnerSolve
+	// event per continuous-solver invocation with its wall time.
+	Obs obs.Collector
 }
 
 // Name implements Algorithm.
@@ -42,14 +46,22 @@ func (a RoundBased) Run(in *reward.Instance, k int) (*Result, error) {
 	y := in.NewResiduals()
 	res := &Result{Algorithm: a.Name()}
 	for j := 0; j < k; j++ {
+		rs := startRound(a.Obs, a.Name(), j+1)
+		st := obs.StartTimer(a.Obs, obs.TimInnerSolve)
 		c, err := a.Solver.Solve(in, y)
 		if err != nil {
 			return nil, err
+		}
+		solveNS := st.Stop()
+		if rs.active() {
+			rs.c.Emit(obs.Event{Type: obs.EvInnerSolve, Alg: a.Name(), Round: j + 1,
+				Fields: map[string]float64{"wall_ns": float64(solveNS)}})
 		}
 		gain, _ := in.ApplyRound(c, y)
 		res.Centers = append(res.Centers, c.Clone())
 		res.Gains = append(res.Gains, gain)
 		res.Total += gain
+		rs.end(gain, map[string]float64{"solve_ns": float64(solveNS)})
 	}
 	return res, nil
 }

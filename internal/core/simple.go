@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/reward"
 )
 
@@ -8,7 +9,10 @@ import (
 // the disk on the point with the largest remaining single-point reward
 // w_i·y_i (ties toward the lowest index) and then collects the coverage
 // reward that center yields. Complexity O(kn) (Theorem 3).
-type SimpleGreedy struct{}
+type SimpleGreedy struct {
+	// Obs receives per-round telemetry; nil runs uninstrumented.
+	Obs obs.Collector
+}
 
 // Name implements Algorithm.
 func (SimpleGreedy) Name() string { return "greedy3" }
@@ -22,6 +26,7 @@ func (a SimpleGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 	y := in.NewResiduals()
 	res := &Result{Algorithm: a.Name()}
 	for j := 0; j < k; j++ {
+		rs := startRound(a.Obs, a.Name(), j+1)
 		// argmax_i w_i·y_i^j with index tie-break (line 3 of Algorithm 3).
 		best, bestVal := 0, in.Set.Weight(0)*y[0]
 		for i := 1; i < n; i++ {
@@ -34,6 +39,10 @@ func (a SimpleGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 		res.Centers = append(res.Centers, c)
 		res.Gains = append(res.Gains, gain)
 		res.Total += gain
+		if rs.active() {
+			rs.c.Count(obs.CtrCandidates, int64(n))
+			rs.end(gain, map[string]float64{"candidates": float64(n)})
+		}
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"repro/internal/obs"
 	"repro/internal/reward"
 	"repro/internal/vec"
 )
@@ -20,6 +21,11 @@ type SwapLocalSearch struct {
 	// MaxPasses bounds full sweeps over (center, candidate) pairs
 	// (default 10; each pass is O(k·n) objective evaluations of O(kn)).
 	MaxPasses int
+	// Obs receives telemetry: one obs.EvSwapPass event per sweep, swap
+	// evaluations (obs.CtrSwapEvals), and round events for the final
+	// gain re-derivation. Use core.Instrument to attach it to the seed
+	// algorithm as well.
+	Obs obs.Collector
 }
 
 // Name implements Algorithm.
@@ -50,9 +56,11 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 	}
 	best := eval.Objective()
 
+	active := obs.Active(s.Obs)
 	n := in.N()
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
+		evals := 0
 		for j := 0; j < eval.K(); j++ {
 			// Best replacement for slot j among all data points.
 			bestSwap := vec.V(nil)
@@ -67,6 +75,7 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 					bestSwap = in.Set.Point(i)
 				}
 			}
+			evals += n
 			if bestSwap != nil {
 				if err := eval.Replace(j, bestSwap); err != nil {
 					return nil, err
@@ -74,6 +83,19 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 				best = bestVal
 				improved = true
 			}
+		}
+		if active {
+			s.Obs.Count(obs.CtrSwapPasses, 1)
+			s.Obs.Count(obs.CtrSwapEvals, int64(evals))
+			improvedF := 0.0
+			if improved {
+				improvedF = 1
+			}
+			s.Obs.Emit(obs.Event{Type: obs.EvSwapPass, Alg: s.Name(), Fields: map[string]float64{
+				"pass":      float64(pass + 1),
+				"improved":  improvedF,
+				"objective": best,
+			}})
 		}
 		if !improved {
 			break
@@ -84,11 +106,13 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 	// Re-derive per-round gains by committing the final centers in order.
 	y := in.NewResiduals()
 	res := &Result{Algorithm: s.Name()}
-	for _, c := range centers {
+	for j, c := range centers {
+		rs := startRound(s.Obs, s.Name(), j+1)
 		gain, _ := in.ApplyRound(c, y)
 		res.Centers = append(res.Centers, c)
 		res.Gains = append(res.Gains, gain)
 		res.Total += gain
+		rs.end(gain, nil)
 	}
 	if res.Total < init.Total-1e-9 {
 		return nil, errors.New("core: swap search regressed below its seed (internal error)")

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/norm"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/pointset"
 	"repro/internal/report"
@@ -30,6 +31,10 @@ type RunConfig struct {
 	// Quick shrinks the run for smoke tests: 1 trial, no candidate
 	// enrichment, no polishing.
 	Quick bool
+	// Obs receives telemetry from instrumented stages; nil (the default)
+	// runs uninstrumented. Drivers attach it to the algorithms they run
+	// via Algorithms / core.Instrument.
+	Obs obs.Collector
 }
 
 func (c RunConfig) trials() int {
@@ -131,14 +136,19 @@ func ByID(id string) (Experiment, error) {
 }
 
 // Algorithms under test, in the paper's naming. greedy1 is the round-based
-// heuristic with the multistart inner solver (DESIGN.md §3.1).
-func paperAlgorithms(workers int) []core.Algorithm {
-	return []core.Algorithm{
+// heuristic with the multistart inner solver (DESIGN.md §3.1). A live
+// cfg.Obs collector is attached to every algorithm.
+func paperAlgorithms(cfg RunConfig) []core.Algorithm {
+	algs := []core.Algorithm{
 		core.RoundBased{Solver: optimize.Multistart{Workers: 1}},
 		core.LocalGreedy{Workers: 1},
 		core.SimpleGreedy{},
 		core.ComplexGreedy{Workers: 1},
 	}
+	for i, a := range algs {
+		algs[i] = core.Instrument(a, cfg.Obs)
+	}
+	return algs
 }
 
 // configGrid is the paper's (k, r) sweep: "different number of centers

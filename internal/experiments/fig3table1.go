@@ -26,15 +26,15 @@ func fig3Instance(cfg RunConfig) (*core.Result, *core.Result, *core.Result, *poi
 		return nil, nil, nil, nil, err
 	}
 	const k = 4
-	r2, err := core.LocalGreedy{Workers: 1}.Run(in, k)
+	r2, err := core.Instrument(core.LocalGreedy{Workers: 1}, cfg.Obs).Run(in, k)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	r3, err := core.SimpleGreedy{}.Run(in, k)
+	r3, err := core.Instrument(core.SimpleGreedy{}, cfg.Obs).Run(in, k)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	r4, err := core.ComplexGreedy{Workers: 1}.Run(in, k)
+	r4, err := core.Instrument(core.ComplexGreedy{Workers: 1}, cfg.Obs).Run(in, k)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

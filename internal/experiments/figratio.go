@@ -110,7 +110,7 @@ func ratioCell(cfg RunConfig, n int, c kr, nm norm.Norm, scheme pointset.WeightS
 			// fraction of the strongest solution found (DESIGN.md §3.2).
 			totals := map[string]float64{}
 			best := ex.Total
-			for _, alg := range paperAlgorithms(cfg.Workers) {
+			for _, alg := range paperAlgorithms(cfg) {
 				r, err := alg.Run(in, c.K)
 				if err != nil {
 					return nil, err

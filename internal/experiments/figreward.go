@@ -45,7 +45,7 @@ func figReward(id string, scheme pointset.WeightScheme) func(RunConfig) (*Output
 							return nil, err
 						}
 						metrics := map[string]float64{"maxreward": set.TotalWeight()}
-						for _, alg := range paperAlgorithms(cfg.Workers) {
+						for _, alg := range paperAlgorithms(cfg) {
 							r, err := alg.Run(in, c.K)
 							if err != nil {
 								return nil, err

@@ -22,7 +22,7 @@ func RunKCurve(cfg RunConfig) (*Output, error) {
 		r    = 1.0
 		kMax = 8
 	)
-	algs := paperAlgorithms(cfg.Workers)
+	algs := paperAlgorithms(cfg)
 	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xc0e,
 		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
 			set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)

@@ -25,7 +25,7 @@ func RunRadiusCurve(cfg RunConfig) (*Output, error) {
 	if cfg.Quick {
 		radii = []float64{0.5, 1, 2}
 	}
-	algs := paperAlgorithms(cfg.Workers)
+	algs := paperAlgorithms(cfg)
 	fig := &report.Figure{
 		ID:     "radiuscurve",
 		Title:  fmt.Sprintf("total reward vs radius (n=%d, k=%d, 2-norm, random weights)", n, k),
@@ -98,7 +98,7 @@ func RunWeightSkew(cfg RunConfig) (*Output, error) {
 	if cfg.Quick {
 		maxWeights = []int{1, 5}
 	}
-	algs := paperAlgorithms(cfg.Workers)
+	algs := paperAlgorithms(cfg)
 	tb := report.NewTable(fmt.Sprintf("fraction of Σw captured vs weight skew (n=%d, k=%d, r=%g, 2-norm)", n, k, r),
 		"weights 1..W", "greedy1", "greedy2", "greedy3", "greedy4")
 	for wi, maxW := range maxWeights {

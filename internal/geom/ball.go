@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/norm"
+	"repro/internal/obs"
 	"repro/internal/vec"
 	"repro/internal/xrand"
 )
@@ -36,6 +37,13 @@ var ErrNoPoints = errors.New("geom: enclosing ball of empty point set")
 // used only for the initial shuffle; passing the same generator state yields
 // the same (unique) ball.
 func MinBall2(points []vec.V, rng *xrand.Rand) (Ball, error) {
+	return MinBall2Obs(points, rng, nil)
+}
+
+// MinBall2Obs is MinBall2 with telemetry: a live collector records the call
+// (obs.CtrSEBCalls), the input size (obs.ObsSEBPoints), the maximum Welzl
+// recursion depth reached (obs.ObsSEBDepth), and one obs.EvSEB event.
+func MinBall2Obs(points []vec.V, rng *xrand.Rand, c obs.Collector) (Ball, error) {
 	if len(points) == 0 {
 		return Ball{}, ErrNoPoints
 	}
@@ -57,16 +65,33 @@ func MinBall2(points []vec.V, rng *xrand.Rand) (Ball, error) {
 	}
 	w := welzl{dim: dim}
 	b := w.run(pts, nil)
+	if obs.Active(c) {
+		c.Count(obs.CtrSEBCalls, 1)
+		c.Observe(obs.ObsSEBPoints, float64(len(points)))
+		c.Observe(obs.ObsSEBDepth, float64(w.maxDepth))
+		c.Emit(obs.Event{Type: obs.EvSEB, Fields: map[string]float64{
+			"points": float64(len(points)),
+			"depth":  float64(w.maxDepth),
+			"radius": b.Radius,
+		}})
+	}
 	return b, nil
 }
 
 type welzl struct {
-	dim int
+	dim      int
+	depth    int
+	maxDepth int
 }
 
 // run computes the minimal ball of pts with the points in boundary forced
 // onto the sphere. boundary never exceeds dim+1 points.
 func (w *welzl) run(pts []vec.V, boundary []vec.V) Ball {
+	w.depth++
+	if w.depth > w.maxDepth {
+		w.maxDepth = w.depth
+	}
+	defer func() { w.depth-- }()
 	if len(pts) == 0 || len(boundary) == w.dim+1 {
 		return circumball(boundary)
 	}
@@ -236,6 +261,13 @@ func MinBallL1in2D(points []vec.V) (Ball, error) {
 // when the dimension is large enough that exact Welzl support solving becomes
 // the bottleneck.
 func ApproxMinBall2(points []vec.V, eps float64) (Ball, error) {
+	return ApproxMinBall2Obs(points, eps, nil)
+}
+
+// ApproxMinBall2Obs is ApproxMinBall2 with telemetry: a live collector
+// records the call (obs.CtrSEBCalls) and the number of core-set iterations
+// performed (obs.ObsCoresetIters).
+func ApproxMinBall2Obs(points []vec.V, eps float64, col obs.Collector) (Ball, error) {
 	if len(points) == 0 {
 		return Ball{}, ErrNoPoints
 	}
@@ -263,6 +295,10 @@ func ApproxMinBall2(points []vec.V, eps float64) (Ball, error) {
 			r = d
 		}
 	}
+	if obs.Active(col) {
+		col.Count(obs.CtrSEBCalls, 1)
+		col.Observe(obs.ObsCoresetIters, float64(iters))
+	}
 	return Ball{Center: c, Radius: r}, nil
 }
 
@@ -271,20 +307,38 @@ func ApproxMinBall2(points []vec.V, eps float64) (Ball, error) {
 // 2-D, the exact bounding box for the ∞-norm, and the paper's projection
 // heuristic otherwise (valid but possibly non-minimal).
 func EnclosingBall(n norm.Norm, points []vec.V, rng *xrand.Rand) (Ball, error) {
+	return EnclosingBallObs(n, points, rng, nil)
+}
+
+// EnclosingBallObs is EnclosingBall with telemetry. The Welzl path records
+// its recursion depth via MinBall2Obs; the closed-form constructions record
+// the call and input size (depth is meaningless for them and omitted).
+func EnclosingBallObs(n norm.Norm, points []vec.V, rng *xrand.Rand, c obs.Collector) (Ball, error) {
 	if len(points) == 0 {
 		return Ball{}, ErrNoPoints
 	}
+	count := func(b Ball, err error) (Ball, error) {
+		if err == nil && obs.Active(c) {
+			c.Count(obs.CtrSEBCalls, 1)
+			c.Observe(obs.ObsSEBPoints, float64(len(points)))
+			c.Emit(obs.Event{Type: obs.EvSEB, Fields: map[string]float64{
+				"points": float64(len(points)),
+				"radius": b.Radius,
+			}})
+		}
+		return b, err
+	}
 	switch nn := n.(type) {
 	case norm.L2:
-		return MinBall2(points, rng)
+		return MinBall2Obs(points, rng, c)
 	case norm.L1:
 		if points[0].Dim() == 2 {
-			return MinBallL1in2D(points)
+			return count(MinBallL1in2D(points))
 		}
-		return ProjectionBall(nn, points)
+		return count(ProjectionBall(nn, points))
 	case norm.LInf:
-		return ChebyshevBall(points)
+		return count(ChebyshevBall(points))
 	default:
-		return ProjectionBall(n, points)
+		return count(ProjectionBall(n, points))
 	}
 }

@@ -1,0 +1,108 @@
+package obs
+
+import "math"
+
+// histBuckets is the shared geometric bucket ladder: powers of two from 1
+// up to 2^49 (~6.5 days in nanoseconds, ~10^14 for unitless samples). One
+// ladder for every histogram keeps the implementation bounded and makes
+// snapshots from different runs directly comparable.
+const histBuckets = 50
+
+// Histogram is a bounded histogram over non-negative samples: counts per
+// power-of-two bucket plus exact count, sum, min, and max. Negative or NaN
+// samples are counted but excluded from the buckets. It is not
+// goroutine-safe on its own; Metrics serializes access.
+type Histogram struct {
+	counts  [histBuckets + 1]uint64 // counts[i]: sample in [2^(i-1), 2^i); last = overflow
+	n       uint64
+	sum     float64
+	min     float64
+	max     float64
+	invalid uint64 // NaN or negative samples
+}
+
+// bucketIndex maps a sample to its ladder rung: 0 holds (0, 1], rung i
+// holds (2^(i-1), 2^i], and the final rung collects overflow.
+func bucketIndex(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(v)))
+	if i >= histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		h.invalid++
+		return
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.counts[bucketIndex(v)]++
+}
+
+// N reports the number of valid samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// quantile returns the upper bound of the bucket containing the q-th
+// sample (0 < q ≤ 1) — an upper estimate accurate to one bucket.
+func (h *Histogram) quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			if i >= histBuckets {
+				return h.max
+			}
+			ub := math.Pow(2, float64(i))
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// HistSnapshot is the exported summary of a Histogram.
+type HistSnapshot struct {
+	Count   uint64  `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Invalid uint64  `json:"invalid,omitempty"`
+}
+
+// Snapshot summarizes the histogram. Quantiles are bucket upper bounds
+// (within a factor of two of the true sample quantile).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.n, Sum: h.sum, Min: h.min, Max: h.max, Invalid: h.invalid}
+	if h.n > 0 {
+		s.Mean = h.sum / float64(h.n)
+		s.P50 = h.quantile(0.50)
+		s.P90 = h.quantile(0.90)
+		s.P99 = h.quantile(0.99)
+	}
+	return s
+}

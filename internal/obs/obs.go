@@ -1,0 +1,224 @@
+// Package obs is the repository's zero-dependency telemetry layer: a
+// Collector interface over counters, gauges, nanosecond timers, and bounded
+// histograms, plus a structured event stream with monotonic timestamps.
+//
+// The solver packages (core, parallel, reward, geom) accept an optional
+// Collector; a nil or Nop collector makes every instrumentation site either
+// a skipped branch or a no-op interface call, so uninstrumented runs pay
+// essentially nothing. Live collectors are provided by this package too:
+// Metrics aggregates counters/gauges/timers/histograms and exports a JSON
+// Snapshot, and Sink streams every event as one JSON line (JSONL). Multi
+// fans out to several collectors at once.
+//
+// Metric names are dotted strings namespaced by the package that emits them
+// ("core.", "reward.", "parallel.", "geom.", "bench."); the canonical names
+// are the Ctr*/Tim*/Obs* constants below so that producers and dashboards
+// cannot drift apart.
+package obs
+
+import "time"
+
+// Collector receives telemetry from instrumented code. Implementations must
+// be safe for concurrent use: the candidate scans and per-seed walks emit
+// from many goroutines.
+type Collector interface {
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// Gauge sets the named gauge to its most recent value.
+	Gauge(name string, v float64)
+	// Observe records one sample into the named bounded histogram.
+	Observe(name string, v float64)
+	// TimeNS records one nanosecond duration sample under the named timer.
+	TimeNS(name string, ns int64)
+	// Emit records a structured event. Implementations stamp e.TNS with a
+	// monotonic nanosecond timestamp when it is zero.
+	Emit(e Event)
+}
+
+// Event is one entry of the structured trace. TNS is nanoseconds since the
+// collector was created, taken from the monotonic clock, so events from one
+// run are totally ordered and immune to wall-clock steps.
+type Event struct {
+	TNS    int64              `json:"t_ns"`
+	Type   string             `json:"type"`
+	Alg    string             `json:"alg,omitempty"`
+	Round  int                `json:"round,omitempty"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// Event types emitted by the instrumented solver packages.
+const (
+	// EvRoundStart / EvRoundEnd bracket one greedy round. EvRoundEnd
+	// carries at least "gain" and "wall_ns".
+	EvRoundStart = "round_start"
+	EvRoundEnd   = "round_end"
+	// EvScanStart / EvScanEnd bracket one candidate scan (the argmax over
+	// data points inside a round). EvScanEnd carries "candidates".
+	EvScanStart = "scan_start"
+	EvScanEnd   = "scan_end"
+	// EvSEB records one smallest-enclosing-ball construction with
+	// "points" and, for the Welzl recursion, "depth".
+	EvSEB = "seb"
+	// EvInnerSolve records one continuous inner-solver invocation of
+	// Algorithm 1 with "wall_ns".
+	EvInnerSolve = "inner_solve"
+	// EvSwapPass records one full sweep of the swap local search with
+	// "pass", "improved" (0/1), and "objective".
+	EvSwapPass = "swap_pass"
+	// EvExperiment records one cdbench experiment with "wall_ns".
+	EvExperiment = "experiment"
+)
+
+// Canonical metric names.
+const (
+	CtrRounds     = "core.rounds"
+	CtrCandidates = "core.candidates_evaluated"
+	CtrLazyRepops = "core.lazy_heap_repops"
+	CtrWalkSteps  = "core.walk_steps"
+	CtrSwapEvals  = "core.swap_evals"
+	CtrSwapPasses = "core.swap_passes"
+	TimRound      = "core.round_ns"
+	TimInnerSolve = "core.inner_solve_ns"
+
+	CtrGainEvals      = "reward.gain_evals"
+	CtrApplyRounds    = "reward.apply_rounds"
+	CtrObjectiveEvals = "reward.objective_evals"
+
+	CtrParTasks     = "parallel.tasks"
+	CtrParChunks    = "parallel.chunks"
+	TimWorkerBusy   = "parallel.worker_busy_ns"
+	GaugeParWorkers = "parallel.workers"
+
+	CtrSEBCalls     = "geom.seb_calls"
+	ObsSEBPoints    = "geom.seb_points"
+	ObsSEBDepth     = "geom.seb_depth"
+	ObsCoresetIters = "geom.coreset_iters"
+
+	CtrExperiments = "bench.experiments"
+	TimExperiment  = "bench.experiment_ns"
+)
+
+// Nop is the default collector: every method does nothing. Instrumented
+// code treats it (and nil) as "telemetry off" via Active.
+type Nop struct{}
+
+// Count implements Collector.
+func (Nop) Count(string, int64) {}
+
+// Gauge implements Collector.
+func (Nop) Gauge(string, float64) {}
+
+// Observe implements Collector.
+func (Nop) Observe(string, float64) {}
+
+// TimeNS implements Collector.
+func (Nop) TimeNS(string, int64) {}
+
+// Emit implements Collector.
+func (Nop) Emit(Event) {}
+
+// OrNop returns c, or Nop when c is nil, so call sites never need a nil
+// check before an interface call.
+func OrNop(c Collector) Collector {
+	if c == nil {
+		return Nop{}
+	}
+	return c
+}
+
+// Active reports whether c is a live collector. Hot paths branch on this to
+// skip event construction and clock reads entirely when telemetry is off.
+func Active(c Collector) bool {
+	if c == nil {
+		return false
+	}
+	_, nop := c.(Nop)
+	return !nop
+}
+
+// Timer measures one span on the monotonic clock and reports it to a
+// collector as a TimeNS sample. The zero Timer (from StartTimer with an
+// inactive collector) costs nothing and Stops to zero.
+type Timer struct {
+	c     Collector
+	name  string
+	start time.Time
+}
+
+// StartTimer begins a span. With an inactive collector it returns the zero
+// Timer without reading the clock.
+func StartTimer(c Collector, name string) Timer {
+	if !Active(c) {
+		return Timer{}
+	}
+	return Timer{c: c, name: name, start: time.Now()}
+}
+
+// Stop ends the span, records it, and returns the elapsed nanoseconds.
+func (t Timer) Stop() int64 {
+	if t.c == nil {
+		return 0
+	}
+	ns := time.Since(t.start).Nanoseconds()
+	t.c.TimeNS(t.name, ns)
+	return ns
+}
+
+// multi fans every call out to each member.
+type multi []Collector
+
+// Multi combines collectors: every Count/Gauge/Observe/TimeNS/Emit is
+// forwarded to each live argument. Nil and Nop members are dropped; if none
+// remain, Multi returns Nop{}. A single survivor is returned unwrapped.
+func Multi(cs ...Collector) Collector {
+	var live multi
+	for _, c := range cs {
+		if Active(c) {
+			live = append(live, c)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop{}
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// Count implements Collector.
+func (m multi) Count(name string, delta int64) {
+	for _, c := range m {
+		c.Count(name, delta)
+	}
+}
+
+// Gauge implements Collector.
+func (m multi) Gauge(name string, v float64) {
+	for _, c := range m {
+		c.Gauge(name, v)
+	}
+}
+
+// Observe implements Collector.
+func (m multi) Observe(name string, v float64) {
+	for _, c := range m {
+		c.Observe(name, v)
+	}
+}
+
+// TimeNS implements Collector.
+func (m multi) TimeNS(name string, ns int64) {
+	for _, c := range m {
+		c.TimeNS(name, ns)
+	}
+}
+
+// Emit implements Collector. Each member stamps TNS against its own clock
+// base, so the same event may carry slightly different timestamps in
+// different outputs; within any one output the ordering is monotonic.
+func (m multi) Emit(e Event) {
+	for _, c := range m {
+		c.Emit(e)
+	}
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNopAndActive(t *testing.T) {
+	if Active(nil) {
+		t.Error("nil collector active")
+	}
+	if Active(Nop{}) {
+		t.Error("Nop active")
+	}
+	if !Active(NewMetrics()) {
+		t.Error("Metrics not active")
+	}
+	if _, ok := OrNop(nil).(Nop); !ok {
+		t.Error("OrNop(nil) not Nop")
+	}
+	m := NewMetrics()
+	if OrNop(m) != Collector(m) {
+		t.Error("OrNop(live) did not pass through")
+	}
+	// The zero Timer from an inactive collector must be a no-op.
+	tm := StartTimer(nil, TimRound)
+	if ns := tm.Stop(); ns != 0 {
+		t.Errorf("inactive timer measured %d ns", ns)
+	}
+}
+
+func TestMetricsCountersGaugesTimers(t *testing.T) {
+	m := NewMetrics()
+	m.Count(CtrRounds, 2)
+	m.Count(CtrRounds, 3)
+	m.Count(CtrGainEvals, 7)
+	m.Gauge(GaugeParWorkers, 8)
+	m.Observe(ObsSEBDepth, 3)
+	m.Observe(ObsSEBDepth, 5)
+	m.TimeNS(TimRound, 1500)
+
+	s := m.Snapshot()
+	if s.Counters[CtrRounds] != 5 || s.Counters[CtrGainEvals] != 7 {
+		t.Errorf("counters wrong: %+v", s.Counters)
+	}
+	if s.Gauges[GaugeParWorkers] != 8 {
+		t.Errorf("gauge wrong: %+v", s.Gauges)
+	}
+	h := s.Histograms[ObsSEBDepth]
+	if h.Count != 2 || h.Min != 3 || h.Max != 5 || h.Mean != 4 {
+		t.Errorf("histogram wrong: %+v", h)
+	}
+	tm := s.TimersNS[TimRound]
+	if tm.Count != 1 || tm.Sum != 1500 {
+		t.Errorf("timer wrong: %+v", tm)
+	}
+	if s.DurationNS <= 0 {
+		t.Error("snapshot duration not positive")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				m.Count(CtrCandidates, 1)
+				m.Observe(ObsSEBPoints, float64(i))
+				m.TimeNS(TimWorkerBusy, int64(i))
+				m.Emit(Event{Type: EvSEB})
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Counters[CtrCandidates] != workers*each {
+		t.Errorf("counter = %d, want %d", s.Counters[CtrCandidates], workers*each)
+	}
+	if s.Histograms[ObsSEBPoints].Count != workers*each {
+		t.Errorf("histogram count = %d", s.Histograms[ObsSEBPoints].Count)
+	}
+	if got := len(s.Events) + int(s.EventsDropped); got != workers*each {
+		t.Errorf("events+dropped = %d, want %d", got, workers*each)
+	}
+}
+
+func TestMetricsEventCapAndDrop(t *testing.T) {
+	m := NewMetrics()
+	m.SetMaxEvents(3)
+	for i := 0; i < 10; i++ {
+		m.Emit(Event{Type: EvRoundEnd, Round: i + 1})
+	}
+	s := m.Snapshot()
+	if len(s.Events) != 3 || s.EventsDropped != 7 {
+		t.Errorf("kept %d dropped %d, want 3/7", len(s.Events), s.EventsDropped)
+	}
+}
+
+func TestMetricsSummaryEventsEvictDetail(t *testing.T) {
+	m := NewMetrics()
+	m.SetMaxEvents(4)
+	// Flood the buffer with detail events, then emit lifecycle summaries:
+	// every summary must survive by evicting the oldest seb event.
+	for i := 0; i < 10; i++ {
+		m.Emit(Event{Type: EvSEB})
+	}
+	for r := 1; r <= 3; r++ {
+		m.Emit(Event{Type: EvRoundEnd, Alg: "greedy4", Round: r})
+	}
+	s := m.Snapshot()
+	if len(s.Events) != 4 {
+		t.Fatalf("kept %d events, want 4", len(s.Events))
+	}
+	rounds := 0
+	for _, e := range s.Events {
+		if e.Type == EvRoundEnd {
+			rounds++
+		}
+	}
+	if rounds != 3 {
+		t.Errorf("kept %d round_end events, want all 3", rounds)
+	}
+	// 6 overflow seb drops + 3 evictions.
+	if s.EventsDropped != 9 {
+		t.Errorf("dropped = %d, want 9", s.EventsDropped)
+	}
+	for i := 1; i < len(s.Events); i++ {
+		if s.Events[i].TNS < s.Events[i-1].TNS {
+			t.Fatal("eviction broke timestamp ordering")
+		}
+	}
+}
+
+func TestHistogramQuantilesAndInvalid(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 1000; v++ {
+		h.Add(float64(v))
+	}
+	h.Add(-1)
+	h.Add(float64(uint64(1) << 60)) // overflow bucket
+	s := h.Snapshot()
+	if s.Invalid != 1 {
+		t.Errorf("invalid = %d, want 1", s.Invalid)
+	}
+	if s.Count != 1001 {
+		t.Errorf("count = %d", s.Count)
+	}
+	// Bucket quantiles are upper bounds within a factor of two.
+	if s.P50 < 500 || s.P50 > 1024 {
+		t.Errorf("p50 = %v out of [500, 1024]", s.P50)
+	}
+	if s.P99 < 990 || s.P99 > float64(uint64(1)<<60) {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.Max != float64(uint64(1)<<60) || s.Min != 1 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestMultiFansOutAndCollapses(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	c := Multi(nil, Nop{}, a, b)
+	c.Count(CtrRounds, 1)
+	c.Emit(Event{Type: EvRoundStart, Alg: "greedy2", Round: 1})
+	for _, m := range []*Metrics{a, b} {
+		s := m.Snapshot()
+		if s.Counters[CtrRounds] != 1 || len(s.Events) != 1 {
+			t.Errorf("member missed fan-out: %+v", s)
+		}
+	}
+	if _, ok := Multi(nil, Nop{}).(Nop); !ok {
+		t.Error("Multi of dead collectors not Nop")
+	}
+	if Multi(a) != Collector(a) {
+		t.Error("Multi of one live collector not unwrapped")
+	}
+}
+
+// knownEventTypes is the schema's closed set of event types.
+var knownEventTypes = map[string]bool{
+	EvRoundStart: true, EvRoundEnd: true,
+	EvScanStart: true, EvScanEnd: true,
+	EvSEB: true, EvInnerSolve: true, EvSwapPass: true, EvExperiment: true,
+}
+
+// TestSinkJSONLSchema validates the JSONL event schema: one JSON object per
+// line, required t_ns (monotonically non-decreasing) and type (from the
+// known set), round ≥ 1 when present, and no unknown keys.
+func TestSinkJSONLSchema(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	s.Emit(Event{Type: EvRoundStart, Alg: "greedy2", Round: 1})
+	s.Emit(Event{Type: EvScanStart, Alg: "greedy2", Round: 1})
+	s.Emit(Event{Type: EvScanEnd, Alg: "greedy2", Round: 1, Fields: map[string]float64{"candidates": 40}})
+	s.Emit(Event{Type: EvSEB, Fields: map[string]float64{"points": 7, "depth": 3}})
+	s.Emit(Event{Type: EvRoundEnd, Alg: "greedy2", Round: 1, Fields: map[string]float64{"gain": 12.5, "wall_ns": 1e6}})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	allowedKeys := map[string]bool{"t_ns": true, "type": true, "alg": true, "round": true, "fields": true}
+	var lastTNS int64 = -1
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		lines++
+		line := sc.Bytes()
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(line, &raw); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", lines, err, line)
+		}
+		for k := range raw {
+			if !allowedKeys[k] {
+				t.Errorf("line %d: unknown key %q", lines, k)
+			}
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d not an Event: %v", lines, err)
+		}
+		if !knownEventTypes[e.Type] {
+			t.Errorf("line %d: unknown event type %q", lines, e.Type)
+		}
+		if e.TNS < lastTNS {
+			t.Errorf("line %d: t_ns %d went backwards (prev %d)", lines, e.TNS, lastTNS)
+		}
+		if e.TNS < 0 {
+			t.Errorf("line %d: negative t_ns %d", lines, e.TNS)
+		}
+		if raw["round"] != nil && e.Round < 1 {
+			t.Errorf("line %d: round %d < 1", lines, e.Round)
+		}
+		lastTNS = e.TNS
+	}
+	if lines != 5 {
+		t.Fatalf("wrote %d lines, want 5", lines)
+	}
+}
+
+func TestSinkIgnoresAggregates(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	s.Count(CtrRounds, 1)
+	s.Gauge(GaugeParWorkers, 4)
+	s.Observe(ObsSEBDepth, 1)
+	s.TimeNS(TimRound, 10)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("aggregate signals leaked into the event stream: %q", buf.String())
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	m := NewMetrics()
+	m.Count(CtrRounds, 4)
+	m.TimeNS(TimRound, 2500)
+	m.Emit(Event{Type: EvRoundEnd, Alg: "greedy3", Round: 1, Fields: map[string]float64{"gain": 3}})
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, buf.String())
+	}
+	if s.Counters[CtrRounds] != 4 || len(s.Events) != 1 || s.Events[0].Fields["gain"] != 3 {
+		t.Errorf("round-trip lost data: %+v", s)
+	}
+	if !strings.Contains(buf.String(), `"timers_ns"`) {
+		t.Error("timers missing from JSON")
+	}
+	if names := m.CounterNames(); len(names) != 1 || names[0] != CtrRounds {
+		t.Errorf("CounterNames = %v", names)
+	}
+}

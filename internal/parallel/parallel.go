@@ -6,9 +6,12 @@
 package parallel
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // DefaultWorkers reports the worker count used when a caller passes
@@ -20,6 +23,15 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // in chunks so that uneven per-index cost still balances. fn must be safe to
 // call concurrently; it must only write to state owned by index i.
 func For(n, workers int, fn func(i int)) {
+	ForObs(n, workers, nil, fn)
+}
+
+// ForObs is For with telemetry: a live collector records the tasks
+// dispatched (obs.CtrParTasks), the number of dynamically scheduled chunks
+// (obs.CtrParChunks), the worker count (obs.GaugeParWorkers), and each
+// worker's busy time (obs.TimWorkerBusy). A nil or Nop collector makes it
+// identical to For.
+func ForObs(n, workers int, c obs.Collector, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -29,9 +41,19 @@ func For(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	active := obs.Active(c)
+	if active {
+		c.Count(obs.CtrParTasks, int64(n))
+		c.Gauge(obs.GaugeParWorkers, float64(workers))
+	}
 	if workers == 1 {
+		t := obs.StartTimer(c, obs.TimWorkerBusy)
 		for i := 0; i < n; i++ {
 			fn(i)
+		}
+		t.Stop()
+		if active {
+			c.Count(obs.CtrParChunks, 1)
 		}
 		return
 	}
@@ -40,16 +62,20 @@ func For(n, workers int, fn func(i int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
-	var next int64
+	var next, chunks int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			t := obs.StartTimer(c, obs.TimWorkerBusy)
 			for {
 				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
 				if start >= n {
-					return
+					break
+				}
+				if active {
+					atomic.AddInt64(&chunks, 1)
 				}
 				end := start + chunk
 				if end > n {
@@ -59,26 +85,43 @@ func For(n, workers int, fn func(i int)) {
 					fn(i)
 				}
 			}
+			t.Stop()
 		}()
 	}
 	wg.Wait()
+	if active {
+		c.Count(obs.CtrParChunks, atomic.LoadInt64(&chunks))
+	}
 }
 
 // MapReduce evaluates score(i) for every i in [0, n) in parallel and returns
 // the index with the best score under better(a, b) ("a strictly better than
 // b"). Ties are broken toward the lowest index regardless of scheduling, so
-// the result is deterministic. It returns -1 when n <= 0.
+// the result is deterministic. NaN scores are never selected: they compare
+// as worse than any real score no matter where they appear. It returns
+// (-1, NaN) when n <= 0 or every score is NaN.
 func MapReduce(n, workers int, score func(i int) float64, better func(a, b float64) bool) (int, float64) {
+	return MapReduceObs(n, workers, nil, score, better)
+}
+
+// MapReduceObs is MapReduce with the scan telemetry of ForObs.
+func MapReduceObs(n, workers int, c obs.Collector, score func(i int) float64, better func(a, b float64) bool) (int, float64) {
 	if n <= 0 {
-		return -1, 0
+		return -1, math.NaN()
 	}
 	scores := make([]float64, n)
-	For(n, workers, func(i int) { scores[i] = score(i) })
-	best := 0
-	for i := 1; i < n; i++ {
-		if better(scores[i], scores[best]) {
+	ForObs(n, workers, c, func(i int) { scores[i] = score(i) })
+	best := -1
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			continue
+		}
+		if best < 0 || better(s, scores[best]) {
 			best = i
 		}
+	}
+	if best < 0 {
+		return -1, math.NaN()
 	}
 	return best, scores[best]
 }
@@ -88,4 +131,9 @@ func MapReduce(n, workers int, score func(i int) float64, better func(a, b float
 // will be based on the index of the points").
 func ArgmaxFloat(n, workers int, score func(i int) float64) (int, float64) {
 	return MapReduce(n, workers, score, func(a, b float64) bool { return a > b })
+}
+
+// ArgmaxFloatObs is ArgmaxFloat with the scan telemetry of ForObs.
+func ArgmaxFloatObs(n, workers int, c obs.Collector, score func(i int) float64) (int, float64) {
+	return MapReduceObs(n, workers, c, score, func(a, b float64) bool { return a > b })
 }

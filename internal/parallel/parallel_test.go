@@ -1,8 +1,11 @@
 package parallel
 
 import (
+	"math"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestForVisitsEveryIndexOnce(t *testing.T) {
@@ -63,6 +66,72 @@ func TestArgmaxEmpty(t *testing.T) {
 	idx, _ := ArgmaxFloat(0, 4, func(int) float64 { return 0 })
 	if idx != -1 {
 		t.Fatalf("empty argmax = %d, want -1", idx)
+	}
+}
+
+func TestArgmaxSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	// Regression: a NaN at index 0 used to win every comparison because it
+	// was the initial "best" and nothing compares greater than NaN.
+	scores := []float64{nan, 2, 7, nan, 7}
+	for _, workers := range []int{1, 4} {
+		idx, best := ArgmaxFloat(len(scores), workers, func(i int) float64 { return scores[i] })
+		if idx != 2 || best != 7 {
+			t.Fatalf("workers=%d: argmax = (%d, %v), want (2, 7)", workers, idx, best)
+		}
+	}
+	// NaN in the middle must not disturb the min reduction either.
+	idx, best := MapReduce(len(scores), 2,
+		func(i int) float64 { return scores[i] },
+		func(a, b float64) bool { return a < b })
+	if idx != 1 || best != 2 {
+		t.Fatalf("min with NaNs = (%d, %v), want (1, 2)", idx, best)
+	}
+	// All-NaN input selects nothing.
+	idx, best = ArgmaxFloat(3, 2, func(int) float64 { return nan })
+	if idx != -1 || !math.IsNaN(best) {
+		t.Fatalf("all-NaN argmax = (%d, %v), want (-1, NaN)", idx, best)
+	}
+}
+
+func TestForObsTelemetry(t *testing.T) {
+	m := obs.NewMetrics()
+	var sum int64
+	ForObs(100, 4, m, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+	s := m.Snapshot()
+	if s.Counters[obs.CtrParTasks] != 100 {
+		t.Errorf("tasks = %d, want 100", s.Counters[obs.CtrParTasks])
+	}
+	if s.Counters[obs.CtrParChunks] < 1 {
+		t.Errorf("chunks = %d, want >= 1", s.Counters[obs.CtrParChunks])
+	}
+	if s.Gauges[obs.GaugeParWorkers] != 4 {
+		t.Errorf("workers gauge = %v, want 4", s.Gauges[obs.GaugeParWorkers])
+	}
+	busy := s.TimersNS[obs.TimWorkerBusy]
+	if busy.Count != 4 {
+		t.Errorf("worker busy samples = %d, want 4", busy.Count)
+	}
+	// Serial path records a single chunk and one busy span.
+	m2 := obs.NewMetrics()
+	ForObs(10, 1, m2, func(int) {})
+	s2 := m2.Snapshot()
+	if s2.Counters[obs.CtrParChunks] != 1 || s2.TimersNS[obs.TimWorkerBusy].Count != 1 {
+		t.Errorf("serial telemetry wrong: %+v", s2.Counters)
+	}
+}
+
+func TestArgmaxObsCountsScan(t *testing.T) {
+	m := obs.NewMetrics()
+	idx, best := ArgmaxFloatObs(50, 2, m, func(i int) float64 { return float64(i % 10) })
+	if idx != 9 || best != 9 {
+		t.Fatalf("argmax = (%d, %v), want (9, 9)", idx, best)
+	}
+	if got := m.Snapshot().Counters[obs.CtrParTasks]; got != 50 {
+		t.Errorf("tasks = %d, want 50", got)
 	}
 }
 

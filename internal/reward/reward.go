@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/norm"
+	"repro/internal/obs"
 	"repro/internal/pointset"
 	"repro/internal/vec"
 )
@@ -36,11 +37,25 @@ type Instance struct {
 	Radius float64
 
 	finder NeighborFinder
+	obs    obs.Collector
 }
 
 // SetFinder installs (or clears, with nil) a neighbor accelerator. It must
 // index exactly this instance's points at exactly this instance's radius.
 func (in *Instance) SetFinder(f NeighborFinder) { in.finder = f }
+
+// SetCollector installs (or clears, with nil) a telemetry collector. A live
+// collector counts every reward evaluation — obs.CtrGainEvals per RoundGain,
+// obs.CtrApplyRounds per ApplyRound, obs.CtrObjectiveEvals per Objective —
+// which is how instrumented runs verify claims like "LazyGreedy saves
+// re-evaluations". The collector must be safe for concurrent use: candidate
+// scans call RoundGain from many goroutines.
+func (in *Instance) SetCollector(c obs.Collector) {
+	if !obs.Active(c) {
+		c = nil
+	}
+	in.obs = c
+}
 
 // NewInstance validates and builds an Instance. The radius must be positive
 // and finite.
@@ -78,6 +93,9 @@ func (in *Instance) PointReward(c vec.V, i int) float64 {
 // Objective evaluates f(C) = Σ_i w_i·min(Σ_j [1 − d(c_j, x_i)/r]_+, 1)
 // (paper Eq. 7) for an arbitrary center set.
 func (in *Instance) Objective(centers []vec.V) float64 {
+	if in.obs != nil {
+		in.obs.Count(obs.CtrObjectiveEvals, 1)
+	}
 	var total float64
 	for i := 0; i < in.N(); i++ {
 		var frac float64
@@ -107,6 +125,9 @@ func (in *Instance) NewResiduals() []float64 {
 // y: Σ_i w_i·min([1 − d(c, x_i)/r]_+, y_i) (the inner objective of
 // Eqs. 10/13/14/15). y is not modified.
 func (in *Instance) RoundGain(c vec.V, y []float64) float64 {
+	if in.obs != nil {
+		in.obs.Count(obs.CtrGainEvals, 1)
+	}
 	if in.finder != nil {
 		idx := in.nearSorted(c)
 		var g float64
@@ -142,6 +163,9 @@ func (in *Instance) nearSorted(c vec.V) []int {
 // subtracts it from y in place (line "update y_i^{j+1} = y_i^j − z_i^j"),
 // and returns the round gain together with the per-point z vector.
 func (in *Instance) ApplyRound(c vec.V, y []float64) (gain float64, z []float64) {
+	if in.obs != nil {
+		in.obs.Count(obs.CtrApplyRounds, 1)
+	}
 	z = make([]float64, in.N())
 	apply := func(i int) {
 		zi := in.Coverage(c, i)

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate BENCH_baseline.json: run the repository benchmarks and store
+# the parsed results. BENCHTIME shortens/lengthens the per-benchmark budget
+# (default 100ms keeps the full sweep to a few minutes).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-100ms}"
+
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . ./internal/spatial |
+	tee /dev/stderr |
+	go run ./cmd/benchjson > BENCH_baseline.json
+
+echo "wrote BENCH_baseline.json" >&2

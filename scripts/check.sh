@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, tests, and the race detector.
+# Run from the repository root: ./scripts/check.sh
+# RACE=0 skips the race pass (it roughly doubles the runtime).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+if [ "${RACE:-1}" != "0" ]; then
+	echo "==> go test -race ./..."
+	go test -race ./...
+fi
+
+echo "OK"
