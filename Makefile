@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-baseline clean
+.PHONY: build test vet race check bench-baseline bench-diff clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ check:
 # Regenerate the committed benchmark baseline (BENCH_baseline.json).
 bench-baseline:
 	./scripts/bench_baseline.sh
+
+# Advisory: run the candidate-scan benchmarks and diff vs BENCH_baseline.json.
+bench-diff:
+	./scripts/bench_diff.sh
 
 clean:
 	$(GO) clean ./...

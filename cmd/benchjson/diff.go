@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Diff mode: `benchjson -diff BENCH_baseline.json` parses fresh bench output
+// on stdin and prints a per-benchmark comparison against the committed
+// baseline, plus a Scalar↔Batch kernel-speedup table for paired benchmarks.
+// The report is advisory — it never fails the build — because benchmark noise
+// on shared CI hardware would make a hard gate flaky.
+
+// key identifies a benchmark across runs.
+func key(r Result) string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// loadBaseline reads a committed benchjson document.
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Diff writes the baseline-vs-current comparison. A positive delta means the
+// current run is slower. Benchmarks present on only one side are listed so
+// renames and additions are visible rather than silently dropped.
+func Diff(baseline, current *Baseline, w io.Writer) {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[key(r)] = r
+	}
+	seen := make(map[string]bool, len(current.Benchmarks))
+
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, r := range current.Benchmarks {
+		k := key(r)
+		seen[k] = true
+		newNS, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		b, inBase := base[k]
+		if !inBase {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s\n", r.Name, "-", newNS, "new")
+			continue
+		}
+		baseNS := b.Metrics["ns/op"]
+		if baseNS <= 0 {
+			continue
+		}
+		pct := (newNS - baseNS) / baseNS * 100
+		mark := ""
+		if pct > 5 {
+			mark = " !"
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n", r.Name, baseNS, newNS, pct, mark)
+	}
+	var gone []string
+	for k := range base {
+		if !seen[k] {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Fprintf(w, "%-52s %14s %14s %9s\n", k, "", "", "removed")
+	}
+
+	pairSpeedups(current, w)
+}
+
+// pairSpeedups reports the scalar-vs-batched kernel speedup for every
+// BenchmarkFooScalar*/BenchmarkFooBatch* pair in the current run. This is the
+// headline number for the batched evaluation path: same work, same inputs,
+// per-point interface dispatch vs flat kernels.
+func pairSpeedups(current *Baseline, w io.Writer) {
+	byKey := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		byKey[key(r)] = r
+	}
+	var names []string
+	for k := range byKey {
+		if strings.Contains(k, "Scalar") {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	header := false
+	for _, k := range names {
+		bk := strings.Replace(k, "Scalar", "Batch", 1)
+		batch, ok := byKey[bk]
+		if !ok {
+			continue
+		}
+		sNS, bNS := byKey[k].Metrics["ns/op"], batch.Metrics["ns/op"]
+		if sNS <= 0 || bNS <= 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\n%-52s %9s\n", "scalar vs batch", "speedup")
+			header = true
+		}
+		fmt.Fprintf(w, "%-52s %8.2fx\n", byKey[k].Name, sNS/bNS)
+	}
+}
+
+// runDiff is the -diff entry point: current results on stdin, baseline from
+// the given path. Always exits 0 on valid input (advisory report).
+func runDiff(baselinePath string, in io.Reader, out io.Writer) error {
+	baseline, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(current.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	Diff(baseline, current, out)
+	return nil
+}

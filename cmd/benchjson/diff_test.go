@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const diffSample = `pkg: repro/internal/reward
+BenchmarkRoundGainScalar_N10000-8	     264	    240000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRoundGainBatch_N10000-8 	     560	    120000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFresh_New-8             	    1000	      5000 ns/op
+PASS
+ok  	repro/internal/reward	1.0s
+`
+
+func TestRunDiff(t *testing.T) {
+	baseline := `{
+  "benchmarks": [
+    {"name": "BenchmarkRoundGainScalar_N10000", "pkg": "repro/internal/reward",
+     "iterations": 250, "metrics": {"ns/op": 250000}},
+    {"name": "BenchmarkRoundGainBatch_N10000", "pkg": "repro/internal/reward",
+     "iterations": 250, "metrics": {"ns/op": 100000}},
+    {"name": "BenchmarkGone_Old", "pkg": "repro/internal/reward",
+     "iterations": 10, "metrics": {"ns/op": 1}}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runDiff(path, strings.NewReader(diffSample), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Scalar bench is 240000 vs 250000 baseline: -4.0%, no slowdown flag.
+	if !strings.Contains(got, "BenchmarkRoundGainScalar_N10000") || !strings.Contains(got, "-4.0%") {
+		t.Errorf("scalar delta missing:\n%s", got)
+	}
+	// Batch bench regressed 100000 -> 120000: +20%, must carry the flag.
+	if !strings.Contains(got, "+20.0% !") {
+		t.Errorf("regression not flagged:\n%s", got)
+	}
+	// New benchmark and removed baseline entry are both reported.
+	if !strings.Contains(got, "BenchmarkFresh_New") || !strings.Contains(got, "new") {
+		t.Errorf("new benchmark not listed:\n%s", got)
+	}
+	if !strings.Contains(got, "BenchmarkGone_Old") || !strings.Contains(got, "removed") {
+		t.Errorf("removed benchmark not listed:\n%s", got)
+	}
+	// Pair table: 240000/120000 = 2.00x.
+	if !strings.Contains(got, "scalar vs batch") || !strings.Contains(got, "2.00x") {
+		t.Errorf("pair speedup missing:\n%s", got)
+	}
+}
+
+func TestRunDiffMissingBaseline(t *testing.T) {
+	var out strings.Builder
+	if err := runDiff(filepath.Join(t.TempDir(), "nope.json"), strings.NewReader(diffSample), &out); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}
+
+func TestRunDiffEmptyStdin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runDiff(path, strings.NewReader("PASS\n"), &out); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}

@@ -7,11 +7,17 @@
 // Each benchmark line ("BenchmarkFoo-8  100  12345 ns/op  67 B/op  8 allocs/op")
 // becomes one entry keyed by name, with every value/unit pair preserved.
 // goos/goarch/pkg/cpu header lines are captured as environment metadata.
+//
+// With -diff BASELINE.json, stdin is instead compared against the committed
+// baseline: per-benchmark ns/op deltas (entries >+5% are flagged) plus a
+// Scalar↔Batch pair speedup table. The diff report is advisory and always
+// exits 0 on valid input.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -122,7 +128,15 @@ func run(in io.Reader, out io.Writer) error {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	diffPath := flag.String("diff", "", "compare stdin bench results against this baseline JSON instead of emitting JSON")
+	flag.Parse()
+	var err error
+	if *diffPath != "" {
+		err = runDiff(*diffPath, os.Stdin, os.Stdout)
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

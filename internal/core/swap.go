@@ -58,6 +58,11 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 
 	active := obs.Active(s.Obs)
 	n := in.N()
+	// Replace updates the fraction sums incrementally; every O(n) replaces
+	// the accumulated IEEE drift is flushed with a full Resync so that swap
+	// accept/reject decisions keep comparing against a trustworthy
+	// objective (amortized O(k) extra work per replace).
+	sinceResync := 0
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		evals := 0
@@ -82,6 +87,11 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 				}
 				best = bestVal
 				improved = true
+				if sinceResync++; sinceResync >= n {
+					eval.Resync()
+					best = eval.Objective()
+					sinceResync = 0
+				}
 			}
 		}
 		if active {

@@ -1,0 +1,266 @@
+package norm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Batch is an optional interface a Norm may implement to evaluate many
+// distances against contiguous flat coordinate storage in one call. flat is
+// row-major with the given dimension (point i occupies flat[i*dim:(i+1)*dim],
+// as produced by pointset.Set.Coords), and out receives one distance per
+// point. Implementations must be bit-identical to calling Dist per point:
+// out[i] == Dist(c, flat[i*dim:(i+1)*dim]) exactly, so callers may switch
+// between the scalar and batched paths without changing any published number.
+//
+// Batch kernels exist to make the gain hot path memory-bandwidth-bound
+// instead of call-overhead-bound: one interface dispatch amortizes over the
+// whole scan, and the flat layout streams through cache lines in order.
+type Batch interface {
+	// Dists writes ‖c − x_i‖ for every row x_i of flat into out.
+	// It panics when c's dimension disagrees with dim, dim is not
+	// positive, flat is not a whole number of rows, or out is shorter
+	// than the number of rows.
+	Dists(c vec.V, flat []float64, dim int, out []float64)
+}
+
+// RadiusBatch extends Batch with a radius-capped kernel for norms that can
+// prove a point is out of range more cheaply than computing its exact
+// distance (the L2 kernel skips the sqrt for such points). The contract is
+// relaxed only where it cannot matter: for points with Dist(c, x_i) < r,
+// out[i] must be bit-identical to Dist; for all other points out[i] may be
+// any value ≥ r. Coverage-style consumers ([1 − d/r]_+) treat every d ≥ r as
+// zero, so results are still bit-identical to the scalar path.
+type RadiusBatch interface {
+	Batch
+	// DistsCapped is Dists with the in-radius-exact / out-of-radius-free
+	// contract above. r must be positive and finite.
+	DistsCapped(c vec.V, flat []float64, dim int, r float64, out []float64)
+}
+
+// checkBatchArgs validates the shared kernel preconditions and reports the
+// number of rows.
+func checkBatchArgs(c vec.V, flat []float64, dim int, out []float64) int {
+	if dim <= 0 {
+		panic(fmt.Sprintf("norm: batch dim %d must be positive", dim))
+	}
+	if len(c) != dim {
+		panic(fmt.Sprintf("norm: batch center dim %d != %d", len(c), dim))
+	}
+	if len(flat)%dim != 0 {
+		panic(fmt.Sprintf("norm: flat length %d is not a multiple of dim %d", len(flat), dim))
+	}
+	n := len(flat) / dim
+	if len(out) < n {
+		panic(fmt.Sprintf("norm: out length %d < %d rows", len(out), n))
+	}
+	return n
+}
+
+// Dists implements Batch. The loop mirrors L1.Dist term for term, so IEEE
+// summation order (and therefore every bit of the result) is preserved.
+func (L1) Dists(c vec.V, flat []float64, dim int, out []float64) {
+	n := checkBatchArgs(c, flat, dim, out)
+	switch dim {
+	case 1:
+		c0 := c[0]
+		for i := 0; i < n; i++ {
+			out[i] = math.Abs(c0 - flat[i])
+		}
+	case 2:
+		c0, c1 := c[0], c[1]
+		for i := 0; i < n; i++ {
+			row := flat[2*i : 2*i+2 : 2*i+2]
+			out[i] = math.Abs(c0-row[0]) + math.Abs(c1-row[1])
+		}
+	case 3:
+		c0, c1, c2 := c[0], c[1], c[2]
+		for i := 0; i < n; i++ {
+			row := flat[3*i : 3*i+3 : 3*i+3]
+			out[i] = math.Abs(c0-row[0]) + math.Abs(c1-row[1]) + math.Abs(c2-row[2])
+		}
+	default:
+		for i := 0; i < n; i++ {
+			row := flat[i*dim : (i+1)*dim]
+			var s float64
+			for d := 0; d < dim; d++ {
+				s += math.Abs(c[d] - row[d])
+			}
+			out[i] = s
+		}
+	}
+}
+
+// DistsCapped implements RadiusBatch. L1 has no expensive tail to skip, so
+// the capped kernel is the exact kernel.
+func (n L1) DistsCapped(c vec.V, flat []float64, dim int, _ float64, out []float64) {
+	n.Dists(c, flat, dim, out)
+}
+
+// Dists implements Batch. Each row replays vec.V.Dist2's two-pass
+// overflow-guarded algorithm (max-abs scaling, then the scaled square sum)
+// with the same operation order, so results are bit-identical to the scalar
+// path component for component.
+func (L2) Dists(c vec.V, flat []float64, dim int, out []float64) {
+	L2{}.distsL2(c, flat, dim, math.Inf(1), out)
+}
+
+// DistsCapped implements RadiusBatch: rows whose Chebyshev distance already
+// reaches r skip the division pass and the sqrt entirely (see distsL2).
+func (L2) DistsCapped(c vec.V, flat []float64, dim int, r float64, out []float64) {
+	L2{}.distsL2(c, flat, dim, r, out)
+}
+
+// distsL2 is the shared L2 kernel. For every row it first computes the
+// Chebyshev distance maxAbs = max_d |c_d − x_d| — the first pass of
+// vec.V.Dist2. Because the scaled square sum s = Σ (diff_d/maxAbs)² contains
+// the term (maxAbs/maxAbs)² = 1 exactly and IEEE addition of non-negative
+// terms is monotonic, Dist2's result maxAbs·sqrt(s) is always ≥ maxAbs.
+// Hence when maxAbs ≥ r the true distance is provably ≥ r and the kernel
+// emits maxAbs without the n-division pass and the sqrt; coverage consumers
+// map both values to zero, keeping results bit-identical. Rows with
+// maxAbs < r run the exact Dist2 tail.
+func (L2) distsL2(c vec.V, flat []float64, dim int, r float64, out []float64) {
+	n := checkBatchArgs(c, flat, dim, out)
+	switch dim {
+	case 1:
+		c0 := c[0]
+		for i := 0; i < n; i++ {
+			out[i] = math.Abs(c0 - flat[i])
+		}
+	case 2:
+		c0, c1 := c[0], c[1]
+		for i := 0; i < n; i++ {
+			row := flat[2*i : 2*i+2 : 2*i+2]
+			d0, d1 := c0-row[0], c1-row[1]
+			a0, a1 := math.Abs(d0), math.Abs(d1)
+			maxAbs := a0
+			if a1 > maxAbs {
+				maxAbs = a1
+			}
+			if maxAbs == 0 || maxAbs >= r {
+				out[i] = maxAbs
+				continue
+			}
+			r0, r1 := d0/maxAbs, d1/maxAbs
+			out[i] = maxAbs * math.Sqrt(r0*r0+r1*r1)
+		}
+	case 3:
+		c0, c1, c2 := c[0], c[1], c[2]
+		for i := 0; i < n; i++ {
+			row := flat[3*i : 3*i+3 : 3*i+3]
+			d0, d1, d2 := c0-row[0], c1-row[1], c2-row[2]
+			maxAbs := math.Abs(d0)
+			if a := math.Abs(d1); a > maxAbs {
+				maxAbs = a
+			}
+			if a := math.Abs(d2); a > maxAbs {
+				maxAbs = a
+			}
+			if maxAbs == 0 || maxAbs >= r {
+				out[i] = maxAbs
+				continue
+			}
+			r0, r1, r2 := d0/maxAbs, d1/maxAbs, d2/maxAbs
+			// Match the scalar left-to-right summation: (r0²+r1²)+r2².
+			out[i] = maxAbs * math.Sqrt(r0*r0+r1*r1+r2*r2)
+		}
+	default:
+		for i := 0; i < n; i++ {
+			row := flat[i*dim : (i+1)*dim]
+			var maxAbs float64
+			for d := 0; d < dim; d++ {
+				if a := math.Abs(c[d] - row[d]); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs == 0 || maxAbs >= r {
+				out[i] = maxAbs
+				continue
+			}
+			var s float64
+			for d := 0; d < dim; d++ {
+				q := (c[d] - row[d]) / maxAbs
+				s += q * q
+			}
+			out[i] = maxAbs * math.Sqrt(s)
+		}
+	}
+}
+
+// Dists implements Batch, mirroring LInf.Dist's running-max loop exactly.
+func (LInf) Dists(c vec.V, flat []float64, dim int, out []float64) {
+	n := checkBatchArgs(c, flat, dim, out)
+	switch dim {
+	case 1:
+		c0 := c[0]
+		for i := 0; i < n; i++ {
+			out[i] = math.Abs(c0 - flat[i])
+		}
+	case 2:
+		c0, c1 := c[0], c[1]
+		for i := 0; i < n; i++ {
+			row := flat[2*i : 2*i+2 : 2*i+2]
+			m := math.Abs(c0 - row[0])
+			if a := math.Abs(c1 - row[1]); a > m {
+				m = a
+			}
+			out[i] = m
+		}
+	case 3:
+		c0, c1, c2 := c[0], c[1], c[2]
+		for i := 0; i < n; i++ {
+			row := flat[3*i : 3*i+3 : 3*i+3]
+			m := math.Abs(c0 - row[0])
+			if a := math.Abs(c1 - row[1]); a > m {
+				m = a
+			}
+			if a := math.Abs(c2 - row[2]); a > m {
+				m = a
+			}
+			out[i] = m
+		}
+	default:
+		for i := 0; i < n; i++ {
+			row := flat[i*dim : (i+1)*dim]
+			var m float64
+			for d := 0; d < dim; d++ {
+				if a := math.Abs(c[d] - row[d]); a > m {
+					m = a
+				}
+			}
+			out[i] = m
+		}
+	}
+}
+
+// DistsCapped implements RadiusBatch. The max loop is already minimal, so
+// the capped kernel is the exact kernel.
+func (n LInf) DistsCapped(c vec.V, flat []float64, dim int, _ float64, out []float64) {
+	n.Dists(c, flat, dim, out)
+}
+
+var (
+	_ RadiusBatch = L1{}
+	_ RadiusBatch = L2{}
+	_ RadiusBatch = LInf{}
+)
+
+// AsBatch reports the Batch view of n, or nil when n has no batched kernel
+// (general LP and Scaled norms fall back to the scalar path).
+func AsBatch(n Norm) Batch {
+	if b, ok := n.(Batch); ok {
+		return b
+	}
+	return nil
+}
+
+// AsRadiusBatch reports the RadiusBatch view of n, or nil.
+func AsRadiusBatch(n Norm) RadiusBatch {
+	if b, ok := n.(RadiusBatch); ok {
+		return b
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package norm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// flatten lays points out row-major, the layout pointset.Set.Coords serves.
+func flatten(pts []vec.V, dim int) []float64 {
+	flat := make([]float64, 0, len(pts)*dim)
+	for _, p := range pts {
+		flat = append(flat, p...)
+	}
+	return flat
+}
+
+func randBatchPoints(rng *xrand.Rand, n, dim int) []vec.V {
+	pts := make([]vec.V, n)
+	for i := range pts {
+		p := vec.New(dim)
+		for d := range p {
+			p[d] = rng.Uniform(-5, 5)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Property: Dists is bit-identical (==, not within-epsilon) to per-point
+// Dist for every kernel norm, across the specialized and generic dims.
+func TestBatchDistsBitIdentical(t *testing.T) {
+	rng := xrand.New(31)
+	kernels := []Norm{L1{}, L2{}, LInf{}}
+	for _, nm := range kernels {
+		b := AsBatch(nm)
+		if b == nil {
+			t.Fatalf("%s: no Batch implementation", nm.Name())
+		}
+		for _, dim := range []int{1, 2, 3, 8} {
+			for trial := 0; trial < 20; trial++ {
+				n := rng.IntRange(1, 64)
+				pts := randBatchPoints(rng, n, dim)
+				c := randBatchPoints(rng, 1, dim)[0]
+				out := make([]float64, n)
+				b.Dists(c, flatten(pts, dim), dim, out)
+				for i, p := range pts {
+					if want := nm.Dist(c, p); out[i] != want {
+						t.Fatalf("%s dim %d: out[%d] = %v, Dist = %v (diff %g)",
+							nm.Name(), dim, i, out[i], want, out[i]-want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: DistsCapped is bit-identical to Dist for in-radius points and
+// reports some value >= r for all others.
+func TestBatchDistsCappedContract(t *testing.T) {
+	rng := xrand.New(37)
+	kernels := []Norm{L1{}, L2{}, LInf{}}
+	for _, nm := range kernels {
+		rb := AsRadiusBatch(nm)
+		if rb == nil {
+			t.Fatalf("%s: no RadiusBatch implementation", nm.Name())
+		}
+		for _, dim := range []int{1, 2, 3, 8} {
+			for trial := 0; trial < 20; trial++ {
+				n := rng.IntRange(1, 64)
+				r := rng.Uniform(0.5, 6)
+				pts := randBatchPoints(rng, n, dim)
+				c := randBatchPoints(rng, 1, dim)[0]
+				out := make([]float64, n)
+				rb.DistsCapped(c, flatten(pts, dim), dim, r, out)
+				for i, p := range pts {
+					want := nm.Dist(c, p)
+					if want < r {
+						if out[i] != want {
+							t.Fatalf("%s dim %d r=%v: in-radius out[%d] = %v, Dist = %v",
+								nm.Name(), dim, r, i, out[i], want)
+						}
+					} else if out[i] < r {
+						t.Fatalf("%s dim %d r=%v: out-of-radius out[%d] = %v < r (Dist = %v)",
+							nm.Name(), dim, r, i, out[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The coincident-point and overflow-guard edges of the L2 kernel.
+func TestBatchL2Edges(t *testing.T) {
+	c := vec.Of(1e155, -1e155)
+	pts := []vec.V{vec.Of(1e155, -1e155), vec.Of(-1e155, 1e155), vec.Of(1e155, 0)}
+	out := make([]float64, len(pts))
+	L2{}.Dists(c, flatten(pts, 2), 2, out)
+	for i, p := range pts {
+		if want := (L2{}).Dist(c, p); out[i] != want {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+	if out[0] != 0 {
+		t.Errorf("coincident distance = %v", out[0])
+	}
+	if math.IsInf(out[1], 0) {
+		t.Error("kernel overflowed where the scaled scalar path does not")
+	}
+}
+
+func TestBatchArgValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"center dim mismatch", func() {
+			L2{}.Dists(vec.Of(1), []float64{1, 2}, 2, make([]float64, 1))
+		}},
+		{"ragged flat", func() {
+			L2{}.Dists(vec.Of(1, 2), []float64{1, 2, 3}, 2, make([]float64, 2))
+		}},
+		{"short out", func() {
+			L2{}.Dists(vec.Of(1, 2), []float64{1, 2, 3, 4}, 2, make([]float64, 1))
+		}},
+		{"non-positive dim", func() {
+			L2{}.Dists(vec.V{}, nil, 0, nil)
+		}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+// LP and Scaled intentionally have no kernels; AsBatch must say so.
+func TestAsBatchFallback(t *testing.T) {
+	if AsBatch(LP{Exp: 3}) != nil {
+		t.Error("LP unexpectedly implements Batch")
+	}
+	sc, err := NewScaled(L2{}, vec.Of(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AsBatch(sc) != nil {
+		t.Error("Scaled unexpectedly implements Batch")
+	}
+	if AsBatch(L1{}) == nil || AsRadiusBatch(LInf{}) == nil {
+		t.Error("kernel norms missing Batch views")
+	}
+}

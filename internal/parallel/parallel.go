@@ -94,6 +94,54 @@ func ForObs(n, workers int, c obs.Collector, fn func(i int)) {
 	}
 }
 
+// ForRanges partitions [0, n) into contiguous half-open ranges and runs
+// fn(lo, hi) for each, spreading ranges over the given number of workers
+// (workers <= 0 selects DefaultWorkers). Ranges are handed out dynamically
+// so uneven per-range cost still balances. The range — not the index — being
+// the unit of dispatch lets callers run one kernel over a contiguous span of
+// a flat array (the batched distance kernels chunk the row-major coordinate
+// array this way) without per-index closure overhead. fn must be safe for
+// concurrent calls and must only touch state owned by its range.
+func ForRanges(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if start >= n {
+					break
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				fn(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // MapReduce evaluates score(i) for every i in [0, n) in parallel and returns
 // the index with the best score under better(a, b) ("a strictly better than
 // b"). Ties are broken toward the lowest index regardless of scheduling, so

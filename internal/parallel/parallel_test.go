@@ -31,6 +31,41 @@ func TestForEmptyAndSmall(t *testing.T) {
 	}
 }
 
+func TestForRangesCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int64, n)
+		ForRanges(n, workers, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("workers=%d: bad range [%d, %d)", workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForRangesEmptyAndSingle(t *testing.T) {
+	ForRanges(0, 4, func(int, int) { t.Fatal("fn called for n=0") })
+	ForRanges(-1, 4, func(int, int) { t.Fatal("fn called for n<0") })
+	calls := 0
+	ForRanges(5, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 5 {
+			t.Fatalf("single worker range [%d, %d), want [0, 5)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("single worker made %d calls", calls)
+	}
+}
+
 func TestForParallelism(t *testing.T) {
 	// With many workers, at least two goroutines should run concurrently.
 	var cur, peak int64

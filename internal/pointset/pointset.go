@@ -17,9 +17,16 @@ import (
 
 // Set is an immutable-by-convention collection of weighted points. The
 // algorithms never mutate a Set; they keep their own residual state.
+//
+// Alongside the per-point vec.V view, a Set carries the same coordinates in
+// one contiguous row-major array (point i occupies coords[i*dim : (i+1)*dim]).
+// The flat layout is what the batched distance kernels in internal/norm scan:
+// one candidate center against n points touches n·dim adjacent float64s
+// instead of n scattered slice headers.
 type Set struct {
 	pts     []vec.V
 	weights []float64
+	coords  []float64 // row-major copy of pts, built once at construction
 	dim     int
 }
 
@@ -48,12 +55,14 @@ func New(pts []vec.V, weights []float64) (*Set, error) {
 		}
 	}
 	cp := make([]vec.V, len(pts))
+	flat := make([]float64, len(pts)*dim)
 	for i, p := range pts {
 		cp[i] = p.Clone()
+		copy(flat[i*dim:(i+1)*dim], p)
 	}
 	cw := make([]float64, len(weights))
 	copy(cw, weights)
-	return &Set{pts: cp, weights: cw, dim: dim}, nil
+	return &Set{pts: cp, weights: cw, coords: flat, dim: dim}, nil
 }
 
 // UnitWeights builds a Set where every point has weight 1 (the paper's
@@ -83,6 +92,11 @@ func (s *Set) Points() []vec.V { return s.pts }
 
 // Weights returns the backing weight slice. It must be treated as read-only.
 func (s *Set) Weights() []float64 { return s.weights }
+
+// Coords returns the points as one contiguous row-major array: point i is
+// Coords()[i*Dim() : (i+1)*Dim()], bit-identical to Point(i). It must be
+// treated as read-only. Batched distance kernels consume this layout.
+func (s *Set) Coords() []float64 { return s.coords }
 
 // TotalWeight returns Σ w_i, the upper bound on any reward (f_opt ≤ Σ w_i).
 func (s *Set) TotalWeight() float64 {

@@ -8,6 +8,42 @@ import (
 	"repro/internal/xrand"
 )
 
+func TestCoordsFlatLayout(t *testing.T) {
+	pts := []vec.V{vec.Of(1, 2), vec.Of(3, 4), vec.Of(5, 6)}
+	s, err := UnitWeights(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := s.Coords()
+	if len(flat) != s.Len()*s.Dim() {
+		t.Fatalf("Coords length %d, want %d", len(flat), s.Len()*s.Dim())
+	}
+	for i := 0; i < s.Len(); i++ {
+		row := flat[i*s.Dim() : (i+1)*s.Dim()]
+		for d, x := range s.Point(i) {
+			if row[d] != x {
+				t.Errorf("Coords row %d dim %d = %v, want %v", i, d, row[d], x)
+			}
+		}
+	}
+	// The flat copy must be independent of the caller's backing arrays.
+	pts[0][0] = 99
+	if s.Coords()[0] != 1 {
+		t.Error("Coords aliases the caller's point storage")
+	}
+	// Derived sets rebuild their own flat layout.
+	sub, err := s.Subset([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 6, 1, 2}
+	for i, x := range sub.Coords() {
+		if x != want[i] {
+			t.Fatalf("Subset Coords = %v, want %v", sub.Coords(), want)
+		}
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil, nil); err == nil {
 		t.Error("empty set accepted")

@@ -1,0 +1,187 @@
+package reward
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/vec"
+)
+
+// The batched evaluation path: when the instance norm implements norm.Batch,
+// the per-point interface dispatch of the scalar path collapses into one
+// kernel call over the point set's contiguous row-major coordinates
+// (pointset.Set.Coords). Every batched routine reproduces the scalar
+// routine's arithmetic exactly — same coverage values, same summation order,
+// with skipped terms only where IEEE addition of the skipped +0 term is a
+// bit-exact no-op — so the two paths are interchangeable on any instance
+// (TestBatchedScalarEquivalence enforces this).
+
+// batchParallelMinRows is the row count below which distsInto stays serial
+// even when SetBatchWorkers requested parallelism: under it, goroutine
+// dispatch costs more than the kernel.
+const batchParallelMinRows = 4096
+
+// scratch holds the reusable per-call buffers of the batched path. RoundGain
+// is called concurrently from candidate scans, so buffers are pooled rather
+// than hung off the Instance.
+type scratch struct {
+	a, b []float64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+// take resizes buf to n float64s, reallocating only on capacity growth.
+func take(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// batchOn reports whether the batched path is active for this instance.
+func (in *Instance) batchOn() bool { return in.batch != nil }
+
+// distsInto runs the instance's batch kernel: out[i] receives the distance
+// from c to row i of flat (exact for rows within the radius; free to be any
+// value ≥ r beyond it when the norm supports capped evaluation). When
+// SetBatchWorkers enabled parallelism and the scan is large, the kernel is
+// chunked over contiguous spans of the flat array; writes land in disjoint
+// out spans, so the result is identical to the serial call.
+func (in *Instance) distsInto(c vec.V, flat []float64, dim int, out []float64) {
+	rows := len(out)
+	if in.batchWorkers > 1 && rows >= batchParallelMinRows {
+		parallel.ForRanges(rows, in.batchWorkers, func(lo, hi int) {
+			in.runKernel(c, flat, dim, lo, hi, out)
+		})
+		return
+	}
+	in.runKernel(c, flat, dim, 0, rows, out)
+}
+
+// runKernel invokes the batch kernel on rows [lo, hi).
+func (in *Instance) runKernel(c vec.V, flat []float64, dim, lo, hi int, out []float64) {
+	sub, dst := flat[lo*dim:hi*dim], out[lo:hi]
+	if in.rbatch != nil {
+		in.rbatch.DistsCapped(c, sub, dim, in.Radius, dst)
+	} else {
+		in.batch.Dists(c, sub, dim, dst)
+	}
+}
+
+// roundGainFlat is RoundGain's batched full-scan path.
+func (in *Instance) roundGainFlat(c vec.V, y []float64) float64 {
+	n := in.N()
+	sc := scratchPool.Get().(*scratch)
+	sc.a = take(sc.a, n)
+	dists := sc.a
+	in.distsInto(c, in.Set.Coords(), in.Set.Dim(), dists)
+	w := in.Set.Weights()
+	r := in.Radius
+	var g float64
+	for i, d := range dists {
+		if d >= r {
+			continue // coverage 0; adding w_i·0 is a bit-exact no-op
+		}
+		z := 1 - d/r
+		if yi := y[i]; z > yi {
+			z = yi
+		}
+		g += w[i] * z
+	}
+	scratchPool.Put(sc)
+	return g
+}
+
+// roundGainGather is RoundGain's batched path over a grid-filtered candidate
+// index list (already sorted ascending): candidate rows are gathered into a
+// contiguous scratch block so the kernel still streams linearly.
+func (in *Instance) roundGainGather(c vec.V, idx []int, y []float64) float64 {
+	dim := in.Set.Dim()
+	coords := in.Set.Coords()
+	m := len(idx)
+	sc := scratchPool.Get().(*scratch)
+	sc.a = take(sc.a, m)
+	sc.b = take(sc.b, m*dim)
+	dists, flat := sc.a, sc.b
+	for j, i := range idx {
+		copy(flat[j*dim:(j+1)*dim], coords[i*dim:(i+1)*dim])
+	}
+	in.distsInto(c, flat, dim, dists)
+	r := in.Radius
+	var g float64
+	for j, d := range dists {
+		if d >= r {
+			continue
+		}
+		z := 1 - d/r
+		i := idx[j]
+		if yi := y[i]; z > yi {
+			z = yi
+		}
+		g += in.Set.Weight(i) * z
+	}
+	scratchPool.Put(sc)
+	return g
+}
+
+// objectiveBatch is Objective's batched path. The scalar loop is point-major
+// with an early break once a point's fraction saturates; this center-major
+// version skips saturated points before adding, which commits exactly the
+// same additions in exactly the same per-point order.
+func (in *Instance) objectiveBatch(centers []vec.V) float64 {
+	n := in.N()
+	sc := scratchPool.Get().(*scratch)
+	sc.a = take(sc.a, n)
+	sc.b = take(sc.b, n)
+	dists, frac := sc.a, sc.b
+	for i := range frac {
+		frac[i] = 0
+	}
+	r := in.Radius
+	unsaturated := n
+	for _, c := range centers {
+		in.distsInto(c, in.Set.Coords(), in.Set.Dim(), dists)
+		for i, d := range dists {
+			if frac[i] >= 1 || d >= r {
+				continue
+			}
+			if frac[i] += 1 - d/r; frac[i] >= 1 {
+				unsaturated--
+			}
+		}
+		if unsaturated == 0 {
+			// Every point has broken out of the scalar loop; later
+			// centers cannot change anything.
+			break
+		}
+	}
+	w := in.Set.Weights()
+	var total float64
+	for i, f := range frac {
+		if f > 1 {
+			f = 1
+		}
+		total += w[i] * f
+	}
+	scratchPool.Put(sc)
+	return total
+}
+
+// batchCoverages fills out[i] = Coverage(c, i) for every point via the batch
+// kernel, reporting false (out untouched) when batching is off. out doubles
+// as the kernel's distance buffer.
+func (in *Instance) batchCoverages(c vec.V, out []float64) bool {
+	if !in.batchOn() {
+		return false
+	}
+	in.distsInto(c, in.Set.Coords(), in.Set.Dim(), out)
+	r := in.Radius
+	for i, d := range out {
+		if d >= r {
+			out[i] = 0
+		} else {
+			out[i] = 1 - d/r
+		}
+	}
+	return true
+}

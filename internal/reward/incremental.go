@@ -52,8 +52,12 @@ func (e *Evaluator) Add(c vec.V) error {
 		return fmt.Errorf("reward: center dim %d != instance dim %d", c.Dim(), e.in.Set.Dim())
 	}
 	row := make([]float64, e.in.N())
+	if !e.in.batchCoverages(c, row) {
+		for i := range row {
+			row[i] = e.in.Coverage(c, i)
+		}
+	}
 	for i := range row {
-		row[i] = e.in.Coverage(c, i)
 		e.frac[i] += row[i]
 	}
 	e.centers = append(e.centers, c.Clone())
@@ -71,13 +75,42 @@ func (e *Evaluator) Replace(j int, c vec.V) error {
 		return fmt.Errorf("reward: center dim %d != instance dim %d", c.Dim(), e.in.Set.Dim())
 	}
 	old := e.cov[j]
-	for i := range old {
-		nc := e.in.Coverage(c, i)
-		e.frac[i] += nc - old[i]
-		old[i] = nc
+	sc := scratchPool.Get().(*scratch)
+	sc.a = take(sc.a, len(old))
+	if e.in.batchCoverages(c, sc.a) {
+		for i, nc := range sc.a {
+			e.frac[i] += nc - old[i]
+			old[i] = nc
+		}
+	} else {
+		for i := range old {
+			nc := e.in.Coverage(c, i)
+			e.frac[i] += nc - old[i]
+			old[i] = nc
+		}
 	}
+	scratchPool.Put(sc)
 	e.centers[j] = c.Clone()
 	return nil
+}
+
+// Resync recomputes every fraction sum from the stored coverage rows,
+// discarding the IEEE rounding error that Replace's incremental
+// `frac += new − old` updates accumulate. After thousands of replaces that
+// drift can grow large enough for Objective to disagree with a from-scratch
+// evaluation, making swap search accept or reject on noise; a Resync every
+// O(n) replaces keeps the drift below any decision threshold at amortized
+// O(k) per replace. The recomputation adds rows in slot order, matching a
+// freshly built evaluator bit for bit.
+func (e *Evaluator) Resync() {
+	for i := range e.frac {
+		e.frac[i] = 0
+	}
+	for _, row := range e.cov {
+		for i, v := range row {
+			e.frac[i] += v
+		}
+	}
 }
 
 // Objective reads f(C) for the current centers in O(n).
@@ -102,13 +135,27 @@ func (e *Evaluator) ObjectiveIfReplaced(j int, c vec.V) (float64, error) {
 		return 0, fmt.Errorf("reward: center dim %d != instance dim %d", c.Dim(), e.in.Set.Dim())
 	}
 	old := e.cov[j]
+	w := e.in.Set.Weights()
 	var total float64
-	for i := range old {
-		f := e.frac[i] - old[i] + e.in.Coverage(c, i)
-		if f > 1 {
-			f = 1
+	sc := scratchPool.Get().(*scratch)
+	sc.a = take(sc.a, len(old))
+	if e.in.batchCoverages(c, sc.a) {
+		for i, nc := range sc.a {
+			f := e.frac[i] - old[i] + nc
+			if f > 1 {
+				f = 1
+			}
+			total += w[i] * f
 		}
-		total += e.in.Set.Weight(i) * f
+	} else {
+		for i := range old {
+			f := e.frac[i] - old[i] + e.in.Coverage(c, i)
+			if f > 1 {
+				f = 1
+			}
+			total += w[i] * f
+		}
 	}
+	scratchPool.Put(sc)
 	return total, nil
 }

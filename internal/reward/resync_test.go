@@ -1,0 +1,89 @@
+package reward_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Regression for the swap-search drift bug: Replace updates the fraction
+// sums incrementally (frac[i] += new − old) forever, so thousands of
+// replaces accumulate IEEE rounding error and Objective() can wander away
+// from a from-scratch evaluation. Resync must snap it back to bit-parity
+// with a freshly built evaluator, and in any case within core.SumTolerance
+// of the direct objective.
+func TestEvaluatorResyncAfterManyReplaces(t *testing.T) {
+	rng := xrand.New(211)
+	n, k := 60, 5
+	pts := make([]vec.V, n)
+	ws := make([]float64, n)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+		ws[i] = float64(rng.IntRange(1, 5))
+	}
+	set, err := pointset.New(pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := reward.NewInstance(set, norm.L2{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := make([]vec.V, k)
+	for j := range centers {
+		centers[j] = pts[j].Clone()
+	}
+	e, err := reward.NewEvaluator(in, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thousands of replaces, biased toward dense coverage so the
+	// incremental updates keep adding and cancelling non-trivial terms.
+	for step := 0; step < 20000; step++ {
+		c := vec.Of(rng.Uniform(0, 4), rng.Uniform(0, 4))
+		if err := e.Replace(rng.Intn(k), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Resync()
+	fresh, err := reward.NewEvaluator(in, e.Centers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Objective(), fresh.Objective(); got != want {
+		t.Errorf("resynced objective %v != fresh evaluator %v (diff %g)", got, want, got-want)
+	}
+	direct := in.Objective(e.Centers())
+	if diff := math.Abs(e.Objective() - direct); diff > core.SumTolerance {
+		t.Errorf("resynced objective %v vs direct %v: |diff| %g > SumTolerance", e.Objective(), direct, diff)
+	}
+}
+
+// The swap search itself must stay healthy over long runs with periodic
+// resyncs: its final objective has to match a direct recomputation of its
+// returned centers within core.SumTolerance.
+func TestSwapSearchObjectiveConsistency(t *testing.T) {
+	rng := xrand.New(223)
+	set, err := pointset.GenUniform(80, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := reward.NewInstance(set, norm.L2{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SwapLocalSearch{MaxPasses: 20}.Run(in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := in.Objective(res.Centers)
+	if diff := math.Abs(res.Total - direct); diff > core.SumTolerance {
+		t.Errorf("swap total %v vs direct objective %v: |diff| %g > SumTolerance", res.Total, direct, diff)
+	}
+}

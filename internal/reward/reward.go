@@ -31,6 +31,11 @@ type NeighborFinder interface {
 // consumes. An optional NeighborFinder accelerates gain evaluation at large
 // n without changing any result bit (the evaluator sorts the candidate
 // indices and IEEE addition of skipped zero terms is exact).
+//
+// When the norm implements norm.Batch (the built-in L1/L2/L∞ do), gain and
+// objective evaluation automatically route through batched distance kernels
+// over the set's flat coordinate array — same results bit for bit, far fewer
+// interface calls. SetBatch(false) forces the scalar reference path.
 type Instance struct {
 	Set    *pointset.Set
 	Norm   norm.Norm
@@ -38,6 +43,10 @@ type Instance struct {
 
 	finder NeighborFinder
 	obs    obs.Collector
+
+	batch        norm.Batch       // non-nil: batched kernels active
+	rbatch       norm.RadiusBatch // non-nil: radius-capped variant available
+	batchWorkers int              // >1: chunk large kernels over goroutines
 }
 
 // SetFinder installs (or clears, with nil) a neighbor accelerator. It must
@@ -58,7 +67,8 @@ func (in *Instance) SetCollector(c obs.Collector) {
 }
 
 // NewInstance validates and builds an Instance. The radius must be positive
-// and finite.
+// and finite. Batched evaluation is enabled automatically when the norm
+// supports it.
 func NewInstance(set *pointset.Set, n norm.Norm, radius float64) (*Instance, error) {
 	if set == nil {
 		return nil, errors.New("reward: nil point set")
@@ -69,8 +79,30 @@ func NewInstance(set *pointset.Set, n norm.Norm, radius float64) (*Instance, err
 	if radius <= 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
 		return nil, fmt.Errorf("reward: invalid radius %v", radius)
 	}
-	return &Instance{Set: set, Norm: n, Radius: radius}, nil
+	in := &Instance{Set: set, Norm: n, Radius: radius}
+	in.SetBatch(true)
+	return in, nil
 }
+
+// SetBatch enables (the default, when the norm implements norm.Batch) or
+// disables the batched evaluation path. Both settings produce bit-identical
+// results; disabling exists for tests, benchmarks, and A/B diagnosis.
+func (in *Instance) SetBatch(on bool) {
+	if !on {
+		in.batch, in.rbatch = nil, nil
+		return
+	}
+	in.batch = norm.AsBatch(in.Norm)
+	in.rbatch = norm.AsRadiusBatch(in.Norm)
+}
+
+// SetBatchWorkers sets the goroutine budget for chunking one batched kernel
+// call over spans of the flat coordinate array (w <= 1 keeps kernels
+// serial, the default). Candidate scans are already parallel across
+// candidates, so this only pays off for serial large-n callers such as the
+// continuous inner solvers; chunk writes are disjoint and the reduction
+// stays in index order, so results are unchanged bit for bit.
+func (in *Instance) SetBatchWorkers(w int) { in.batchWorkers = w }
 
 // N reports the number of points.
 func (in *Instance) N() int { return in.Set.Len() }
@@ -95,6 +127,9 @@ func (in *Instance) PointReward(c vec.V, i int) float64 {
 func (in *Instance) Objective(centers []vec.V) float64 {
 	if in.obs != nil {
 		in.obs.Count(obs.CtrObjectiveEvals, 1)
+	}
+	if in.batchOn() {
+		return in.objectiveBatch(centers)
 	}
 	var total float64
 	for i := 0; i < in.N(); i++ {
@@ -130,6 +165,9 @@ func (in *Instance) RoundGain(c vec.V, y []float64) float64 {
 	}
 	if in.finder != nil {
 		idx := in.nearSorted(c)
+		if in.batchOn() {
+			return in.roundGainGather(c, idx, y)
+		}
 		var g float64
 		for _, i := range idx {
 			z := in.Coverage(c, i)
@@ -139,6 +177,9 @@ func (in *Instance) RoundGain(c vec.V, y []float64) float64 {
 			g += in.Set.Weight(i) * z
 		}
 		return g
+	}
+	if in.batchOn() {
+		return in.roundGainFlat(c, y)
 	}
 	var g float64
 	for i := 0; i < in.N(); i++ {

@@ -16,18 +16,35 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/vec"
 )
+
+// maxExtent caps the per-dimension cell count. Go's float→int conversion is
+// implementation-defined for out-of-range values (spec §Conversions), so
+// every cell-coordinate computation clamps in float space first; the cap
+// (a power of two, hence exact as a float64) keeps clamped coordinates
+// safely inside int64 range. A dimension whose true cell count exceeds the
+// cap is marked clamped: far cells collapse onto the boundary cell, which
+// stays conservative (extras only) as long as Near treats beyond-the-cap
+// queries as hitting that boundary cell.
+const maxExtent = 1 << 62
 
 // Grid is an immutable uniform-cell index over a fixed point set.
 type Grid struct {
 	cell    float64
 	dim     int
 	origin  vec.V
-	extents []int         // cells per dimension
-	buckets map[int][]int // flattened cell id -> point indices
+	extents []int  // cells per dimension (capped at maxExtent)
+	clamped []bool // true: this dimension's true cell count exceeded maxExtent
 	n       int
+
+	// Exactly one bucket map is used. Flattened int ids require
+	// Π extents[d] to fit in an int; when it cannot, ids would alias
+	// silently and bloat buckets, so the grid falls back to string keys.
+	buckets  map[int][]int    // flattened cell id -> point indices
+	hbuckets map[string][]int // joined cell coords -> point indices
 }
 
 // NewGrid indexes the points with cells of side equal to radius. It returns
@@ -47,16 +64,50 @@ func NewGrid(points []vec.V, radius float64) (*Grid, error) {
 	}
 	g := &Grid{cell: radius, dim: dim, origin: lo, n: len(points)}
 	g.extents = make([]int, dim)
+	g.clamped = make([]bool, dim)
+	hashed := false
+	idSpace := 1
 	for d := 0; d < dim; d++ {
-		g.extents[d] = int((hi[d]-lo[d])/radius) + 1
+		ext := math.Floor((hi[d]-lo[d])/radius) + 1
+		if !(ext >= 1) { // degenerate span; NaN cannot occur (finite bounds)
+			ext = 1
+		}
+		if ext > maxExtent {
+			// A bounding box this huge relative to r cannot enumerate
+			// its cells in an int; collapse the far cells onto the
+			// boundary cell and switch to hashed bucket keys.
+			ext = maxExtent
+			g.clamped[d] = true
+			hashed = true
+		}
+		g.extents[d] = int(ext)
+		if !hashed {
+			if idSpace > math.MaxInt/g.extents[d] {
+				// Π extents[d] overflows: flattened ids would alias.
+				hashed = true
+			} else {
+				idSpace *= g.extents[d]
+			}
+		}
 	}
-	g.buckets = make(map[int][]int)
+	if hashed {
+		g.hbuckets = make(map[string][]int)
+	} else {
+		g.buckets = make(map[int][]int)
+	}
+	var key []byte
 	for i, p := range points {
 		if p.Dim() != dim {
 			return nil, vec.ErrDimMismatch
 		}
-		id := g.cellID(g.coords(p))
-		g.buckets[id] = append(g.buckets[id], i)
+		c := g.coords(p)
+		if hashed {
+			key = appendCellKey(key[:0], c)
+			g.hbuckets[string(key)] = append(g.hbuckets[string(key)], i)
+		} else {
+			id := g.cellID(c)
+			g.buckets[id] = append(g.buckets[id], i)
+		}
 	}
 	return g, nil
 }
@@ -65,13 +116,23 @@ func NewGrid(points []vec.V, radius float64) (*Grid, error) {
 func (g *Grid) N() int { return g.n }
 
 // coords maps a point to integer cell coordinates (clamped to the grid).
+// The clamp happens on the float value, before the int conversion, so even
+// extreme coordinates (possible when a dimension is clamped) convert
+// in-range.
 func (g *Grid) coords(p vec.V) []int {
 	c := make([]int, g.dim)
 	for d := 0; d < g.dim; d++ {
-		v := int(math.Floor((p[d] - g.origin[d]) / g.cell))
-		if v < 0 {
-			v = 0
+		f := math.Floor((p[d] - g.origin[d]) / g.cell)
+		if !(f > 0) { // also catches NaN from a malformed point
+			f = 0
 		}
+		// Two-stage clamp: the float-space clamp makes the int conversion
+		// defined, but float64(extents-1) can round up to extents at large
+		// magnitudes, so the exact bound is re-applied in int space.
+		if max := float64(g.extents[d]); f > max {
+			f = max
+		}
+		v := int(f)
 		if v >= g.extents[d] {
 			v = g.extents[d] - 1
 		}
@@ -80,7 +141,8 @@ func (g *Grid) coords(p vec.V) []int {
 	return c
 }
 
-// cellID flattens cell coordinates to a single bucket key.
+// cellID flattens cell coordinates to a single bucket key (int-keyed grids
+// only; NewGrid guarantees the product of extents fits).
 func (g *Grid) cellID(c []int) int {
 	id := 0
 	for d := 0; d < g.dim; d++ {
@@ -89,12 +151,38 @@ func (g *Grid) cellID(c []int) int {
 	return id
 }
 
+// appendCellKey renders cell coordinates as a compact string key for the
+// hashed-bucket fallback.
+func appendCellKey(b []byte, c []int) []byte {
+	for d, v := range c {
+		if d > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return b
+}
+
+// bucket returns the point indices stored for the given cell coordinates.
+func (g *Grid) bucket(key []byte, c []int) ([]int, []byte) {
+	if g.hbuckets != nil {
+		key = appendCellKey(key[:0], c)
+		return g.hbuckets[string(key)], key
+	}
+	return g.buckets[g.cellID(c)], key
+}
+
 // Near returns the indices of every point within Chebyshev distance
 // g.cell (= the indexing radius) of c, possibly with extras from the
 // bordering cells. Buckets are visited in cell order, so the result is not
 // globally sorted; the reward evaluator sorts it before summing so that the
 // accelerated sum is bit-identical to the full scan (IEEE addition of the
 // skipped zero terms is exact).
+//
+// Queries far outside the indexed bounding box, and queries with NaN or ±Inf
+// coordinates, safely return nil: the window test runs on the raw float cell
+// coordinate, clamped into int range before any float→int conversion (which
+// is implementation-defined for out-of-range values, Go spec §Conversions).
 func (g *Grid) Near(c vec.V) []int {
 	if c.Dim() != g.dim {
 		return nil
@@ -105,7 +193,25 @@ func (g *Grid) Near(c vec.V) []int {
 	lo := make([]int, g.dim)
 	hi := make([]int, g.dim)
 	for d := 0; d < g.dim; d++ {
-		raw := int(math.Floor((c[d] - g.origin[d]) / g.cell))
+		f := math.Floor((c[d] - g.origin[d]) / g.cell)
+		if math.IsNaN(f) || f < -1 {
+			// NaN coordinate, or at least one whole empty cell below
+			// the grid: no indexed point can be within range.
+			return nil
+		}
+		ext := float64(g.extents[d])
+		if f > ext {
+			if !g.clamped[d] {
+				// At least one whole empty cell beyond the grid.
+				return nil
+			}
+			// Clamped dimension: cells beyond the cap collapsed onto
+			// the boundary cell at indexing time, so a far query must
+			// still visit it (conservative; extras are filtered by
+			// the evaluator).
+			f = ext
+		}
+		raw := int(f) // f ∈ [-1, extents[d]]: conversion is exact and in range
 		lo[d] = raw - 1
 		hi[d] = raw + 1
 		if lo[d] < 0 {
@@ -119,12 +225,13 @@ func (g *Grid) Near(c vec.V) []int {
 		}
 	}
 	var out []int
+	var key []byte
 	cur := make([]int, g.dim)
 	copy(cur, lo)
 	for {
-		if bucket, ok := g.buckets[g.cellID(cur)]; ok {
-			out = append(out, bucket...)
-		}
+		var b []int
+		b, key = g.bucket(key, cur)
+		out = append(out, b...)
 		// Odometer over [lo, hi].
 		d := g.dim - 1
 		for ; d >= 0; d-- {

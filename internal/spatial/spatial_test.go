@@ -129,6 +129,129 @@ func TestNearFarOutsideReturnsNil(t *testing.T) {
 	}
 }
 
+// Regression: converting an out-of-int-range float cell coordinate with
+// int(...) is implementation-defined in Go (spec §Conversions); before the
+// float-space clamp, queries at ±1e300, NaN, or ±Inf produced a garbage
+// neighbor window instead of a clean miss.
+func TestNearNonFiniteAndHugeQueries(t *testing.T) {
+	rng := xrand.New(17)
+	pts := randPoints(rng, 50, 2, 0, 4)
+	g, err := NewGrid(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []float64{1e300, -1e300, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, x := range bad {
+		for _, q := range []vec.V{vec.Of(x, 2), vec.Of(2, x), vec.Of(x, x)} {
+			if got := g.Near(q); got != nil {
+				t.Errorf("Near(%v) = %v, want nil", q, got)
+			}
+		}
+	}
+	// Sanity: a legitimate interior query still works after the clamp.
+	if got := g.Near(pts[0]); len(got) == 0 {
+		t.Error("interior query returned nothing")
+	}
+}
+
+// Regression: a bounding box huge relative to r used to overflow the
+// flattened cell id (id = id*extents[d] + c[d] in int), silently aliasing
+// cells. The grid must detect that regime, fall back to hashed bucket keys,
+// and stay conservative.
+func TestNewGridExtremeExtents(t *testing.T) {
+	// ~1e18 cells per dimension: the per-dimension count fits an int but
+	// the 2-D product overflows.
+	pts := []vec.V{
+		vec.Of(0, 0), vec.Of(0.3, 0.4), vec.Of(1e12, 1e12), vec.Of(1e12+0.5, 1e12),
+	}
+	g, err := NewGrid(pts, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.hbuckets == nil {
+		t.Fatal("extreme-extents grid did not fall back to hashed buckets")
+	}
+	for i, p := range pts {
+		found := false
+		for _, j := range g.Near(p) {
+			if j == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Near(point %d) missed the point itself", i)
+		}
+	}
+	// A query between the clusters has no neighbors within Chebyshev r.
+	if got := g.Near(vec.Of(5e11, 5e11)); len(got) != 0 {
+		t.Errorf("mid-gap query returned %v", got)
+	}
+
+	// Per-dimension extent beyond the clamp cap: far cells collapse onto
+	// the boundary cell, which must remain reachable (conservatively) so
+	// indexed far points are never lost.
+	pts = []vec.V{vec.Of(0), vec.Of(1e300)}
+	g, err = NewGrid(pts, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.clamped[0] {
+		t.Fatal("1e303-cell dimension not clamped")
+	}
+	for i, p := range pts {
+		found := false
+		for _, j := range g.Near(p) {
+			if j == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("clamped grid: Near(point %d) missed the point itself", i)
+		}
+	}
+}
+
+// The hashed fallback must behave exactly like the int-keyed grid. Build a
+// normal instance, force the hashed representation, and compare Near results.
+func TestHashedBucketsMatchIntBuckets(t *testing.T) {
+	rng := xrand.New(19)
+	pts := randPoints(rng, 300, 3, 0, 10)
+	g, err := NewGrid(pts, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Grid{cell: g.cell, dim: g.dim, origin: g.origin, extents: g.extents,
+		clamped: g.clamped, n: g.n, hbuckets: map[string][]int{}}
+	var key []byte
+	for id, idxs := range g.buckets {
+		// Reconstruct the cell coordinates from the flattened id.
+		c := make([]int, g.dim)
+		for d := g.dim - 1; d >= 0; d-- {
+			c[d] = id % g.extents[d]
+			id /= g.extents[d]
+		}
+		key = appendCellKey(key[:0], c)
+		h.hbuckets[string(key)] = idxs
+	}
+	for q := 0; q < 200; q++ {
+		c := vec.New(3)
+		for d := range c {
+			c[d] = rng.Uniform(-2, 12)
+		}
+		a, b := g.Near(c), h.Near(c)
+		sort.Ints(a)
+		sort.Ints(b)
+		if len(a) != len(b) {
+			t.Fatalf("query %v: int-keyed %d results, hashed %d", c, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %v: results differ: %v vs %v", c, a, b)
+			}
+		}
+	}
+}
+
 func TestSinglePointGrid(t *testing.T) {
 	g, err := NewGrid([]vec.V{vec.Of(2, 2)}, 1)
 	if err != nil {

@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-100ms}"
 
-go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . ./internal/spatial |
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . ./internal/reward ./internal/spatial |
 	tee /dev/stderr |
 	go run ./cmd/benchjson > BENCH_baseline.json
 

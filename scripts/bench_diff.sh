@@ -1,0 +1,15 @@
+#!/bin/sh
+# Advisory benchmark comparison: run the candidate-scan benchmarks (the gain
+# hot path plus the spatial index) and diff them against the committed
+# BENCH_baseline.json. Always exits 0 — benchmark noise must not fail CI;
+# read the report and investigate lines flagged with "!".
+# BENCHTIME shortens/lengthens the per-benchmark budget (default 50ms).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-50ms}"
+
+go test -run '^$' -bench 'RoundGain|Objective|EvaluatorReplace|Near' -benchmem \
+	-benchtime "$BENCHTIME" ./internal/reward ./internal/spatial |
+	go run ./cmd/benchjson -diff BENCH_baseline.json

@@ -20,4 +20,11 @@ if [ "${RACE:-1}" != "0" ]; then
 	go test -race ./...
 fi
 
+# Advisory benchmark comparison: never fails the check, but surfaces any
+# hot-path regression against the committed baseline. BENCH=0 skips it.
+if [ "${BENCH:-1}" != "0" ]; then
+	echo "==> bench-diff (advisory)"
+	./scripts/bench_diff.sh || echo "bench-diff failed (advisory; not fatal)"
+fi
+
 echo "OK"
