@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-baseline bench-diff clean
+.PHONY: build test vet race check smoke bench-baseline bench-diff clean
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Full tier-1 verification: build + vet + test + race.
+# Full tier-1 verification: gofmt + build + vet + test + race + smoke.
 check:
 	./scripts/check.sh
+
+# End-to-end cancellation smoke: build each cmd binary, run it under a short
+# -timeout, and assert a clean exit with valid partial output.
+smoke:
+	./scripts/smoke.sh
 
 # Regenerate the committed benchmark baseline (BENCH_baseline.json).
 bench-baseline:

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -28,7 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := e.Run(cfg)
+		out, err := e.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func benchAlgorithm(b *testing.B, alg core.Algorithm, n, dim, k int, nm norm.Nor
 	b.ResetTimer()
 	var total float64
 	for i := 0; i < b.N; i++ {
-		res, err := alg.Run(in, k)
+		res, err := alg.Run(context.Background(), in, k)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func benchExhaustive(b *testing.B, workers, gridPer int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := exhaustive.Solve(in, 4, exhaustive.Options{
+		_, err := exhaustive.Solve(context.Background(), in, 4, exhaustive.Options{
 			GridPer: gridPer, Box: pointset.PaperBox2D(), Workers: workers,
 		})
 		if err != nil {

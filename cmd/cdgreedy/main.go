@@ -10,14 +10,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cli"
 )
 
 func main() {
-	if err := cli.Greedy(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the run's context; the tools treat that as a
+	// clean early exit with partial output. A second signal kills outright
+	// (stop() restores default handling once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.Greedy(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

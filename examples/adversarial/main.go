@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ import (
 	"repro/internal/vec"
 )
 
-func run(title string, pts []vec.V, ws []float64, k int, r float64, algs []core.Algorithm) {
+func run(ctx context.Context, title string, pts []vec.V, ws []float64, k int, r float64, algs []core.Algorithm) {
 	set, err := pointset.New(pts, ws)
 	if err != nil {
 		log.Fatal(err)
@@ -34,7 +35,7 @@ func run(title string, pts []vec.V, ws []float64, k int, r float64, algs []core.
 	tb := report.NewTable(fmt.Sprintf("%s (n=%d, k=%d, r=%g, Σw=%.0f)", title, set.Len(), k, r, set.TotalWeight()),
 		"algorithm", "total reward", "% of Σw")
 	for _, a := range algs {
-		res, err := a.Run(in, k)
+		res, err := a.Run(ctx, in, k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,6 +46,7 @@ func run(title string, pts []vec.V, ws []float64, k int, r float64, algs []core.
 }
 
 func main() {
+	ctx := context.Background()
 	// Scenario 1: heavy decoy vs light crowd. One user with weight 5 sits
 	// alone at a corner; ten weight-1 users crowd the opposite corner
 	// within one disk. k = 1: the crowd (total 10) beats the decoy (5),
@@ -57,7 +59,7 @@ func main() {
 	}
 	pts := append(crowd, vec.Of(0.2, 0.2))
 	weights = append(weights, 5)
-	run("heavy decoy vs light crowd", pts, weights, 1, 1.0, []core.Algorithm{
+	run(ctx, "heavy decoy vs light crowd", pts, weights, 1, 1.0, []core.Algorithm{
 		core.LocalGreedy{},
 		core.SimpleGreedy{},
 		core.ComplexGreedy{},
@@ -81,7 +83,7 @@ func main() {
 		vec.Of(1.2, 0), // the bait
 	}
 	ws2 := []float64{1, 1, 1, 1, 1, 1, 1, 1, 2}
-	run("0.4-coverage bait between two clusters", pts2, ws2, 2, 2.0, []core.Algorithm{
+	run(ctx, "0.4-coverage bait between two clusters", pts2, ws2, 2, 2.0, []core.Algorithm{
 		core.LocalGreedy{},
 		core.SimpleGreedy{},
 		core.SwapLocalSearch{},

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A community-structured population: most users care about a few
 	// mainstream topics (music, sports, ...), modeled as Zipf-popular
 	// clusters in the 4×4 interest plane.
@@ -56,7 +58,7 @@ func main() {
 	tb := report.NewTable("12 periods, 80 Zipf users, k=3, r=1.2, drift+churn",
 		"scheduler", "mean satisfaction", "fairness", "satisfaction/slot")
 	for _, s := range schedulers {
-		m, err := broadcast.Run(tr, s, cfg)
+		m, err := broadcast.Run(ctx, tr, s, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +69,7 @@ func main() {
 	// The k tradeoff: more broadcasts per period satisfy more interests
 	// but each user is served less often under a fixed slot budget.
 	cfg.SlotsPerPeriod = 12
-	sweep, err := broadcast.KSweep(tr, broadcast.AlgorithmScheduler{Algo: core.LocalGreedy{}}, cfg, 6)
+	sweep, err := broadcast.KSweep(ctx, tr, broadcast.AlgorithmScheduler{Algo: core.LocalGreedy{}}, cfg, 6)
 	if err != nil {
 		log.Fatal(err)
 	}

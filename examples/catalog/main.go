@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	tr, err := trace.Generate(trace.Config{
 		N:      70,
 		Box:    pointset.PaperBox2D(),
@@ -53,13 +55,13 @@ func main() {
 		{"4x4 lattice", coarse},
 		{"12x12 lattice", dense},
 	} {
-		m, err := broadcast.Run(tr, broadcast.CatalogScheduler{Inner: inner, Catalog: c.items}, cfg)
+		m, err := broadcast.Run(ctx, tr, broadcast.CatalogScheduler{Inner: inner, Catalog: c.items}, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		tb.AddRow(c.name, len(c.items), m.MeanSatisfaction)
 	}
-	free, err := broadcast.Run(tr, inner, cfg)
+	free, err := broadcast.Run(ctx, tr, inner, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,14 +72,14 @@ func main() {
 	fmt.Println()
 	tb2 := report.NewTable("same 3-broadcast budget, partitioned across stations",
 		"deployment", "mean satisfaction")
-	single, err := broadcast.RunMulti(tr, inner, cfg, 1, broadcast.RandomAssign)
+	single, err := broadcast.RunMulti(ctx, tr, inner, cfg, 1, broadcast.RandomAssign)
 	if err != nil {
 		log.Fatal(err)
 	}
 	tb2.AddRow("1 station × k=3", single.MeanSatisfaction)
 	cfg3 := cfg
 	cfg3.K = 1
-	triple, err := broadcast.RunMulti(tr, inner, cfg3, 3, broadcast.NearestAnchor)
+	triple, err := broadcast.RunMulti(ctx, tr, inner, cfg3, 3, broadcast.NearestAnchor)
 	if err != nil {
 		log.Fatal(err)
 	}

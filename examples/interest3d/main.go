@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := xrand.New(3)
 	users, err := pointset.GenUniform(60, pointset.PaperBox3D(), pointset.RandomIntWeight, rng)
 	if err != nil {
@@ -51,7 +53,7 @@ func main() {
 		}
 		row := []interface{}{nm.Name()}
 		for _, a := range algs {
-			res, err := a.Run(in, k)
+			res, err := a.Run(ctx, in, k)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -67,7 +69,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, a := range algs {
-		res, err := a.Run(in, k)
+		res, err := a.Run(ctx, in, k)
 		if err != nil {
 			log.Fatal(err)
 		}

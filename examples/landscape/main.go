@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	tr, err := trace.Generate(trace.Config{
 		N:      60,
 		Box:    pointset.PaperBox2D(),
@@ -49,7 +51,7 @@ func main() {
 		return in.RoundGain(vec.Of(x, yy), y)
 	}))
 
-	res, err := (core.LocalGreedy{}).Run(in, 1)
+	res, err := (core.LocalGreedy{}).Run(ctx, in, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. A population: 20 users uniformly spread over the paper's 4×4
 	//    interest plane, with random integer happiness caps in 1..5.
 	rng := xrand.New(2011) // the paper's year; any seed reproduces exactly
@@ -46,13 +48,13 @@ func main() {
 		"algorithm", "round gains", "total", "ratio vs exhaustive")
 
 	// 4. The exhaustive baseline the paper divides by.
-	ex, err := exhaustive.Solve(in, k, exhaustive.Options{GridPer: 5, Box: pointset.PaperBox2D(), Polish: true})
+	ex, err := exhaustive.Solve(ctx, in, k, exhaustive.Options{GridPer: 5, Box: pointset.PaperBox2D(), Polish: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	for _, a := range algs {
-		res, err := a.Run(in, k)
+		res, err := a.Run(ctx, in, k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,7 +71,7 @@ func main() {
 	fmt.Print(tb.Render())
 
 	fmt.Println("\nselected contents (greedy4):")
-	res, err := (core.ComplexGreedy{}).Run(in, k)
+	res, err := (core.ComplexGreedy{}).Run(ctx, in, k)
 	if err != nil {
 		log.Fatal(err)
 	}

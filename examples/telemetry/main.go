@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. A 400-user instance on the paper's 4×4 plane.
 	rng := xrand.New(7)
 	users, err := pointset.GenUniform(400, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
@@ -49,7 +51,7 @@ func main() {
 	alg := core.Instrument(core.LazyGreedy{}, col)
 
 	const k = 4
-	res, err := alg.Run(in, k)
+	res, err := alg.Run(ctx, in, k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,4 +83,42 @@ func main() {
 	// 6. The sink wrote the identical stream as JSONL for offline tools.
 	st, _ := f.Stat()
 	fmt.Printf("  event stream:       %s (%d bytes of JSONL)\n", f.Name(), st.Size())
+
+	// 7. Anytime results under a deadline: a context that cancels after the
+	//    first round_end makes the solver stop at the next round boundary
+	//    and return its committed prefix together with ctx.Err(). Telemetry
+	//    records the early stop as a "cancelled" event carrying the number
+	//    of completed rounds.
+	dm := obs.NewMetrics()
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	bounded := core.Instrument(core.LazyGreedy{}, obs.Multi(dm, cancelAfterRound{1, cancel}))
+	partial, err := bounded.Run(dctx, in, k)
+	if err != context.Canceled {
+		log.Fatalf("expected context.Canceled, got %v", err)
+	}
+	fmt.Printf("deadline-bounded run: %d of %d rounds committed, partial reward %.2f\n",
+		len(partial.Centers), k, partial.Total)
+	for _, e := range dm.Snapshot().Events {
+		if e.Type == obs.EvCancelled {
+			fmt.Printf("  cancelled event:    alg=%s rounds=%.0f\n", e.Alg, e.Fields["rounds"])
+		}
+	}
+}
+
+// cancelAfterRound is an obs.Collector that fires a context cancel once the
+// given round finishes — a deterministic stand-in for a wall-clock deadline.
+type cancelAfterRound struct {
+	round  int
+	cancel context.CancelFunc
+}
+
+func (cancelAfterRound) Count(string, int64)     {}
+func (cancelAfterRound) TimeNS(string, int64)    {}
+func (cancelAfterRound) Gauge(string, float64)   {}
+func (cancelAfterRound) Observe(string, float64) {}
+func (c cancelAfterRound) Emit(e obs.Event) {
+	if e.Type == obs.EvRoundEnd && e.Round >= c.round {
+		c.cancel()
+	}
 }

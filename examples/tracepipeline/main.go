@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	tr, err := trace.Generate(trace.Config{
 		N:      30,
 		Box:    pointset.PaperBox2D(),
@@ -98,7 +100,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := (core.LocalGreedy{}).Run(in, 3)
+	res, err := (core.LocalGreedy{}).Run(ctx, in, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

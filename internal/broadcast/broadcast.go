@@ -9,6 +9,7 @@
 package broadcast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -28,8 +29,11 @@ import (
 type Scheduler interface {
 	// Name is a short identifier for reporting.
 	Name() string
-	// Schedule returns the k content vectors for the period.
-	Schedule(in *reward.Instance, k int) ([]vec.V, error)
+	// Schedule returns the k content vectors for the period. On
+	// cancellation it may return fewer than k contents together with
+	// ctx.Err() (the anytime contract of core.Algorithm.Run); the
+	// simulator does not commit such partial periods.
+	Schedule(ctx context.Context, in *reward.Instance, k int) ([]vec.V, error)
 }
 
 // AlgorithmScheduler adapts any core.Algorithm into a Scheduler.
@@ -41,9 +45,12 @@ type AlgorithmScheduler struct {
 func (s AlgorithmScheduler) Name() string { return s.Algo.Name() }
 
 // Schedule implements Scheduler.
-func (s AlgorithmScheduler) Schedule(in *reward.Instance, k int) ([]vec.V, error) {
-	res, err := s.Algo.Run(in, k)
+func (s AlgorithmScheduler) Schedule(ctx context.Context, in *reward.Instance, k int) ([]vec.V, error) {
+	res, err := s.Algo.Run(ctx, in, k)
 	if err != nil {
+		if res != nil {
+			return res.Centers, err
+		}
 		return nil, err
 	}
 	return res.Centers, nil
@@ -65,7 +72,7 @@ func (s StaticScheduler) Name() string {
 }
 
 // Schedule implements Scheduler.
-func (s StaticScheduler) Schedule(_ *reward.Instance, k int) ([]vec.V, error) {
+func (s StaticScheduler) Schedule(_ context.Context, _ *reward.Instance, k int) ([]vec.V, error) {
 	if len(s.Contents) < k {
 		return nil, fmt.Errorf("broadcast: static scheduler has %d contents, need %d", len(s.Contents), k)
 	}
@@ -162,7 +169,12 @@ type Metrics struct {
 
 // Run simulates the base station over the trace's population. The input
 // trace is not modified; the population evolves on a private copy.
-func Run(tr *trace.Trace, sched Scheduler, cfg Config) (*Metrics, error) {
+//
+// Run is anytime under cancellation: ctx is checked between scheduling
+// rounds (periods), a period whose schedule was cut short is discarded, and
+// the metrics aggregated over the completed periods are returned together
+// with ctx.Err(). A nil ctx behaves like context.Background().
+func Run(ctx context.Context, tr *trace.Trace, sched Scheduler, cfg Config) (*Metrics, error) {
 	if tr == nil {
 		return nil, errors.New("broadcast: nil trace")
 	}
@@ -171,6 +183,9 @@ func Run(tr *trace.Trace, sched Scheduler, cfg Config) (*Metrics, error) {
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -201,7 +216,12 @@ func Run(tr *trace.Trace, sched Scheduler, cfg Config) (*Metrics, error) {
 
 	m := &Metrics{Scheduler: sched.Name()}
 	perUser := map[int]*userAccount{}
+	var cancelErr error
 	for p := 0; p < cfg.Periods; p++ {
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
 		set, err := cur.ToSet()
 		if err != nil {
 			return nil, err
@@ -211,8 +231,14 @@ func Run(tr *trace.Trace, sched Scheduler, cfg Config) (*Metrics, error) {
 			return nil, err
 		}
 		in.SetCollector(cfg.Obs)
-		centers, err := sched.Schedule(in, cfg.K)
+		centers, err := sched.Schedule(ctx, in, cfg.K)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// The period's schedule was cut short; discard it and keep
+				// the completed periods as the anytime answer.
+				cancelErr = cerr
+				break
+			}
 			return nil, fmt.Errorf("broadcast: period %d: %w", p, err)
 		}
 		f := in.Objective(centers)
@@ -283,24 +309,8 @@ func Run(tr *trace.Trace, sched Scheduler, cfg Config) (*Metrics, error) {
 		}
 	}
 
-	// Aggregate.
-	var satSum float64
-	for _, ps := range m.Periods {
-		if ps.MaxRwd > 0 {
-			satSum += ps.Reward / ps.MaxRwd
-		}
-	}
-	m.MeanSatisfaction = satSum / float64(len(m.Periods))
-	userSat := make([]float64, 0, len(perUser))
-	for _, acct := range perUser {
-		userSat = append(userSat, acct.satisfaction/float64(acct.periods))
-	}
-	sort.Float64s(userSat)
-	m.UserSatisfaction = userSat
-	m.Fairness = stats.JainIndex(userSat)
-	m.ServiceFrequency = float64(slots) / float64(cfg.K)
-	m.SatisfactionPerSlot = m.MeanSatisfaction / float64(cfg.K)
-	return m, nil
+	m.aggregate(perUser, slots, cfg.K)
+	return m, cancelErr
 }
 
 type userAccount struct {
@@ -308,11 +318,37 @@ type userAccount struct {
 	periods      int
 }
 
+// aggregate derives the summary metrics from the recorded periods (the
+// shared tail of Run and RunTimeline). With zero completed periods — a run
+// cancelled before its first schedule — every summary stays zero.
+func (m *Metrics) aggregate(perUser map[int]*userAccount, slots, k int) {
+	if len(m.Periods) > 0 {
+		var satSum float64
+		for _, ps := range m.Periods {
+			if ps.MaxRwd > 0 {
+				satSum += ps.Reward / ps.MaxRwd
+			}
+		}
+		m.MeanSatisfaction = satSum / float64(len(m.Periods))
+	}
+	userSat := make([]float64, 0, len(perUser))
+	for _, acct := range perUser {
+		userSat = append(userSat, acct.satisfaction/float64(acct.periods))
+	}
+	sort.Float64s(userSat)
+	m.UserSatisfaction = userSat
+	m.Fairness = stats.JainIndex(userSat)
+	m.ServiceFrequency = float64(slots) / float64(k)
+	m.SatisfactionPerSlot = m.MeanSatisfaction / float64(k)
+}
+
 // RunTimeline replays a recorded population timeline: period p's schedule is
 // computed against snapshot p exactly, so two replays of the same timeline
 // with the same scheduler are bit-identical — the trace-driven analogue of
 // Run, with the population evolution fixed up front instead of simulated.
-func RunTimeline(tl *trace.Timeline, sched Scheduler, cfg Config) (*Metrics, error) {
+// Cancellation follows Run's anytime contract: completed periods are
+// aggregated and returned with ctx.Err().
+func RunTimeline(ctx context.Context, tl *trace.Timeline, sched Scheduler, cfg Config) (*Metrics, error) {
 	if tl == nil {
 		return nil, errors.New("broadcast: nil timeline")
 	}
@@ -321,6 +357,9 @@ func RunTimeline(tl *trace.Timeline, sched Scheduler, cfg Config) (*Metrics, err
 	}
 	if err := tl.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	// Period count comes from the timeline; validate the rest of the
 	// config against it.
@@ -339,7 +378,12 @@ func RunTimeline(tl *trace.Timeline, sched Scheduler, cfg Config) (*Metrics, err
 	}
 	m := &Metrics{Scheduler: sched.Name()}
 	perUser := map[int]*userAccount{}
+	var cancelErr error
 	for p, snap := range tl.Snapshots {
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
 		set, err := snap.ToSet()
 		if err != nil {
 			return nil, err
@@ -349,8 +393,12 @@ func RunTimeline(tl *trace.Timeline, sched Scheduler, cfg Config) (*Metrics, err
 			return nil, err
 		}
 		in.SetCollector(ccfg.Obs)
-		centers, err := sched.Schedule(in, ccfg.K)
+		centers, err := sched.Schedule(ctx, in, ccfg.K)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				cancelErr = cerr
+				break
+			}
 			return nil, fmt.Errorf("broadcast: timeline period %d: %w", p, err)
 		}
 		f := in.Objective(centers)
@@ -372,38 +420,30 @@ func RunTimeline(tl *trace.Timeline, sched Scheduler, cfg Config) (*Metrics, err
 			acct.periods++
 		}
 	}
-	var satSum float64
-	for _, ps := range m.Periods {
-		if ps.MaxRwd > 0 {
-			satSum += ps.Reward / ps.MaxRwd
-		}
-	}
-	m.MeanSatisfaction = satSum / float64(len(m.Periods))
-	userSat := make([]float64, 0, len(perUser))
-	for _, acct := range perUser {
-		userSat = append(userSat, acct.satisfaction/float64(acct.periods))
-	}
-	sort.Float64s(userSat)
-	m.UserSatisfaction = userSat
-	m.Fairness = stats.JainIndex(userSat)
-	m.ServiceFrequency = float64(slots) / float64(ccfg.K)
-	m.SatisfactionPerSlot = m.MeanSatisfaction / float64(ccfg.K)
-	return m, nil
+	m.aggregate(perUser, slots, ccfg.K)
+	return m, cancelErr
 }
 
 // KSweep runs the same population under k = 1..kMax and reports the
 // satisfaction/frequency tradeoff curve, regenerating the §III.A observation
-// quantitatively.
-func KSweep(tr *trace.Trace, sched Scheduler, base Config, kMax int) ([]Metrics, error) {
+// quantitatively. A cancelled sweep returns the k values completed so far
+// together with ctx.Err().
+func KSweep(ctx context.Context, tr *trace.Trace, sched Scheduler, base Config, kMax int) ([]Metrics, error) {
 	if kMax <= 0 {
 		return nil, fmt.Errorf("broadcast: kMax = %d", kMax)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	out := make([]Metrics, 0, kMax)
 	for k := 1; k <= kMax; k++ {
 		cfg := base
 		cfg.K = k
-		m, err := Run(tr, sched, cfg)
+		m, err := Run(ctx, tr, sched, cfg)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return out, cerr // keep the fully-swept k values
+			}
 			return nil, err
 		}
 		out = append(out, *m)

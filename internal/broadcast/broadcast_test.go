@@ -1,6 +1,7 @@
 package broadcast
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -34,7 +35,7 @@ func greedySched() Scheduler {
 
 func TestRunBasic(t *testing.T) {
 	tr := genTrace(t, 30, trace.Uniform)
-	m, err := Run(tr, greedySched(), baseCfg())
+	m, err := Run(context.Background(), tr, greedySched(), baseCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,35 +63,35 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	tr := genTrace(t, 10, trace.Uniform)
-	if _, err := Run(nil, greedySched(), baseCfg()); err == nil {
+	if _, err := Run(context.Background(), nil, greedySched(), baseCfg()); err == nil {
 		t.Error("nil trace accepted")
 	}
-	if _, err := Run(tr, nil, baseCfg()); err == nil {
+	if _, err := Run(context.Background(), tr, nil, baseCfg()); err == nil {
 		t.Error("nil scheduler accepted")
 	}
 	bad := baseCfg()
 	bad.K = 0
-	if _, err := Run(tr, greedySched(), bad); err == nil {
+	if _, err := Run(context.Background(), tr, greedySched(), bad); err == nil {
 		t.Error("K=0 accepted")
 	}
 	bad = baseCfg()
 	bad.Radius = -1
-	if _, err := Run(tr, greedySched(), bad); err == nil {
+	if _, err := Run(context.Background(), tr, greedySched(), bad); err == nil {
 		t.Error("negative radius accepted")
 	}
 	bad = baseCfg()
 	bad.Periods = 0
-	if _, err := Run(tr, greedySched(), bad); err == nil {
+	if _, err := Run(context.Background(), tr, greedySched(), bad); err == nil {
 		t.Error("0 periods accepted")
 	}
 	bad = baseCfg()
 	bad.ChurnRate = 1.5
-	if _, err := Run(tr, greedySched(), bad); err == nil {
+	if _, err := Run(context.Background(), tr, greedySched(), bad); err == nil {
 		t.Error("churn > 1 accepted")
 	}
 	bad = baseCfg()
 	bad.DriftSigma = -0.1
-	if _, err := Run(tr, greedySched(), bad); err == nil {
+	if _, err := Run(context.Background(), tr, greedySched(), bad); err == nil {
 		t.Error("negative drift accepted")
 	}
 }
@@ -101,7 +102,7 @@ func TestRunDoesNotMutateInput(t *testing.T) {
 	cfg := baseCfg()
 	cfg.DriftSigma = 0.3
 	cfg.ChurnRate = 0.2
-	if _, err := Run(tr, greedySched(), cfg); err != nil {
+	if _, err := Run(context.Background(), tr, greedySched(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Users[0].Interest[0] != snap[0] || tr.Users[0].Interest[1] != snap[1] {
@@ -114,11 +115,11 @@ func TestStaticVsAdaptive(t *testing.T) {
 	// static schedule stuck at arbitrary corners.
 	tr := genTrace(t, 60, trace.Clustered)
 	cfg := baseCfg()
-	adaptive, err := Run(tr, greedySched(), cfg)
+	adaptive, err := Run(context.Background(), tr, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := Run(tr, StaticScheduler{
+	static, err := Run(context.Background(), tr, StaticScheduler{
 		Contents: []vec.V{vec.Of(0, 0), vec.Of(4, 4)},
 	}, cfg)
 	if err != nil {
@@ -137,7 +138,7 @@ func TestStaticSchedulerShortContents(t *testing.T) {
 	tr := genTrace(t, 10, trace.Uniform)
 	cfg := baseCfg()
 	cfg.K = 3
-	if _, err := Run(tr, StaticScheduler{Contents: []vec.V{vec.Of(1, 1)}}, cfg); err == nil {
+	if _, err := Run(context.Background(), tr, StaticScheduler{Contents: []vec.V{vec.Of(1, 1)}}, cfg); err == nil {
 		t.Error("static scheduler with too few contents accepted")
 	}
 }
@@ -147,11 +148,11 @@ func TestDeterminism(t *testing.T) {
 	cfg := baseCfg()
 	cfg.DriftSigma = 0.2
 	cfg.ChurnRate = 0.1
-	a, err := Run(tr, greedySched(), cfg)
+	a, err := Run(context.Background(), tr, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(tr, greedySched(), cfg)
+	b, err := Run(context.Background(), tr, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestChurnReplacesUsers(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Periods = 10
 	cfg.ChurnRate = 0.5
-	m, err := Run(tr, greedySched(), cfg)
+	m, err := Run(context.Background(), tr, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestArrivalsGrowPopulation(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Periods = 10
 	cfg.ArrivalRate = 5
-	m, err := Run(tr, greedySched(), cfg)
+	m, err := Run(context.Background(), tr, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestDeparturesShrinkPopulation(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Periods = 10
 	cfg.DepartRate = 0.3
-	m, err := Run(tr, greedySched(), cfg)
+	m, err := Run(context.Background(), tr, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestDeparturesShrinkPopulation(t *testing.T) {
 	}
 	// Population never empties even at extreme departure rates.
 	cfg.DepartRate = 1
-	if _, err := Run(tr, greedySched(), cfg); err != nil {
+	if _, err := Run(context.Background(), tr, greedySched(), cfg); err != nil {
 		t.Fatalf("full departure rate errored: %v", err)
 	}
 }
@@ -217,12 +218,12 @@ func TestArrivalDepartValidation(t *testing.T) {
 	tr := genTrace(t, 10, trace.Uniform)
 	bad := baseCfg()
 	bad.ArrivalRate = -1
-	if _, err := Run(tr, greedySched(), bad); err == nil {
+	if _, err := Run(context.Background(), tr, greedySched(), bad); err == nil {
 		t.Error("negative arrival rate accepted")
 	}
 	bad = baseCfg()
 	bad.DepartRate = 1.5
-	if _, err := Run(tr, greedySched(), bad); err == nil {
+	if _, err := Run(context.Background(), tr, greedySched(), bad); err == nil {
 		t.Error("depart rate > 1 accepted")
 	}
 }
@@ -231,7 +232,7 @@ func TestKSweepTradeoff(t *testing.T) {
 	tr := genTrace(t, 40, trace.Uniform)
 	cfg := baseCfg()
 	cfg.Periods = 3
-	ms, err := KSweep(tr, greedySched(), cfg, 5)
+	ms, err := KSweep(context.Background(), tr, greedySched(), cfg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestKSweepTradeoff(t *testing.T) {
 	// Service frequency falls as k grows (paper's §III.A tradeoff) with a
 	// fixed slot budget.
 	cfg.SlotsPerPeriod = 6
-	ms, err = KSweep(tr, greedySched(), cfg, 5)
+	ms, err = KSweep(context.Background(), tr, greedySched(), cfg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestKSweepTradeoff(t *testing.T) {
 				i, ms[i-1].ServiceFrequency, i+1, ms[i].ServiceFrequency)
 		}
 	}
-	if _, err := KSweep(tr, greedySched(), cfg, 0); err == nil {
+	if _, err := KSweep(context.Background(), tr, greedySched(), cfg, 0); err == nil {
 		t.Error("kMax=0 accepted")
 	}
 }
@@ -270,7 +271,7 @@ func TestRunTimelineReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseCfg()
-	a, err := RunTimeline(tl, greedySched(), cfg)
+	a, err := RunTimeline(context.Background(), tl, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestRunTimelineReplay(t *testing.T) {
 		t.Fatalf("periods = %d", len(a.Periods))
 	}
 	// Replays are bit-identical.
-	b, err := RunTimeline(tl, greedySched(), cfg)
+	b, err := RunTimeline(context.Background(), tl, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,11 +296,11 @@ func TestRunTimelineReplay(t *testing.T) {
 	cfg.Periods = 3
 	cfg.DriftSigma = 0
 	cfg.ChurnRate = 0
-	live, err := Run(tr, greedySched(), cfg)
+	live, err := Run(context.Background(), tr, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := RunTimeline(still, greedySched(), cfg)
+	replay, err := RunTimeline(context.Background(), still, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,15 +317,15 @@ func TestRunTimelineValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseCfg()
-	if _, err := RunTimeline(nil, greedySched(), cfg); err == nil {
+	if _, err := RunTimeline(context.Background(), nil, greedySched(), cfg); err == nil {
 		t.Error("nil timeline accepted")
 	}
-	if _, err := RunTimeline(tl, nil, cfg); err == nil {
+	if _, err := RunTimeline(context.Background(), tl, nil, cfg); err == nil {
 		t.Error("nil scheduler accepted")
 	}
 	bad := cfg
 	bad.K = 0
-	if _, err := RunTimeline(tl, greedySched(), bad); err == nil {
+	if _, err := RunTimeline(context.Background(), tl, greedySched(), bad); err == nil {
 		t.Error("K=0 accepted")
 	}
 }
@@ -333,7 +334,7 @@ func TestOneNormBroadcast(t *testing.T) {
 	tr := genTrace(t, 20, trace.Uniform)
 	cfg := baseCfg()
 	cfg.Norm = norm.L1{}
-	m, err := Run(tr, AlgorithmScheduler{Algo: core.SimpleGreedy{}}, cfg)
+	m, err := Run(context.Background(), tr, AlgorithmScheduler{Algo: core.SimpleGreedy{}}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

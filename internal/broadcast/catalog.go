@@ -1,6 +1,7 @@
 package broadcast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -35,7 +36,7 @@ func (s CatalogScheduler) Name() string {
 // Schedule implements Scheduler. Each proposed center is replaced by the
 // nearest catalog item not already chosen this period; an exhausted catalog
 // is an error.
-func (s CatalogScheduler) Schedule(in *reward.Instance, k int) ([]vec.V, error) {
+func (s CatalogScheduler) Schedule(ctx context.Context, in *reward.Instance, k int) ([]vec.V, error) {
 	if s.Inner == nil {
 		return nil, errors.New("broadcast: catalog scheduler without inner scheduler")
 	}
@@ -46,7 +47,7 @@ func (s CatalogScheduler) Schedule(in *reward.Instance, k int) ([]vec.V, error) 
 	if nm == nil {
 		nm = norm.L2{}
 	}
-	ideal, err := s.Inner.Schedule(in, k)
+	ideal, err := s.Inner.Schedule(ctx, in, k)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package broadcast
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -20,7 +21,7 @@ func TestCatalogSchedulerSnaps(t *testing.T) {
 	tr := genTrace(t, 30, trace.Uniform)
 	cfg := baseCfg()
 	cat := denseCatalog()
-	m, err := Run(tr, CatalogScheduler{
+	m, err := Run(context.Background(), tr, CatalogScheduler{
 		Inner:   AlgorithmScheduler{Algo: core.ComplexGreedy{}},
 		Catalog: cat,
 	}, cfg)
@@ -59,7 +60,7 @@ func TestCatalogNoDuplicatesWithinPeriod(t *testing.T) {
 	}
 	cfg := baseCfg()
 	cfg.K = 3
-	m, err := Run(tr, CatalogScheduler{
+	m, err := Run(context.Background(), tr, CatalogScheduler{
 		Inner:   AlgorithmScheduler{Algo: core.SimpleGreedy{}},
 		Catalog: denseCatalog(),
 	}, cfg)
@@ -82,15 +83,15 @@ func TestCatalogDegradesGracefully(t *testing.T) {
 	// 2-item corner catalog should cost a lot.
 	tr := genTrace(t, 40, trace.Clustered)
 	cfg := baseCfg()
-	free, err := Run(tr, greedySched(), cfg)
+	free, err := Run(context.Background(), tr, greedySched(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dense, err := Run(tr, CatalogScheduler{Inner: greedySched(), Catalog: denseCatalog()}, cfg)
+	dense, err := Run(context.Background(), tr, CatalogScheduler{Inner: greedySched(), Catalog: denseCatalog()}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	poor, err := Run(tr, CatalogScheduler{
+	poor, err := Run(context.Background(), tr, CatalogScheduler{
 		Inner:   greedySched(),
 		Catalog: []vec.V{vec.Of(0, 0), vec.Of(4, 4)},
 	}, cfg)
@@ -109,15 +110,15 @@ func TestCatalogValidation(t *testing.T) {
 	tr := genTrace(t, 10, trace.Uniform)
 	cfg := baseCfg()
 	cfg.K = 3
-	if _, err := Run(tr, CatalogScheduler{Inner: greedySched(), Catalog: denseCatalog()[:2]}, cfg); err == nil {
+	if _, err := Run(context.Background(), tr, CatalogScheduler{Inner: greedySched(), Catalog: denseCatalog()[:2]}, cfg); err == nil {
 		t.Error("undersized catalog accepted")
 	}
-	if _, err := Run(tr, CatalogScheduler{Catalog: denseCatalog()}, cfg); err == nil {
+	if _, err := Run(context.Background(), tr, CatalogScheduler{Catalog: denseCatalog()}, cfg); err == nil {
 		t.Error("nil inner scheduler accepted")
 	}
 	// Dimension-incompatible catalog.
 	bad := CatalogScheduler{Inner: greedySched(), Catalog: []vec.V{vec.Of(1, 2, 3), vec.Of(1, 1, 1), vec.Of(0, 0, 0)}}
-	if _, err := Run(tr, bad, cfg); err == nil {
+	if _, err := Run(context.Background(), tr, bad, cfg); err == nil {
 		t.Error("dimension-incompatible catalog accepted")
 	}
 }

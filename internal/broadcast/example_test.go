@@ -1,6 +1,7 @@
 package broadcast_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/broadcast"
@@ -17,7 +18,7 @@ func Example() {
 		N: 40, Box: pointset.PaperBox2D(), Kind: trace.Uniform,
 		Scheme: pointset.UnitWeight,
 	}, xrand.New(1))
-	m, _ := broadcast.Run(tr, broadcast.AlgorithmScheduler{Algo: core.LocalGreedy{}},
+	m, _ := broadcast.Run(context.Background(), tr, broadcast.AlgorithmScheduler{Algo: core.LocalGreedy{}},
 		broadcast.Config{K: 2, Radius: 1.5, Periods: 4, Seed: 1})
 	fmt.Println("scheduler:", m.Scheduler)
 	fmt.Println("periods:", len(m.Periods))
@@ -38,8 +39,8 @@ func ExampleRunTimeline() {
 	tl, _ := trace.RecordTimeline(tr, 3, 0.2, xrand.New(3))
 	cfg := broadcast.Config{K: 2, Radius: 1.2}
 	sched := broadcast.AlgorithmScheduler{Algo: core.SimpleGreedy{}}
-	a, _ := broadcast.RunTimeline(tl, sched, cfg)
-	b, _ := broadcast.RunTimeline(tl, sched, cfg)
+	a, _ := broadcast.RunTimeline(context.Background(), tl, sched, cfg)
+	b, _ := broadcast.RunTimeline(context.Background(), tl, sched, cfg)
 	fmt.Println("replays identical:", a.MeanSatisfaction == b.MeanSatisfaction)
 	// Output:
 	// replays identical: true

@@ -1,6 +1,7 @@
 package broadcast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -60,9 +61,16 @@ type MultiMetrics struct {
 // per-station config. Stations with no users contribute nothing. Use it to
 // study whether S stations × k broadcasts beat one station × S·k broadcasts
 // under the same total budget.
-func RunMulti(tr *trace.Trace, sched Scheduler, cfg Config, stations int, mode AssignMode) (*MultiMetrics, error) {
+//
+// Cancellation is anytime at station granularity: stations simulated before
+// ctx was done are aggregated and returned with ctx.Err(); the station whose
+// own run was cut short is dropped.
+func RunMulti(ctx context.Context, tr *trace.Trace, sched Scheduler, cfg Config, stations int, mode AssignMode) (*MultiMetrics, error) {
 	if tr == nil {
 		return nil, errors.New("broadcast: nil trace")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if stations <= 0 {
 		return nil, fmt.Errorf("broadcast: stations = %d", stations)
@@ -103,7 +111,12 @@ func RunMulti(tr *trace.Trace, sched Scheduler, cfg Config, stations int, mode A
 
 	out := &MultiMetrics{TotalBroadcasts: stations * cfg.K}
 	var satWeighted, weightTotal float64
+	var cancelErr error
 	for s := 0; s < stations; s++ {
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
 		sub := &trace.Trace{Dim: tr.Dim, Lo: append([]float64{}, tr.Lo...), Hi: append([]float64{}, tr.Hi...)}
 		for i, u := range tr.Users {
 			if assign[i] == s {
@@ -120,8 +133,12 @@ func RunMulti(tr *trace.Trace, sched Scheduler, cfg Config, stations int, mode A
 		}
 		scfg := cfg
 		scfg.Seed = cfg.Seed ^ (uint64(s)+1)*0x9e3779b97f4a7c15
-		m, err := Run(sub, sched, scfg)
+		m, err := Run(ctx, sub, sched, scfg)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				cancelErr = cerr
+				break // drop the cut-short station
+			}
 			return nil, fmt.Errorf("broadcast: station %d: %w", s, err)
 		}
 		out.Stations = append(out.Stations, StationMetrics{Station: s, Users: len(sub.Users), Metrics: *m})
@@ -136,5 +153,5 @@ func RunMulti(tr *trace.Trace, sched Scheduler, cfg Config, stations int, mode A
 	if weightTotal > 0 {
 		out.MeanSatisfaction = satWeighted / weightTotal
 	}
-	return out, nil
+	return out, cancelErr
 }

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,7 +16,9 @@ import (
 )
 
 // Bench implements cdbench: regenerate paper tables and figures.
-func Bench(args []string, stdout io.Writer) error {
+// Cancellation (ctx or -timeout) is a clean exit: experiments that finished
+// are already printed, the partially-run one is dropped with a note.
+func Bench(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cdbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -29,10 +32,13 @@ func Bench(args []string, stdout io.Writer) error {
 		plot    = fs.Bool("plot", false, "render each figure as an ASCII chart too")
 		list    = fs.Bool("list", false, "list experiment ids and exit")
 		metrics = fs.String("metrics", "", "write a telemetry snapshot (per-experiment wall time plus solver counters) as JSON to this file ('-' = stdout)")
+		timeout = fs.Duration("timeout", 0, "overall deadline; on expiry completed experiments stand and the tool exits cleanly (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Fprintf(stdout, "%-22s %s\n", e.ID, e.Title)
@@ -59,9 +65,18 @@ func Bench(args []string, stdout io.Writer) error {
 
 	var md strings.Builder
 	for _, e := range todo {
+		if cerr := ctx.Err(); cerr != nil {
+			cancelNote(stdout, cerr)
+			break
+		}
 		start := time.Now()
-		out, err := e.Run(cfg)
+		out, err := e.Run(ctx, cfg)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				fmt.Fprintf(stdout, "### %s — %s: stopped early, results dropped\n\n", e.ID, e.Title)
+				cancelNote(stdout, cerr)
+				break
+			}
 			return fmt.Errorf("cdbench: %s: %w", e.ID, err)
 		}
 		if obs.Active(col) {

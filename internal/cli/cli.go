@@ -5,35 +5,44 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
-	"repro/internal/optimize"
+	"repro/internal/solver"
 	"repro/internal/trace"
 )
 
-// AlgorithmByName resolves the paper's algorithm names (greedy1..greedy4,
-// plus the greedy2-lazy accelerated variant) to runnable algorithms.
-func AlgorithmByName(name string) (core.Algorithm, error) {
-	switch name {
-	case "greedy1":
-		return core.RoundBased{Solver: optimize.Multistart{}}, nil
-	case "greedy2":
-		return core.LocalGreedy{}, nil
-	case "greedy2-lazy":
-		return core.LazyGreedy{}, nil
-	case "greedy3":
-		return core.SimpleGreedy{}, nil
-	case "greedy4":
-		return core.ComplexGreedy{}, nil
-	case "greedy2+swap":
-		return core.SwapLocalSearch{}, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q (greedy1 | greedy2 | greedy2-lazy | greedy2+swap | greedy3 | greedy4)", name)
+// withTimeout applies the tools' shared -timeout semantics: 0 keeps the
+// caller's context (normalizing nil to Background), a positive duration adds
+// a deadline. The returned cancel must always be called.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
+// cancelNote reports a run cut short by -timeout or an interrupt. The tools
+// treat cancellation as a clean exit: partial results are printed, this note
+// explains why they are partial, and the process exits zero.
+func cancelNote(stdout io.Writer, err error) {
+	fmt.Fprintf(stdout, "note: run stopped early (%v); output reflects only the work completed before cancellation\n", err)
+}
+
+// AlgorithmByName resolves an algorithm name through the solver registry —
+// the CLI holds no name→constructor table of its own, so its vocabulary is
+// exactly the registry's (greedy1..greedy4 plus the accelerated and baseline
+// variants), and unknown names report the full sorted catalog.
+func AlgorithmByName(name string) (core.Algorithm, error) {
+	return solver.New(name, solver.Options{})
 }
 
 // describeCenter renders a broadcast content vector, labelling each

@@ -2,14 +2,18 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/pointset"
+	"repro/internal/solver"
 )
 
 func TestAlgorithmByName(t *testing.T) {
@@ -55,7 +59,7 @@ func genJSON(t *testing.T, args ...string) string {
 	t.Helper()
 	var out bytes.Buffer
 	full := append([]string{"-n", "20", "-seed", "3"}, args...)
-	if err := TraceGen(full, &out); err != nil {
+	if err := TraceGen(context.Background(), full, &out); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()
@@ -67,7 +71,7 @@ func TestTraceGenJSONAndCSV(t *testing.T) {
 		t.Errorf("json output wrong: %.80s", js)
 	}
 	var csvOut bytes.Buffer
-	if err := TraceGen([]string{"-n", "5", "-format", "csv"}, &csvOut); err != nil {
+	if err := TraceGen(context.Background(), []string{"-n", "5", "-format", "csv"}, &csvOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(csvOut.String(), "id,weight,x0,x1") {
@@ -85,7 +89,7 @@ func TestTraceGenRejects(t *testing.T) {
 		{"-side", "-1"},
 		{"-n", "0"},
 	} {
-		if err := TraceGen(args, &out); err == nil {
+		if err := TraceGen(context.Background(), args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -100,7 +104,7 @@ func TestTraceGenDeterministic(t *testing.T) {
 func TestGreedyPipeline(t *testing.T) {
 	js := genJSON(t)
 	var out bytes.Buffer
-	err := Greedy([]string{"-alg", "greedy2", "-k", "2", "-r", "1.5", "-exhaustive"},
+	err := Greedy(context.Background(), []string{"-alg", "greedy2", "-k", "2", "-r", "1.5", "-exhaustive"},
 		strings.NewReader(js), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -115,25 +119,25 @@ func TestGreedyPipeline(t *testing.T) {
 
 func TestKeywordsFlowThrough(t *testing.T) {
 	var trOut bytes.Buffer
-	if err := TraceGen([]string{"-n", "10", "-keywords", "genre,tempo"}, &trOut); err != nil {
+	if err := TraceGen(context.Background(), []string{"-n", "10", "-keywords", "genre,tempo"}, &trOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(trOut.String(), `"keywords"`) || !strings.Contains(trOut.String(), "genre") {
 		t.Fatalf("keywords not serialized: %.120s", trOut.String())
 	}
 	var out bytes.Buffer
-	if err := Greedy([]string{"-k", "1", "-r", "1.5"}, strings.NewReader(trOut.String()), &out); err != nil {
+	if err := Greedy(context.Background(), []string{"-k", "1", "-r", "1.5"}, strings.NewReader(trOut.String()), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "genre=") || !strings.Contains(out.String(), "tempo=") {
 		t.Errorf("centers not keyword-labelled:\n%s", out.String())
 	}
 	// Keyword count must match the dimension.
-	if err := TraceGen([]string{"-n", "5", "-keywords", "only-one"}, &trOut); err == nil {
+	if err := TraceGen(context.Background(), []string{"-n", "5", "-keywords", "only-one"}, &trOut); err == nil {
 		t.Error("mismatched keyword count accepted")
 	}
 	// Empty keyword rejected.
-	if err := TraceGen([]string{"-n", "5", "-keywords", "a,"}, &trOut); err == nil {
+	if err := TraceGen(context.Background(), []string{"-n", "5", "-keywords", "a,"}, &trOut); err == nil {
 		t.Error("empty keyword accepted")
 	}
 }
@@ -141,7 +145,7 @@ func TestKeywordsFlowThrough(t *testing.T) {
 func TestGreedyJSONOutput(t *testing.T) {
 	js := genJSON(t)
 	var out bytes.Buffer
-	if err := Greedy([]string{"-json", "-alg", "greedy3", "-k", "2", "-r", "1.5"},
+	if err := Greedy(context.Background(), []string{"-json", "-alg", "greedy3", "-k", "2", "-r", "1.5"},
 		strings.NewReader(js), &out); err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +173,7 @@ func TestGreedyJSONOutput(t *testing.T) {
 func TestGreedyAllFlag(t *testing.T) {
 	js := genJSON(t)
 	var out bytes.Buffer
-	if err := Greedy([]string{"-all", "-k", "2", "-r", "1.5", "-exhaustive"},
+	if err := Greedy(context.Background(), []string{"-all", "-k", "2", "-r", "1.5", "-exhaustive"},
 		strings.NewReader(js), &out); err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +193,7 @@ func TestGreedyFromFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	var csvBuf bytes.Buffer
-	if err := TraceGen([]string{"-n", "10", "-format", "csv"}, &csvBuf); err != nil {
+	if err := TraceGen(context.Background(), []string{"-n", "10", "-format", "csv"}, &csvBuf); err != nil {
 		t.Fatal(err)
 	}
 	csvPath := filepath.Join(dir, "t.csv")
@@ -198,7 +202,7 @@ func TestGreedyFromFiles(t *testing.T) {
 	}
 	for _, path := range []string{jsonPath, csvPath} {
 		var out bytes.Buffer
-		if err := Greedy([]string{"-trace", path, "-alg", "greedy3", "-k", "1"}, nil, &out); err != nil {
+		if err := Greedy(context.Background(), []string{"-trace", path, "-alg", "greedy3", "-k", "1"}, nil, &out); err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
 		if !strings.Contains(out.String(), "greedy3") {
@@ -206,7 +210,7 @@ func TestGreedyFromFiles(t *testing.T) {
 		}
 	}
 	var out bytes.Buffer
-	if err := Greedy([]string{"-trace", filepath.Join(dir, "missing.json")}, nil, &out); err == nil {
+	if err := Greedy(context.Background(), []string{"-trace", filepath.Join(dir, "missing.json")}, nil, &out); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -214,21 +218,21 @@ func TestGreedyFromFiles(t *testing.T) {
 func TestGreedyRejects(t *testing.T) {
 	js := genJSON(t)
 	var out bytes.Buffer
-	if err := Greedy([]string{"-alg", "bogus"}, strings.NewReader(js), &out); err == nil {
+	if err := Greedy(context.Background(), []string{"-alg", "bogus"}, strings.NewReader(js), &out); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := Greedy([]string{"-norm", "bogus"}, strings.NewReader(js), &out); err == nil {
+	if err := Greedy(context.Background(), []string{"-norm", "bogus"}, strings.NewReader(js), &out); err == nil {
 		t.Error("bad norm accepted")
 	}
-	if err := Greedy([]string{"-r", "-2"}, strings.NewReader(js), &out); err == nil {
+	if err := Greedy(context.Background(), []string{"-r", "-2"}, strings.NewReader(js), &out); err == nil {
 		t.Error("bad radius accepted")
 	}
 	// Gigantic exhaustive request must be refused, not attempted.
 	var big bytes.Buffer
-	if err := TraceGen([]string{"-n", "200", "-seed", "1"}, &big); err != nil {
+	if err := TraceGen(context.Background(), []string{"-n", "200", "-seed", "1"}, &big); err != nil {
 		t.Fatal(err)
 	}
-	if err := Greedy([]string{"-k", "8", "-exhaustive", "-grid", "9"},
+	if err := Greedy(context.Background(), []string{"-k", "8", "-exhaustive", "-grid", "9"},
 		strings.NewReader(big.String()), &out); err == nil || !strings.Contains(err.Error(), "enumerate") {
 		t.Errorf("oversized exhaustive not refused: %v", err)
 	}
@@ -237,7 +241,7 @@ func TestGreedyRejects(t *testing.T) {
 func TestStationPipeline(t *testing.T) {
 	js := genJSON(t, "-kind", "clustered")
 	var out bytes.Buffer
-	err := Station([]string{"-alg", "greedy2", "-k", "2", "-periods", "3"},
+	err := Station(context.Background(), []string{"-alg", "greedy2", "-k", "2", "-periods", "3"},
 		strings.NewReader(js), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -256,7 +260,7 @@ func TestStationPipeline(t *testing.T) {
 func TestStationMultiStation(t *testing.T) {
 	js := genJSON(t, "-kind", "clustered", "-n", "40")
 	var out bytes.Buffer
-	err := Station([]string{"-stations", "3", "-k", "1", "-periods", "2"},
+	err := Station(context.Background(), []string{"-stations", "3", "-k", "1", "-periods", "2"},
 		strings.NewReader(js), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +271,7 @@ func TestStationMultiStation(t *testing.T) {
 			t.Errorf("multi-station output missing %q:\n%s", want, text)
 		}
 	}
-	if err := Station([]string{"-stations", "2", "-assign", "bogus"},
+	if err := Station(context.Background(), []string{"-stations", "2", "-assign", "bogus"},
 		strings.NewReader(genJSON(t)), &out); err == nil {
 		t.Error("bad assignment accepted")
 	}
@@ -275,14 +279,14 @@ func TestStationMultiStation(t *testing.T) {
 
 func TestTimelinePipeline(t *testing.T) {
 	var tlOut bytes.Buffer
-	if err := TraceGen([]string{"-n", "15", "-seed", "4", "-timeline", "3"}, &tlOut); err != nil {
+	if err := TraceGen(context.Background(), []string{"-n", "15", "-seed", "4", "-timeline", "3"}, &tlOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(tlOut.String(), `"snapshots"`) {
 		t.Fatalf("timeline json wrong: %.80s", tlOut.String())
 	}
 	var out bytes.Buffer
-	if err := Station([]string{"-timeline", "-k", "2", "-r", "1.5"},
+	if err := Station(context.Background(), []string{"-timeline", "-k", "2", "-r", "1.5"},
 		strings.NewReader(tlOut.String()), &out); err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +298,7 @@ func TestTimelinePipeline(t *testing.T) {
 	}
 	// Timeline with CSV format is refused.
 	var junk bytes.Buffer
-	if err := TraceGen([]string{"-timeline", "2", "-format", "csv"}, &junk); err == nil {
+	if err := TraceGen(context.Background(), []string{"-timeline", "2", "-format", "csv"}, &junk); err == nil {
 		t.Error("timeline csv accepted")
 	}
 	// Timeline replay from a file, plus its error paths.
@@ -304,22 +308,22 @@ func TestTimelinePipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := Station([]string{"-timeline", "-trace", path, "-k", "1"}, nil, &out); err != nil {
+	if err := Station(context.Background(), []string{"-timeline", "-trace", path, "-k", "1"}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "timeline replay") {
 		t.Error("file-based timeline replay failed")
 	}
-	if err := Station([]string{"-timeline", "-trace", filepath.Join(dir, "missing.json")}, nil, &out); err == nil {
+	if err := Station(context.Background(), []string{"-timeline", "-trace", filepath.Join(dir, "missing.json")}, nil, &out); err == nil {
 		t.Error("missing timeline file accepted")
 	}
-	if err := Station([]string{"-timeline", "-alg", "bogus"}, strings.NewReader(tlOut.String()), &out); err == nil {
+	if err := Station(context.Background(), []string{"-timeline", "-alg", "bogus"}, strings.NewReader(tlOut.String()), &out); err == nil {
 		t.Error("bad algorithm accepted in timeline mode")
 	}
-	if err := Station([]string{"-timeline", "-norm", "bogus"}, strings.NewReader(tlOut.String()), &out); err == nil {
+	if err := Station(context.Background(), []string{"-timeline", "-norm", "bogus"}, strings.NewReader(tlOut.String()), &out); err == nil {
 		t.Error("bad norm accepted in timeline mode")
 	}
-	if err := Station([]string{"-timeline"}, strings.NewReader("{"), &out); err == nil {
+	if err := Station(context.Background(), []string{"-timeline"}, strings.NewReader("{"), &out); err == nil {
 		t.Error("bad timeline json accepted")
 	}
 }
@@ -327,20 +331,20 @@ func TestTimelinePipeline(t *testing.T) {
 func TestStationRejects(t *testing.T) {
 	js := genJSON(t)
 	var out bytes.Buffer
-	if err := Station([]string{"-alg", "bogus"}, strings.NewReader(js), &out); err == nil {
+	if err := Station(context.Background(), []string{"-alg", "bogus"}, strings.NewReader(js), &out); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := Station([]string{"-periods", "0"}, strings.NewReader(js), &out); err == nil {
+	if err := Station(context.Background(), []string{"-periods", "0"}, strings.NewReader(js), &out); err == nil {
 		t.Error("bad periods accepted")
 	}
-	if err := Station([]string{"-churn", "2"}, strings.NewReader(js), &out); err == nil {
+	if err := Station(context.Background(), []string{"-churn", "2"}, strings.NewReader(js), &out); err == nil {
 		t.Error("bad churn accepted")
 	}
 }
 
 func TestBenchListAndQuick(t *testing.T) {
 	var out bytes.Buffer
-	if err := Bench([]string{"-list"}, &out); err != nil {
+	if err := Bench(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"fig2", "table1", "summary", "ablation-scale"} {
@@ -349,7 +353,7 @@ func TestBenchListAndQuick(t *testing.T) {
 		}
 	}
 	out.Reset()
-	if err := Bench([]string{"-run", "fig2", "-plot"}, &out); err != nil {
+	if err := Bench(context.Background(), []string{"-run", "fig2", "-plot"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -359,7 +363,7 @@ func TestBenchListAndQuick(t *testing.T) {
 	if !strings.Contains(text, "x: number of centers k") {
 		t.Error("plot not rendered")
 	}
-	if err := Bench([]string{"-run", "bogus"}, &out); err == nil {
+	if err := Bench(context.Background(), []string{"-run", "bogus"}, &out); err == nil {
 		t.Error("bad experiment id accepted")
 	}
 }
@@ -367,7 +371,7 @@ func TestBenchListAndQuick(t *testing.T) {
 func TestBenchCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := Bench([]string{"-run", "fig2", "-csv", dir}, &out); err != nil {
+	if err := Bench(context.Background(), []string{"-run", "fig2", "-csv", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig2-n10.csv"))
@@ -383,7 +387,7 @@ func TestBenchMarkdownOutput(t *testing.T) {
 	dir := t.TempDir()
 	mdPath := filepath.Join(dir, "report.md")
 	var out bytes.Buffer
-	if err := Bench([]string{"-run", "fig2", "-md", mdPath}, &out); err != nil {
+	if err := Bench(context.Background(), []string{"-run", "fig2", "-md", mdPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(mdPath)
@@ -400,10 +404,83 @@ func TestBenchMarkdownOutput(t *testing.T) {
 
 func TestBenchQuickTable1(t *testing.T) {
 	var out bytes.Buffer
-	if err := Bench([]string{"-run", "table1", "-quick", "-seed", "42"}, &out); err != nil {
+	if err := Bench(context.Background(), []string{"-run", "table1", "-quick", "-seed", "42"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Greedy 4") {
 		t.Errorf("table1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestBenchUnknownExperimentListsSortedCatalog(t *testing.T) {
+	var out bytes.Buffer
+	err := Bench(context.Background(), []string{"-run", "nope"}, &out)
+	if err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	ids := make([]string, 0)
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	if want := strings.Join(ids, ", "); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not list the sorted experiment catalog %q", err, want)
+	}
+}
+
+func TestGreedyUnknownAlgorithmListsSortedCatalog(t *testing.T) {
+	var trOut, out bytes.Buffer
+	if err := TraceGen(context.Background(), []string{"-n", "5"}, &trOut); err != nil {
+		t.Fatal(err)
+	}
+	err := Greedy(context.Background(), []string{"-alg", "nope"}, strings.NewReader(trOut.String()), &out)
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if want := strings.Join(solver.Names(), " | "); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not list the solver catalog %q", err, want)
+	}
+}
+
+// TestGreedyTimeoutCleanExit: an expired -timeout is a clean exit, not an
+// error — partial output plus the early-stop note, per the anytime contract.
+func TestGreedyTimeoutCleanExit(t *testing.T) {
+	var trOut, out bytes.Buffer
+	if err := TraceGen(context.Background(), []string{"-n", "300", "-seed", "3"}, &trOut); err != nil {
+		t.Fatal(err)
+	}
+	err := Greedy(context.Background(), []string{"-k", "8", "-timeout", "1ns"},
+		strings.NewReader(trOut.String()), &out)
+	if err != nil {
+		t.Fatalf("timed-out run must exit cleanly, got %v", err)
+	}
+	if !strings.Contains(out.String(), "note: run stopped early") {
+		t.Errorf("missing early-stop note in output:\n%s", out.String())
+	}
+}
+
+func TestBenchTimeoutCleanExit(t *testing.T) {
+	var out bytes.Buffer
+	err := Bench(context.Background(), []string{"-run", "fig2", "-timeout", "1ns"}, &out)
+	if err != nil {
+		t.Fatalf("timed-out bench must exit cleanly, got %v", err)
+	}
+	if !strings.Contains(out.String(), "note: run stopped early") {
+		t.Errorf("missing early-stop note in output:\n%s", out.String())
+	}
+}
+
+func TestStationTimeoutCleanExit(t *testing.T) {
+	var trOut, out bytes.Buffer
+	if err := TraceGen(context.Background(), []string{"-n", "200", "-seed", "5"}, &trOut); err != nil {
+		t.Fatal(err)
+	}
+	err := Station(context.Background(), []string{"-k", "4", "-periods", "50", "-timeout", "1ns"},
+		strings.NewReader(trOut.String()), &out)
+	if err != nil {
+		t.Fatalf("timed-out station run must exit cleanly, got %v", err)
+	}
+	if !strings.Contains(out.String(), "note: run stopped early") {
+		t.Errorf("missing early-stop note in output:\n%s", out.String())
 	}
 }

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,8 +25,9 @@ func centersToFloats(cs []vec.V) [][]float64 {
 }
 
 // Greedy implements cdgreedy: run one algorithm on a trace, optionally with
-// the exhaustive baseline and ratio.
-func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
+// the exhaustive baseline and ratio. Cancellation (ctx or -timeout) is a
+// clean exit: the partial result computed so far is printed with a note.
+func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cdgreedy", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -40,10 +42,13 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 		asJSON    = fs.Bool("json", false, "emit the result as JSON instead of a table")
 		metrics   = fs.String("metrics", "", "write a telemetry snapshot (counters, timers, per-round events) as JSON to this file ('-' = stdout)")
 		events    = fs.String("events", "", "stream telemetry events (round/scan spans, SEB calls) as JSONL to this file")
+		timeout   = fs.Duration("timeout", 0, "overall deadline; on expiry the partial result is printed and the tool exits cleanly (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	tr, err := ReadTrace(*tracePath, stdin)
 	if err != nil {
 		return err
@@ -65,15 +70,19 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	in.SetCollector(tel.Collector())
+	cancelled := false
 	if *asJSON {
 		alg, err := AlgorithmByName(*algName)
 		if err != nil {
 			return err
 		}
 		alg = core.Instrument(alg, tel.Collector())
-		res, err := alg.Run(in, *k)
+		res, err := alg.Run(ctx, in, *k)
 		if err != nil {
-			return err
+			if res == nil || ctx.Err() == nil {
+				return err
+			}
+			cancelled = true
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -86,6 +95,7 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 			Gains     []float64   `json:"gains"`
 			Total     float64     `json:"total"`
 			MaxReward float64     `json:"max_reward"`
+			Cancelled bool        `json:"cancelled,omitempty"`
 		}{
 			Algorithm: res.Algorithm,
 			K:         *k,
@@ -95,6 +105,7 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 			Gains:     res.Gains,
 			Total:     res.Total,
 			MaxReward: set.TotalWeight(),
+			Cancelled: cancelled,
 		})
 		if err != nil {
 			return err
@@ -112,13 +123,19 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 				return err
 			}
 			a = core.Instrument(a, tel.Collector())
-			rr, err := a.Run(in, *k)
+			rr, err := a.Run(ctx, in, *k)
 			if err != nil {
-				return err
+				if rr == nil || ctx.Err() == nil {
+					return err
+				}
+				cancelled = true
 			}
 			tb.AddRow(rr.Algorithm, rr.Total, 100*rr.Total/set.TotalWeight())
 			if res == nil || rr.Total > res.Total {
 				res = rr
+			}
+			if cancelled {
+				break
 			}
 		}
 		fmt.Fprint(stdout, tb.Render())
@@ -128,9 +145,12 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		alg = core.Instrument(alg, tel.Collector())
-		res, err = alg.Run(in, *k)
+		res, err = alg.Run(ctx, in, *k)
 		if err != nil {
-			return err
+			if res == nil || ctx.Err() == nil {
+				return err
+			}
+			cancelled = true
 		}
 		tb := report.NewTable(fmt.Sprintf("%s on %d users (%s, k=%d, r=%g)", res.Algorithm, set.Len(), nm.Name(), *k, *r),
 			"round", "center", "gain")
@@ -142,7 +162,7 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 			res.Total, set.TotalWeight(), 100*res.Total/set.TotalWeight())
 	}
 
-	if *exh {
+	if *exh && ctx.Err() == nil {
 		gridN := 0
 		if *gridPer > 0 {
 			gridN = 1
@@ -154,13 +174,21 @@ func Greedy(args []string, stdin io.Reader, stdout io.Writer) error {
 		if combos > 5e8 {
 			return fmt.Errorf("cdgreedy: exhaustive search would enumerate %.3g subsets; reduce -k or -grid", combos)
 		}
-		ex, err := exhaustive.Solve(in, *k, exhaustive.Options{
+		ex, err := exhaustive.Solve(ctx, in, *k, exhaustive.Options{
 			GridPer: *gridPer, Box: tr.Box(), Polish: true,
 		})
 		if err != nil {
-			return err
+			if ex == nil || ctx.Err() == nil {
+				return err
+			}
+			cancelled = true
 		}
-		fmt.Fprintf(stdout, "exhaustive baseline: %.4f — approximation ratio %.4f\n", ex.Total, res.Total/ex.Total)
+		if ex.Total > 0 && res != nil {
+			fmt.Fprintf(stdout, "exhaustive baseline: %.4f — approximation ratio %.4f\n", ex.Total, res.Total/ex.Total)
+		}
+	}
+	if cancelled {
+		cancelNote(stdout, ctx.Err())
 	}
 	return tel.Close(stdout)
 }

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,7 +33,9 @@ func servePprof(addr string, stdout io.Writer) (func(), error) {
 }
 
 // Station implements cdstation: the time-slotted base-station simulation.
-func Station(args []string, stdin io.Reader, stdout io.Writer) error {
+// Cancellation (ctx or -timeout) is a clean exit: metrics over the periods
+// completed so far are printed with a note.
+func Station(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cdstation", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -54,10 +57,13 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 		metrics   = fs.String("metrics", "", "write a telemetry snapshot (counters, timers, per-round events) as JSON to this file ('-' = stdout)")
 		events    = fs.String("events", "", "stream telemetry events as JSONL to this file")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		timeout   = fs.Duration("timeout", 0, "overall deadline; on expiry metrics over the completed periods are printed and the tool exits cleanly (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	if *pprofAddr != "" {
 		stop, err := servePprof(*pprofAddr, stdout)
 		if err != nil {
@@ -70,7 +76,7 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if *timeline {
-		if err := stationTimeline(*tracePath, stdin, stdout, *algName, *k, *r, *normName, *slots, tel); err != nil {
+		if err := stationTimeline(ctx, *tracePath, stdin, stdout, *algName, *k, *r, *normName, *slots, tel); err != nil {
 			return err
 		}
 		return tel.Close(stdout)
@@ -105,9 +111,9 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 		default:
 			return fmt.Errorf("cdstation: unknown assignment %q (random | nearest-anchor)", *assign)
 		}
-		mm, err := broadcast.RunMulti(tr, sched, cfg, *stations, mode)
-		if err != nil {
-			return err
+		mm, cerr := broadcast.RunMulti(ctx, tr, sched, cfg, *stations, mode)
+		if cerr != nil && (mm == nil || ctx.Err() == nil) {
+			return cerr
 		}
 		tb := report.NewTable(fmt.Sprintf("%d stations (%s assignment), %s, k=%d each, r=%g",
 			*stations, *assign, sched.Name(), *k, *r),
@@ -122,11 +128,14 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprint(stdout, tb.Render())
 		fmt.Fprintf(stdout, "aggregate satisfaction: %.4f (total budget %d broadcasts/period)\n",
 			mm.MeanSatisfaction, mm.TotalBroadcasts)
+		if cerr != nil {
+			cancelNote(stdout, cerr)
+		}
 		return tel.Close(stdout)
 	}
-	m, err := broadcast.Run(tr, sched, cfg)
-	if err != nil {
-		return err
+	m, cerr := broadcast.Run(ctx, tr, sched, cfg)
+	if cerr != nil && (m == nil || ctx.Err() == nil) {
+		return cerr
 	}
 	tb := report.NewTable(fmt.Sprintf("base station: %s, k=%d, r=%g, %s", m.Scheduler, *k, *r, nm.Name()),
 		"period", "reward", "max (Σw)", "satisfaction")
@@ -147,12 +156,15 @@ func Station(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "per-user satisfaction distribution (%d users):\n%s", h.N(), h.Render(32))
 		}
 	}
+	if cerr != nil {
+		cancelNote(stdout, cerr)
+	}
 	return tel.Close(stdout)
 }
 
 // stationTimeline replays a recorded timeline through the scheduler. The
 // caller owns the telemetry's lifecycle; only the collector is used here.
-func stationTimeline(path string, stdin io.Reader, stdout io.Writer, algName string, k int, r float64, normName string, slots int, tel *telemetry) error {
+func stationTimeline(ctx context.Context, path string, stdin io.Reader, stdout io.Writer, algName string, k int, r float64, normName string, slots int, tel *telemetry) error {
 	var rdr io.Reader = stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -175,11 +187,11 @@ func stationTimeline(path string, stdin io.Reader, stdout io.Writer, algName str
 		return err
 	}
 	alg = core.Instrument(alg, tel.Collector())
-	m, err := broadcast.RunTimeline(tl, broadcast.AlgorithmScheduler{Algo: alg}, broadcast.Config{
+	m, cerr := broadcast.RunTimeline(ctx, tl, broadcast.AlgorithmScheduler{Algo: alg}, broadcast.Config{
 		K: k, Radius: r, Norm: nm, SlotsPerPeriod: slots, Obs: tel.Collector(),
 	})
-	if err != nil {
-		return err
+	if cerr != nil && (m == nil || ctx.Err() == nil) {
+		return cerr
 	}
 	tb := report.NewTable(fmt.Sprintf("timeline replay: %s, %d periods, k=%d, r=%g, %s",
 		m.Scheduler, len(m.Periods), k, r, nm.Name()),
@@ -190,5 +202,8 @@ func stationTimeline(path string, stdin io.Reader, stdout io.Writer, algName str
 	fmt.Fprint(stdout, tb.Render())
 	fmt.Fprintf(stdout, "mean satisfaction:    %.4f\n", m.MeanSatisfaction)
 	fmt.Fprintf(stdout, "fairness (Jain):      %.4f\n", m.Fairness)
+	if cerr != nil {
+		cancelNote(stdout, cerr)
+	}
 	return nil
 }

@@ -3,6 +3,7 @@ package cli
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -35,7 +36,7 @@ func TestGreedyMetricsAllAlgorithms(t *testing.T) {
 	mPath := filepath.Join(dir, "m.json")
 	ePath := filepath.Join(dir, "e.jsonl")
 	var out bytes.Buffer
-	err := Greedy([]string{"-all", "-k", "2", "-r", "1.5", "-metrics", mPath, "-events", ePath},
+	err := Greedy(context.Background(), []string{"-all", "-k", "2", "-r", "1.5", "-metrics", mPath, "-events", ePath},
 		strings.NewReader(js), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +93,7 @@ func TestGreedyMetricsAllAlgorithms(t *testing.T) {
 func TestGreedyMetricsToStdout(t *testing.T) {
 	js := genJSON(t)
 	var out bytes.Buffer
-	err := Greedy([]string{"-json", "-alg", "greedy3", "-k", "1", "-r", "1.5", "-metrics", "-"},
+	err := Greedy(context.Background(), []string{"-json", "-alg", "greedy3", "-k", "1", "-r", "1.5", "-metrics", "-"},
 		strings.NewReader(js), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +116,7 @@ func TestGreedyMetricsToStdout(t *testing.T) {
 func TestGreedyEventsBadPathRejected(t *testing.T) {
 	js := genJSON(t)
 	var out bytes.Buffer
-	err := Greedy([]string{"-k", "1", "-events", filepath.Join(t.TempDir(), "no", "such", "dir", "e.jsonl")},
+	err := Greedy(context.Background(), []string{"-k", "1", "-events", filepath.Join(t.TempDir(), "no", "such", "dir", "e.jsonl")},
 		strings.NewReader(js), &out)
 	if err == nil {
 		t.Error("unwritable events path accepted")
@@ -126,7 +127,7 @@ func TestGreedyEventsBadPathRejected(t *testing.T) {
 func TestGreedyMetricsBadPathRejectedEagerly(t *testing.T) {
 	js := genJSON(t)
 	var out bytes.Buffer
-	err := Greedy([]string{"-k", "1", "-metrics", filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")},
+	err := Greedy(context.Background(), []string{"-k", "1", "-metrics", filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")},
 		strings.NewReader(js), &out)
 	if err == nil {
 		t.Fatal("unwritable metrics path accepted")
@@ -141,7 +142,7 @@ func TestStationMetricsAndPprof(t *testing.T) {
 	dir := t.TempDir()
 	mPath := filepath.Join(dir, "m.json")
 	var out bytes.Buffer
-	err := Station([]string{"-alg", "greedy2-lazy", "-k", "2", "-periods", "2",
+	err := Station(context.Background(), []string{"-alg", "greedy2-lazy", "-k", "2", "-periods", "2",
 		"-metrics", mPath, "-pprof", "127.0.0.1:0"},
 		strings.NewReader(js), &out)
 	if err != nil {
@@ -159,7 +160,7 @@ func TestStationMetricsAndPprof(t *testing.T) {
 	if s.Counters[obs.CtrGainEvals] == 0 {
 		t.Error("broadcast instances did not count reward evaluations")
 	}
-	if err := Station([]string{"-pprof", "256.256.256.256:99999"}, strings.NewReader(js), &out); err == nil {
+	if err := Station(context.Background(), []string{"-pprof", "256.256.256.256:99999"}, strings.NewReader(js), &out); err == nil {
 		t.Error("bad pprof address accepted")
 	}
 }
@@ -168,7 +169,7 @@ func TestBenchMetrics(t *testing.T) {
 	dir := t.TempDir()
 	mPath := filepath.Join(dir, "m.json")
 	var out bytes.Buffer
-	if err := Bench([]string{"-run", "table1", "-quick", "-metrics", mPath}, &out); err != nil {
+	if err := Bench(context.Background(), []string{"-run", "table1", "-quick", "-metrics", mPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := readSnapshot(t, mPath)

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -13,7 +14,9 @@ import (
 )
 
 // TraceGen implements cdtrace: generate synthetic interest traces.
-func TraceGen(args []string, stdout io.Writer) error {
+// Generation is fast; ctx is honored between the parse and the generate so
+// an already-expired deadline still exits cleanly without output.
+func TraceGen(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cdtrace", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -30,9 +33,16 @@ func TraceGen(args []string, stdout io.Writer) error {
 		timeline = fs.Int("timeline", 0, "emit a drifting timeline with this many period snapshots (JSON only)")
 		tlDrift  = fs.Float64("timeline-drift", 0.15, "per-period drift sigma for -timeline")
 		keywords = fs.String("keywords", "", "comma-separated names for the interest dimensions (e.g. \"genre,tempo\")")
+		timeout  = fs.Duration("timeout", 0, "deadline for the generation (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
+	if cerr := ctx.Err(); cerr != nil {
+		cancelNote(stdout, cerr)
+		return nil
 	}
 	k, err := trace.KindByName(*kind)
 	if err != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/reward"
 	"repro/internal/vec"
 	"repro/internal/xrand"
@@ -29,9 +31,13 @@ func (p Placement) Name() string {
 }
 
 // Run implements Algorithm.
-func (p Placement) Run(in *reward.Instance, k int) (*Result, error) {
+func (p Placement) Run(ctx context.Context, in *reward.Instance, k int) (*Result, error) {
 	if err := checkArgs(in, k); err != nil {
 		return nil, err
+	}
+	ctx = orBG(ctx)
+	if err := ctx.Err(); err != nil {
+		return &Result{Algorithm: p.Name()}, err
 	}
 	centers, err := p.Place(in, k)
 	if err != nil {
@@ -40,6 +46,12 @@ func (p Placement) Run(in *reward.Instance, k int) (*Result, error) {
 	y := in.NewResiduals()
 	res := &Result{Algorithm: p.Name()}
 	for _, c := range centers {
+		// The placement is already fixed, so committing a prefix of it on
+		// cancellation keeps the anytime contract: each committed round's
+		// gain is exact for that prefix.
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		gain, _ := in.ApplyRound(c, y)
 		res.Centers = append(res.Centers, c.Clone())
 		res.Gains = append(res.Gains, gain)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -80,10 +81,11 @@ type ComplexGreedy struct {
 func (ComplexGreedy) Name() string { return "greedy4" }
 
 // Run implements Algorithm.
-func (a ComplexGreedy) Run(in *reward.Instance, k int) (*Result, error) {
+func (a ComplexGreedy) Run(ctx context.Context, in *reward.Instance, k int) (*Result, error) {
 	if err := checkArgs(in, k); err != nil {
 		return nil, err
 	}
+	ctx = orBG(ctx)
 	n := in.N()
 	res := &Result{Algorithm: a.Name()}
 	y := in.NewResiduals()
@@ -95,12 +97,15 @@ func (a ComplexGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 	cands := make([]candidate, n)
 
 	for j := 0; j < k; j++ {
+		if err := ctx.Err(); err != nil {
+			return cancelRun(a.Obs, res, err)
+		}
 		rs := startRound(a.Obs, a.Name(), j+1)
 		if rs.active() {
 			rs.c.Emit(obs.Event{Type: obs.EvScanStart, Alg: a.Name(), Round: j + 1})
 		}
 		var steps int64
-		parallel.ForObs(n, a.Workers, a.Obs, func(i int) {
+		cerr := parallel.ForObsCtx(ctx, n, a.Workers, a.Obs, func(i int) {
 			rng := xrand.New(a.Seed ^ (uint64(j)<<32 + uint64(i) + 0x9e37))
 			c, g, st := a.walk(in, y, i, rng)
 			cands[i] = candidate{center: c, gain: g}
@@ -108,6 +113,12 @@ func (a ComplexGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 				atomic.AddInt64(&steps, int64(st))
 			}
 		})
+		if cerr != nil {
+			// Cancelled mid-scan: only some seed walks ran, so the best
+			// candidate may differ from the uncancelled round's. Discard
+			// the round and return the committed prefix.
+			return cancelRun(a.Obs, res, cerr)
+		}
 		if rs.active() {
 			rs.c.Count(obs.CtrCandidates, int64(n))
 			rs.c.Count(obs.CtrWalkSteps, steps)

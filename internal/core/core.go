@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -76,15 +77,45 @@ func (r *Result) Validate() error {
 
 // Algorithm is a content-distribution heuristic: it selects k broadcast
 // centers for the instance and reports the per-round gains.
+//
+// Run is anytime under cancellation: when ctx is cancelled or its deadline
+// expires, implementations stop within one round boundary and return the
+// best-so-far partial Result — a valid prefix of the centers an uncancelled
+// run would have selected, bit-for-bit, with Validate() passing — together
+// with ctx.Err(). A partially scanned round is discarded, never committed.
+// Callers therefore must inspect the Result even when err is non-nil if
+// they want the anytime answer. A nil ctx behaves like context.Background().
 type Algorithm interface {
 	// Name is a short identifier such as "greedy2".
 	Name() string
 	// Run selects k centers. Implementations must not mutate the instance.
-	Run(in *reward.Instance, k int) (*Result, error)
+	Run(ctx context.Context, in *reward.Instance, k int) (*Result, error)
 }
 
 // ErrNilInstance is returned when Run receives a nil instance.
 var ErrNilInstance = errors.New("core: nil instance")
+
+// orBG normalizes a nil context so implementations can call ctx.Err()
+// unconditionally.
+func orBG(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// cancelRun finalizes an anytime early return: it records the cancelled
+// lifecycle event (obs.EvCancelled with the completed-round count) and hands
+// back the partial result with the context's error. res always holds a
+// valid prefix of completed rounds when this is called.
+func cancelRun(c obs.Collector, res *Result, err error) (*Result, error) {
+	if obs.Active(c) {
+		c.Count(obs.CtrCancelled, 1)
+		c.Emit(obs.Event{Type: obs.EvCancelled, Alg: res.Algorithm, Round: len(res.Gains),
+			Fields: map[string]float64{"rounds": float64(len(res.Gains))}})
+	}
+	return res, err
+}
 
 // Instrument returns a copy of alg with the telemetry collector attached.
 // Every algorithm in this package carries an optional Obs field; unknown

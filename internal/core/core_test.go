@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -48,17 +49,17 @@ func allAlgorithms() []Algorithm {
 func TestArgValidation(t *testing.T) {
 	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
 	for _, a := range allAlgorithms() {
-		if _, err := a.Run(nil, 1); err == nil {
+		if _, err := a.Run(context.Background(), nil, 1); err == nil {
 			t.Errorf("%s accepted nil instance", a.Name())
 		}
-		if _, err := a.Run(in, 0); err == nil {
+		if _, err := a.Run(context.Background(), in, 0); err == nil {
 			t.Errorf("%s accepted k=0", a.Name())
 		}
-		if _, err := a.Run(in, -2); err == nil {
+		if _, err := a.Run(context.Background(), in, -2); err == nil {
 			t.Errorf("%s accepted negative k", a.Name())
 		}
 	}
-	if _, err := (RoundBased{}).Run(in, 1); err == nil {
+	if _, err := (RoundBased{}).Run(context.Background(), in, 1); err == nil {
 		t.Error("RoundBased without solver accepted")
 	}
 }
@@ -80,7 +81,7 @@ func TestNames(t *testing.T) {
 func TestSinglePointAllAlgorithms(t *testing.T) {
 	in := mustInstance(t, []vec.V{vec.Of(2, 2)}, []float64{3}, norm.L2{}, 1)
 	for _, a := range allAlgorithms() {
-		res, err := a.Run(in, 1)
+		res, err := a.Run(context.Background(), in, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name(), err)
 		}
@@ -103,7 +104,7 @@ func TestResultTotalsMatchObjective(t *testing.T) {
 		in := randomInstance(t, rng, rng.IntRange(3, 25), norm.L2{}, rng.Uniform(0.6, 2))
 		k := rng.IntRange(1, 4)
 		for _, a := range allAlgorithms() {
-			res, err := a.Run(in, k)
+			res, err := a.Run(context.Background(), in, k)
 			if err != nil {
 				t.Fatalf("%s: %v", a.Name(), err)
 			}
@@ -130,7 +131,7 @@ func TestLocalGreedyGainsNonIncreasing(t *testing.T) {
 	rng := xrand.New(7)
 	for trial := 0; trial < 20; trial++ {
 		in := randomInstance(t, rng, 20, norm.L2{}, 1.2)
-		res, err := LocalGreedy{}.Run(in, 5)
+		res, err := LocalGreedy{}.Run(context.Background(), in, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,11 +150,11 @@ func TestLocalDominatesSimpleFirstRound(t *testing.T) {
 	rng := xrand.New(9)
 	for trial := 0; trial < 50; trial++ {
 		in := randomInstance(t, rng, rng.IntRange(2, 30), norm.L2{}, rng.Uniform(0.5, 2.5))
-		r2, err := LocalGreedy{}.Run(in, 1)
+		r2, err := LocalGreedy{}.Run(context.Background(), in, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r3, err := SimpleGreedy{}.Run(in, 1)
+		r3, err := SimpleGreedy{}.Run(context.Background(), in, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,11 +170,11 @@ func TestComplexDominatesLocalFirstRound(t *testing.T) {
 	rng := xrand.New(11)
 	for trial := 0; trial < 30; trial++ {
 		in := randomInstance(t, rng, rng.IntRange(2, 25), norm.L2{}, rng.Uniform(0.5, 2.5))
-		r2, err := LocalGreedy{}.Run(in, 1)
+		r2, err := LocalGreedy{}.Run(context.Background(), in, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r4, err := ComplexGreedy{}.Run(in, 1)
+		r4, err := ComplexGreedy{}.Run(context.Background(), in, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func TestLocalGreedyTheorem2BoundTiny(t *testing.T) {
 		n := rng.IntRange(3, 8)
 		in := randomInstance(t, rng, n, norm.L2{}, rng.Uniform(0.8, 2))
 		k := rng.IntRange(1, 2)
-		res, err := LocalGreedy{}.Run(in, k)
+		res, err := LocalGreedy{}.Run(context.Background(), in, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +249,7 @@ func TestLocalGreedyClassicSubmodularBound(t *testing.T) {
 		nm := []norm.Norm{norm.L1{}, norm.L2{}}[trial%2]
 		in := randomInstance(t, rng, n, nm, rng.Uniform(0.5, 2.5))
 		k := rng.IntRange(1, 3)
-		res, err := LocalGreedy{Workers: 1}.Run(in, k)
+		res, err := LocalGreedy{Workers: 1}.Run(context.Background(), in, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +269,7 @@ func TestTieBreakByIndex(t *testing.T) {
 		[]vec.V{vec.Of(0, 0), vec.Of(10, 10)},
 		[]float64{2, 2}, norm.L2{}, 1)
 	for _, a := range []Algorithm{LocalGreedy{}, SimpleGreedy{}} {
-		res, err := a.Run(in, 1)
+		res, err := a.Run(context.Background(), in, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,11 +285,11 @@ func TestComplexGreedyMovesOffPoints(t *testing.T) {
 	// corner yields 1 + 2·0.2 = 1.4, so greedy4 must leave the data.
 	pts := []vec.V{vec.Of(0, 0), vec.Of(0.8, 0), vec.Of(0, 0.8), vec.Of(0.8, 0.8)}
 	in := mustInstance(t, pts, []float64{1, 1, 1, 1}, norm.L2{}, 1.0)
-	r4, err := ComplexGreedy{}.Run(in, 1)
+	r4, err := ComplexGreedy{}.Run(context.Background(), in, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := LocalGreedy{}.Run(in, 1)
+	r2, err := LocalGreedy{}.Run(context.Background(), in, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestComplexGreedyOneNorm(t *testing.T) {
 	rng := xrand.New(17)
 	for trial := 0; trial < 10; trial++ {
 		in := randomInstance(t, rng, 15, norm.L1{}, 1.5)
-		res, err := ComplexGreedy{}.Run(in, 3)
+		res, err := ComplexGreedy{}.Run(context.Background(), in, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,7 +316,7 @@ func TestComplexGreedyOneNorm(t *testing.T) {
 		}
 		// Projection- and exact-LP-mode variants also run and are valid.
 		for _, mode := range []BallMode{BallProjection, BallExactLP} {
-			resM, err := ComplexGreedy{Mode: mode}.Run(in, 3)
+			resM, err := ComplexGreedy{Mode: mode}.Run(context.Background(), in, 3)
 			if err != nil {
 				t.Fatalf("%v: %v", mode, err)
 			}
@@ -336,7 +337,7 @@ func TestAlgorithmsWithScaledNorm(t *testing.T) {
 	rng := xrand.New(163)
 	in := randomInstance(t, rng, 15, sn, 1.5)
 	for _, a := range []Algorithm{LocalGreedy{}, LazyGreedy{}, SimpleGreedy{}, ComplexGreedy{}} {
-		res, err := a.Run(in, 3)
+		res, err := a.Run(context.Background(), in, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name(), err)
 		}
@@ -347,11 +348,11 @@ func TestAlgorithmsWithScaledNorm(t *testing.T) {
 	// Anisotropy is observable: stretching dimension 0 changes the result
 	// relative to the unscaled instance on the same points.
 	plain := mustInstance(t, in.Set.Points(), in.Set.Weights(), norm.L2{}, 1.5)
-	rs, err := LocalGreedy{}.Run(in, 2)
+	rs, err := LocalGreedy{}.Run(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp, err := LocalGreedy{}.Run(plain, 2)
+	rp, err := LocalGreedy{}.Run(context.Background(), plain, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestComplexGreedy3D(t *testing.T) {
 		ws[i] = float64(rng.IntRange(1, 5))
 	}
 	in := mustInstance(t, pts, ws, norm.L1{}, 1.5)
-	res, err := ComplexGreedy{}.Run(in, 2)
+	res, err := ComplexGreedy{}.Run(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,11 +391,11 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 		{LocalGreedy{Workers: 1}, LocalGreedy{Workers: 8}},
 		{ComplexGreedy{Workers: 1}, ComplexGreedy{Workers: 8}},
 	} {
-		rs, err := a.serial.Run(in, 4)
+		rs, err := a.serial.Run(context.Background(), in, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rp, err := a.parallel.Run(in, 4)
+		rp, err := a.parallel.Run(context.Background(), in, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -413,7 +414,7 @@ func TestKLargerThanN(t *testing.T) {
 	// k > n is legal: extra rounds may contribute zero gain.
 	in := mustInstance(t, []vec.V{vec.Of(0, 0), vec.Of(3, 3)}, []float64{1, 1}, norm.L2{}, 0.5)
 	for _, a := range allAlgorithms() {
-		res, err := a.Run(in, 5)
+		res, err := a.Run(context.Background(), in, 5)
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name(), err)
 		}
@@ -480,11 +481,11 @@ func TestPrefixMatchesSmallerK(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		in := randomInstance(t, rng, 20, norm.L2{}, 1.2)
 		for _, a := range []Algorithm{LocalGreedy{Workers: 1}, SimpleGreedy{}, ComplexGreedy{Workers: 1}} {
-			full, err := a.Run(in, 5)
+			full, err := a.Run(context.Background(), in, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
-			part, err := a.Run(in, 3)
+			part, err := a.Run(context.Background(), in, 3)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -512,7 +513,7 @@ func TestPlacementAdapter(t *testing.T) {
 	if (Placement{}).Name() != "placement" {
 		t.Error("default name wrong")
 	}
-	res, err := p.Run(in, 2)
+	res, err := p.Run(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,10 +523,10 @@ func TestPlacementAdapter(t *testing.T) {
 	if math.Abs(res.Total-5) > 1e-9 {
 		t.Fatalf("total = %v, want 5 (both points saturated)", res.Total)
 	}
-	if _, err := p.Run(nil, 1); err == nil {
+	if _, err := p.Run(context.Background(), nil, 1); err == nil {
 		t.Error("nil instance accepted")
 	}
-	if _, err := p.Run(in, 0); err == nil {
+	if _, err := p.Run(context.Background(), in, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
@@ -533,18 +534,18 @@ func TestPlacementAdapter(t *testing.T) {
 func TestRandomPlacement(t *testing.T) {
 	rng := xrand.New(119)
 	in := randomInstance(t, rng, 20, norm.L2{}, 1.5)
-	a, err := RandomPlacement(7).Run(in, 3)
+	a, err := RandomPlacement(7).Run(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RandomPlacement(7).Run(in, 3)
+	b, err := RandomPlacement(7).Run(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Total != b.Total {
 		t.Fatal("same seed gave different totals")
 	}
-	c, err := RandomPlacement(8).Run(in, 3)
+	c, err := RandomPlacement(8).Run(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -561,7 +562,7 @@ func TestRandomPlacement(t *testing.T) {
 		}
 	}
 	// Greedy must never lose to random placement.
-	g, err := LocalGreedy{}.Run(in, 3)
+	g, err := LocalGreedy{}.Run(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -21,8 +22,8 @@ func Example() {
 	})
 	in, _ := reward.NewInstance(users, norm.L2{}, 1)
 
-	local, _ := core.LocalGreedy{}.Run(in, 1)
-	complexG, _ := core.ComplexGreedy{}.Run(in, 1)
+	local, _ := core.LocalGreedy{}.Run(context.Background(), in, 1)
+	complexG, _ := core.ComplexGreedy{}.Run(context.Background(), in, 1)
 	fmt.Printf("greedy2 (on a user): %.3f\n", local.Total)
 	fmt.Printf("greedy4 (anywhere):  %.3f at %v\n", complexG.Total, complexG.Centers[0])
 	// Output:
@@ -37,7 +38,7 @@ func ExampleRoundBased() {
 		vec.Of(1, 1), vec.Of(1.2, 1), vec.Of(3, 3),
 	})
 	in, _ := reward.NewInstance(users, norm.L2{}, 1)
-	res, _ := core.RoundBased{Solver: optimize.Multistart{}}.Run(in, 2)
+	res, _ := core.RoundBased{Solver: optimize.Multistart{}}.Run(context.Background(), in, 2)
 	fmt.Printf("rounds: %d, total: %.2f\n", len(res.Gains), res.Total)
 	// Output:
 	// rounds: 2, total: 2.80
@@ -50,8 +51,8 @@ func ExampleLazyGreedy() {
 		vec.Of(0, 0), vec.Of(0.1, 0), vec.Of(3, 3), vec.Of(3.1, 3),
 	})
 	in, _ := reward.NewInstance(users, norm.L2{}, 1)
-	a, _ := core.LocalGreedy{}.Run(in, 2)
-	b, _ := core.LazyGreedy{}.Run(in, 2)
+	a, _ := core.LocalGreedy{}.Run(context.Background(), in, 2)
+	b, _ := core.LazyGreedy{}.Run(context.Background(), in, 2)
 	fmt.Println(a.Total == b.Total, a.Centers[0].Equal(b.Centers[0]))
 	// Output:
 	// true true

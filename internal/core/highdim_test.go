@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestAlgorithmsInHighDimensions(t *testing.T) {
 			}
 			var localTotal float64
 			for _, a := range algs {
-				res, err := a.Run(in, 3)
+				res, err := a.Run(context.Background(), in, 3)
 				if err != nil {
 					t.Fatalf("dim=%d %s %s: %v", dim, nm.Name(), a.Name(), err)
 				}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"repro/internal/obs"
 	"repro/internal/reward"
@@ -59,10 +60,11 @@ func (h *candHeap) Pop() interface{} {
 }
 
 // Run implements Algorithm.
-func (a LazyGreedy) Run(in *reward.Instance, k int) (*Result, error) {
+func (a LazyGreedy) Run(ctx context.Context, in *reward.Instance, k int) (*Result, error) {
 	if err := checkArgs(in, k); err != nil {
 		return nil, err
 	}
+	ctx = orBG(ctx)
 	n := in.N()
 	y := in.NewResiduals()
 	res := &Result{Algorithm: a.Name()}
@@ -75,12 +77,20 @@ func (a LazyGreedy) Run(in *reward.Instance, k int) (*Result, error) {
 	heap.Init(&h)
 
 	for j := 0; j < k; j++ {
+		if err := ctx.Err(); err != nil {
+			return cancelRun(a.Obs, res, err)
+		}
 		rs := startRound(a.Obs, a.Name(), j+1)
 		// Refresh stale tops until the best entry's bound is current for
 		// this round; bounds only shrink, so once the top is fresh no
-		// stale entry below can beat it.
+		// stale entry below can beat it. Heap refreshes are idempotent
+		// reads of the residuals, so a mid-round cancellation can simply
+		// abandon the half-refreshed heap and return the committed prefix.
 		repops := 0
 		for h[0].round != j {
+			if err := ctx.Err(); err != nil {
+				return cancelRun(a.Obs, res, err)
+			}
 			h[0].bound = in.RoundGain(in.Set.Point(h[0].idx), y)
 			h[0].round = j
 			heap.Fix(&h, 0)

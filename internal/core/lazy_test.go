@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/norm"
@@ -18,11 +19,11 @@ func TestLazyMatchesLocalExactly(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		in := randomInstance(t, rng, rng.IntRange(2, 40), norm.L2{}, rng.Uniform(0.4, 2.5))
 		k := rng.IntRange(1, 6)
-		local, err := LocalGreedy{Workers: 1}.Run(in, k)
+		local, err := LocalGreedy{Workers: 1}.Run(context.Background(), in, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		lazy, err := LazyGreedy{}.Run(in, k)
+		lazy, err := LazyGreedy{}.Run(context.Background(), in, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,11 +49,11 @@ func TestLazyMatchesLocalUnderTies(t *testing.T) {
 	in := mustInstance(t,
 		[]vec.V{vec.Of(0, 0), vec.Of(10, 0), vec.Of(0, 10), vec.Of(10, 10)},
 		[]float64{2, 2, 2, 2}, norm.L2{}, 1)
-	local, err := LocalGreedy{Workers: 1}.Run(in, 4)
+	local, err := LocalGreedy{Workers: 1}.Run(context.Background(), in, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lazy, err := LazyGreedy{}.Run(in, 4)
+	lazy, err := LazyGreedy{}.Run(context.Background(), in, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,10 +68,10 @@ func TestLazyMatchesLocalUnderTies(t *testing.T) {
 
 func TestLazyValidation(t *testing.T) {
 	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
-	if _, err := (LazyGreedy{}).Run(nil, 1); err == nil {
+	if _, err := (LazyGreedy{}).Run(context.Background(), nil, 1); err == nil {
 		t.Error("nil instance accepted")
 	}
-	if _, err := (LazyGreedy{}).Run(in, 0); err == nil {
+	if _, err := (LazyGreedy{}).Run(context.Background(), in, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
 	if (LazyGreedy{}).Name() != "greedy2-lazy" {
@@ -91,7 +92,7 @@ func TestFinderPreservesAllAlgorithms(t *testing.T) {
 			algs := []Algorithm{LocalGreedy{Workers: 1}, LazyGreedy{}, SimpleGreedy{}, ComplexGreedy{Workers: 1}}
 			plain := make([]*Result, len(algs))
 			for ai, a := range algs {
-				res, err := a.Run(in, k)
+				res, err := a.Run(context.Background(), in, k)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -108,7 +109,7 @@ func TestFinderPreservesAllAlgorithms(t *testing.T) {
 			for _, finder := range []reward.NeighborFinder{grid, tree} {
 				in.SetFinder(finder)
 				for ai, a := range algs {
-					res, err := a.Run(in, k)
+					res, err := a.Run(context.Background(), in, k)
 					if err != nil {
 						t.Fatal(err)
 					}

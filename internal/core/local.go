@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/reward"
@@ -25,21 +27,31 @@ type LocalGreedy struct {
 func (LocalGreedy) Name() string { return "greedy2" }
 
 // Run implements Algorithm.
-func (a LocalGreedy) Run(in *reward.Instance, k int) (*Result, error) {
+func (a LocalGreedy) Run(ctx context.Context, in *reward.Instance, k int) (*Result, error) {
 	if err := checkArgs(in, k); err != nil {
 		return nil, err
 	}
+	ctx = orBG(ctx)
 	n := in.N()
 	y := in.NewResiduals()
 	res := &Result{Algorithm: a.Name()}
 	for j := 0; j < k; j++ {
+		if err := ctx.Err(); err != nil {
+			return cancelRun(a.Obs, res, err)
+		}
 		rs := startRound(a.Obs, a.Name(), j+1)
 		if rs.active() {
 			rs.c.Emit(obs.Event{Type: obs.EvScanStart, Alg: a.Name(), Round: j + 1})
 		}
-		idx, _ := parallel.ArgmaxFloatObs(n, a.Workers, a.Obs, func(i int) float64 {
+		idx, _, cerr := parallel.ArgmaxFloatObsCtx(ctx, n, a.Workers, a.Obs, func(i int) float64 {
 			return in.RoundGain(in.Set.Point(i), y)
 		})
+		if cerr != nil {
+			// Cancelled mid-scan: the argmax saw only part of the
+			// candidates, so committing it could diverge from the
+			// uncancelled run. Discard the round and return the prefix.
+			return cancelRun(a.Obs, res, cerr)
+		}
 		if rs.active() {
 			rs.c.Count(obs.CtrCandidates, int64(n))
 			rs.c.Emit(obs.Event{Type: obs.EvScanEnd, Alg: a.Name(), Round: j + 1,

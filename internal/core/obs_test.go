@@ -3,6 +3,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -57,13 +58,13 @@ func TestInstrumentedAlgorithmsEmitRounds(t *testing.T) {
 	for _, bare := range algs {
 		bare := bare
 		t.Run(bare.Name(), func(t *testing.T) {
-			plain, err := bare.Run(in, k)
+			plain, err := bare.Run(context.Background(), in, k)
 			if err != nil {
 				t.Fatal(err)
 			}
 			m := obs.NewMetrics()
 			inst := core.Instrument(bare, m)
-			res, err := inst.Run(in, k)
+			res, err := inst.Run(context.Background(), in, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,7 +101,7 @@ func TestLazyRepopsBelowFullScan(t *testing.T) {
 	in := obsInstance(t, 120)
 	const k = 6
 	m := obs.NewMetrics()
-	if _, err := core.Instrument(core.LazyGreedy{}, m).Run(in, k); err != nil {
+	if _, err := core.Instrument(core.LazyGreedy{}, m).Run(context.Background(), in, k); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Snapshot()
@@ -124,7 +125,7 @@ func TestInstrumentedInstanceCountsRewardEvals(t *testing.T) {
 	m := obs.NewMetrics()
 	in.SetCollector(m)
 	defer in.SetCollector(nil)
-	if _, err := core.Instrument(core.LocalGreedy{Workers: 1}, m).Run(in, k); err != nil {
+	if _, err := core.Instrument(core.LocalGreedy{Workers: 1}, m).Run(context.Background(), in, k); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Snapshot()
@@ -141,7 +142,7 @@ func TestInstrumentedInstanceCountsRewardEvals(t *testing.T) {
 func TestComplexGreedySEBTelemetry(t *testing.T) {
 	in := obsInstance(t, 25)
 	m := obs.NewMetrics()
-	if _, err := core.Instrument(core.ComplexGreedy{Workers: 1}, m).Run(in, 2); err != nil {
+	if _, err := core.Instrument(core.ComplexGreedy{Workers: 1}, m).Run(context.Background(), in, 2); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Snapshot()
@@ -181,7 +182,7 @@ func TestInstrumentPreservesBehavior(t *testing.T) {
 		t.Error("swap seed not instrumented")
 	}
 	in := obsInstance(t, 20)
-	res, err := sw.Run(in, 2)
+	res, err := sw.Run(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

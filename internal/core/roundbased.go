@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/obs"
@@ -18,7 +19,11 @@ type InnerSolver interface {
 	Name() string
 	// Solve returns a center approximately maximizing the round gain
 	// against the residuals y. It must not modify y or the instance.
-	Solve(in *reward.Instance, y []float64) (vec.V, error)
+	// Cancellation is cooperative: a solver may return early with a
+	// lower-fidelity center or (nil, ctx.Err()); RoundBased discards the
+	// whole round either way, so partial inner solutions never leak into
+	// the committed prefix.
+	Solve(ctx context.Context, in *reward.Instance, y []float64) (vec.V, error)
 }
 
 // RoundBased is the paper's Algorithm 1 ("greedy 1"): k rounds, each placing
@@ -36,19 +41,31 @@ type RoundBased struct {
 func (RoundBased) Name() string { return "greedy1" }
 
 // Run implements Algorithm.
-func (a RoundBased) Run(in *reward.Instance, k int) (*Result, error) {
+func (a RoundBased) Run(ctx context.Context, in *reward.Instance, k int) (*Result, error) {
 	if err := checkArgs(in, k); err != nil {
 		return nil, err
 	}
 	if a.Solver == nil {
 		return nil, errors.New("core: RoundBased requires an InnerSolver")
 	}
+	ctx = orBG(ctx)
 	y := in.NewResiduals()
 	res := &Result{Algorithm: a.Name()}
 	for j := 0; j < k; j++ {
+		if err := ctx.Err(); err != nil {
+			return cancelRun(a.Obs, res, err)
+		}
 		rs := startRound(a.Obs, a.Name(), j+1)
 		st := obs.StartTimer(a.Obs, obs.TimInnerSolve)
-		c, err := a.Solver.Solve(in, y)
+		c, err := a.Solver.Solve(ctx, in, y)
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancelled mid-solve: the round's center is (at best) a
+			// lower-fidelity answer from a truncated search. Discard the
+			// round so the committed prefix stays bit-identical to an
+			// uncancelled run's.
+			st.Stop()
+			return cancelRun(a.Obs, res, cerr)
+		}
 		if err != nil {
 			return nil, err
 		}

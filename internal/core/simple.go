@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/obs"
 	"repro/internal/reward"
 )
@@ -18,14 +20,18 @@ type SimpleGreedy struct {
 func (SimpleGreedy) Name() string { return "greedy3" }
 
 // Run implements Algorithm.
-func (a SimpleGreedy) Run(in *reward.Instance, k int) (*Result, error) {
+func (a SimpleGreedy) Run(ctx context.Context, in *reward.Instance, k int) (*Result, error) {
 	if err := checkArgs(in, k); err != nil {
 		return nil, err
 	}
+	ctx = orBG(ctx)
 	n := in.N()
 	y := in.NewResiduals()
 	res := &Result{Algorithm: a.Name()}
 	for j := 0; j < k; j++ {
+		if err := ctx.Err(); err != nil {
+			return cancelRun(a.Obs, res, err)
+		}
 		rs := startRound(a.Obs, a.Name(), j+1)
 		// argmax_i w_i·y_i^j with index tie-break (line 3 of Algorithm 3).
 		best, bestVal := 0, in.Set.Weight(0)*y[0]

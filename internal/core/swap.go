@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/obs"
@@ -31,11 +32,15 @@ type SwapLocalSearch struct {
 // Name implements Algorithm.
 func (s SwapLocalSearch) Name() string { return "greedy2+swap" }
 
-// Run implements Algorithm.
-func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
+// Run implements Algorithm. Cancellation is anytime at two granularities:
+// during the seed run the seed's own partial prefix is re-labelled and
+// returned, and during swap refinement the current (already valid, never
+// worse than the seed) center set is committed and returned.
+func (s SwapLocalSearch) Run(ctx context.Context, in *reward.Instance, k int) (*Result, error) {
 	if err := checkArgs(in, k); err != nil {
 		return nil, err
 	}
+	ctx = orBG(ctx)
 	seed := s.Seed
 	if seed == nil {
 		seed = LocalGreedy{Workers: 1}
@@ -44,8 +49,13 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 	if maxPasses <= 0 {
 		maxPasses = 10
 	}
-	init, err := seed.Run(in, k)
+	init, err := seed.Run(ctx, in, k)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && init != nil {
+			// Seed cancelled mid-run: its partial prefix is the best-so-far
+			// solution. Re-commit it under this algorithm's name.
+			return cancelRun(s.Obs, s.commit(in, init.Centers), cerr)
+		}
 		return nil, err
 	}
 	// The incremental evaluator re-scores a hypothetical swap in O(n)
@@ -63,10 +73,18 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 	// accept/reject decisions keep comparing against a trustworthy
 	// objective (amortized O(k) extra work per replace).
 	sinceResync := 0
+	cancelled := false
+sweep:
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		evals := 0
 		for j := 0; j < eval.K(); j++ {
+			// Check between slots: the evaluator's center set is a valid
+			// (never worse than the seed) solution at every slot boundary.
+			if ctx.Err() != nil {
+				cancelled = true
+				break sweep
+			}
 			// Best replacement for slot j among all data points.
 			bestSwap := vec.V(nil)
 			bestVal := best
@@ -111,23 +129,30 @@ func (s SwapLocalSearch) Run(in *reward.Instance, k int) (*Result, error) {
 			break
 		}
 	}
-	centers := eval.Centers()
-
-	// Re-derive per-round gains by committing the final centers in order.
-	y := in.NewResiduals()
-	res := &Result{Algorithm: s.Name()}
-	for j, c := range centers {
-		rs := startRound(s.Obs, s.Name(), j+1)
-		gain, _ := in.ApplyRound(c, y)
-		res.Centers = append(res.Centers, c)
-		res.Gains = append(res.Gains, gain)
-		res.Total += gain
-		rs.end(gain, nil)
+	res := s.commit(in, eval.Centers())
+	if cancelled {
+		return cancelRun(s.Obs, res, ctx.Err())
 	}
 	if res.Total < init.Total-1e-9 {
 		return nil, errors.New("core: swap search regressed below its seed (internal error)")
 	}
 	return res, nil
+}
+
+// commit re-derives per-round gains by applying the centers in order under
+// this algorithm's name (the shared tail of the normal and anytime exits).
+func (s SwapLocalSearch) commit(in *reward.Instance, centers []vec.V) *Result {
+	y := in.NewResiduals()
+	res := &Result{Algorithm: s.Name()}
+	for j, c := range centers {
+		rs := startRound(s.Obs, s.Name(), j+1)
+		gain, _ := in.ApplyRound(c, y)
+		res.Centers = append(res.Centers, c.Clone())
+		res.Gains = append(res.Gains, gain)
+		res.Total += gain
+		rs.end(gain, nil)
+	}
+	return res
 }
 
 var _ Algorithm = SwapLocalSearch{}

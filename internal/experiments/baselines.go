@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -35,7 +36,7 @@ func clusterPlacement(label string, nm norm.Norm, seed uint64) core.Placement {
 // the 2-D workload. The gap quantifies how much the distance-decay,
 // cap-aware objective actually buys over "just cluster the users" — the
 // paper's implicit motivation for greedy selection.
-func RunBaselines(cfg RunConfig) (*Output, error) {
+func RunBaselines(ctx context.Context, cfg RunConfig) (*Output, error) {
 	const (
 		n = 40
 		k = 4
@@ -60,8 +61,8 @@ func RunBaselines(cfg RunConfig) (*Output, error) {
 		"r", "greedy2", "greedy4", "greedy2+swap", "kmeans", "kmedians", "random")
 	var sig []string
 	for _, r := range radii {
-		res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^uint64(r*1000)^0xba5e,
-			func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+		res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^uint64(r*1000)^0xba5e,
+			func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 				set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
 				if err != nil {
 					return nil, err
@@ -72,7 +73,7 @@ func RunBaselines(cfg RunConfig) (*Output, error) {
 				}
 				metrics := map[string]float64{}
 				for _, alg := range algs(rng.Uint64()) {
-					rr, err := alg.Run(in, k)
+					rr, err := alg.Run(ctx, in, k)
 					if err != nil {
 						return nil, err
 					}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -21,7 +22,7 @@ import (
 // Constant factors, cache effects, and greedy 4's early-stopping walks push
 // the fitted exponents below the worst-case bounds; the invariant asserted
 // here is exp(greedy3) < exp(greedy2), the separation Theorem 3 claims.
-func RunComplexity(cfg RunConfig) (*Output, error) {
+func RunComplexity(ctx context.Context, cfg RunConfig) (*Output, error) {
 	sizes := []int{100, 200, 400, 800}
 	reps := 3
 	if cfg.Quick {
@@ -56,8 +57,11 @@ func RunComplexity(cfg RunConfig) (*Output, error) {
 			}
 			best := time.Duration(math.MaxInt64)
 			for rep := 0; rep < reps; rep++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				start := time.Now()
-				if _, err := alg.Run(in, k); err != nil {
+				if _, err := alg.Run(ctx, in, k); err != nil {
 					return nil, err
 				}
 				if el := time.Since(start); el < best {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,10 +14,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/norm"
 	"repro/internal/obs"
-	"repro/internal/optimize"
 	"repro/internal/pointset"
 	"repro/internal/report"
 	"repro/internal/reward"
+	"repro/internal/solver"
 )
 
 // RunConfig tunes an experiment run.
@@ -87,11 +88,14 @@ func (o *Output) Render() string {
 	return b.String()
 }
 
-// Experiment is a registered paper artifact reproduction.
+// Experiment is a registered paper artifact reproduction. Run observes ctx
+// cooperatively: a cancelled experiment stops between units of work and
+// returns ctx.Err() (drivers do not assemble partial tables — an artifact is
+// either reproduced or not).
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg RunConfig) (*Output, error)
+	Run   func(ctx context.Context, cfg RunConfig) (*Output, error)
 }
 
 // Registry returns all experiments in presentation order.
@@ -135,18 +139,23 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(ids, ", "))
 }
 
-// Algorithms under test, in the paper's naming. greedy1 is the round-based
-// heuristic with the multistart inner solver (DESIGN.md §3.1). A live
-// cfg.Obs collector is attached to every algorithm.
+// Algorithms under test, in the paper's naming, resolved through the solver
+// registry (DESIGN.md §3.1, §8) so the experiment drivers and the CLI agree
+// on constructors. Workers is pinned to 1: the drivers parallelize across
+// trials, not inside algorithms. A live cfg.Obs collector is attached to
+// every algorithm by the registry.
 func paperAlgorithms(cfg RunConfig) []core.Algorithm {
-	algs := []core.Algorithm{
-		core.RoundBased{Solver: optimize.Multistart{Workers: 1}},
-		core.LocalGreedy{Workers: 1},
-		core.SimpleGreedy{},
-		core.ComplexGreedy{Workers: 1},
-	}
-	for i, a := range algs {
-		algs[i] = core.Instrument(a, cfg.Obs)
+	names := solver.PaperNames()
+	algs := make([]core.Algorithm, 0, len(names))
+	for _, name := range names {
+		// Seed stays zero: instance randomness lives in the workload
+		// generators (cfg.Seed), and the historical driver behavior used the
+		// algorithms' zero-seed defaults.
+		a, err := solver.New(name, solver.Options{Workers: 1, Obs: cfg.Obs})
+		if err != nil {
+			panic(err) // registry and PaperNames ship together; a miss is a programming error
+		}
+		algs = append(algs, a)
 	}
 	return algs
 }

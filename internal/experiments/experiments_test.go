@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -37,8 +39,23 @@ func TestByID(t *testing.T) {
 	}
 }
 
+func TestByIDUnknownListsSortedIDs(t *testing.T) {
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	_, err := ByID("nope")
+	if err == nil {
+		t.Fatal("ByID(nope) succeeded")
+	}
+	if want := strings.Join(ids, ", "); !strings.Contains(err.Error(), want) {
+		t.Errorf("unknown id error %q does not carry the sorted catalog %q", err, want)
+	}
+}
+
 func TestFig2(t *testing.T) {
-	out, err := RunFig2(quickCfg())
+	out, err := RunFig2(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +71,7 @@ func TestFig2(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	out, err := RunTable1(quickCfg())
+	out, err := RunTable1(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +87,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFig3RendersScatters(t *testing.T) {
-	out, err := RunFig3(quickCfg())
+	out, err := RunFig3(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +111,7 @@ func TestRatioFigureQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Run(quickCfg())
+	out, err := e.Run(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +142,7 @@ func TestRewardFigureQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Run(quickCfg())
+	out, err := e.Run(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +161,7 @@ func TestRewardFigureQuick(t *testing.T) {
 }
 
 func TestSummaryQuick(t *testing.T) {
-	out, err := RunSummary(quickCfg())
+	out, err := RunSummary(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +177,7 @@ func TestSummaryQuick(t *testing.T) {
 }
 
 func TestTradeoffQuick(t *testing.T) {
-	out, err := RunTradeoff(quickCfg())
+	out, err := RunTradeoff(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +190,7 @@ func TestTradeoffQuick(t *testing.T) {
 }
 
 func TestValidateQuick(t *testing.T) {
-	out, err := RunValidate(quickCfg())
+	out, err := RunValidate(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +209,7 @@ func TestAblationsQuick(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := e.Run(quickCfg())
+		out, err := e.Run(context.Background(), quickCfg())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -208,7 +225,7 @@ func TestExtensionExperimentsQuick(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := e.Run(quickCfg())
+		out, err := e.Run(context.Background(), quickCfg())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/report"
@@ -11,7 +12,7 @@ import (
 // (Theorem 1's 1−(1−1/k)^k and Theorem 2's 1−(1−1/n)^k) as functions of the
 // number of centers k, in 10-node and 40-node environments. This is pure
 // theory — no simulation — exactly as in the paper.
-func RunFig2(cfg RunConfig) (*Output, error) {
+func RunFig2(_ context.Context, cfg RunConfig) (*Output, error) {
 	out := &Output{}
 	const kMax = 10
 	for _, n := range []int{10, 40} {

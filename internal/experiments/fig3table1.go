@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -15,7 +16,7 @@ import (
 // disks of radius 1. The paper does not publish the node coordinates, so the
 // instance is regenerated from the experiment seed; the qualitative
 // structure (greedy 4 > greedy 2 > greedy 3 per round) is seed-independent.
-func fig3Instance(cfg RunConfig) (*core.Result, *core.Result, *core.Result, *pointset.Set, error) {
+func fig3Instance(ctx context.Context, cfg RunConfig) (*core.Result, *core.Result, *core.Result, *pointset.Set, error) {
 	rng := xrand.New(cfg.Seed ^ 0xf163)
 	set, err := pointset.GenUniform(40, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
 	if err != nil {
@@ -26,15 +27,15 @@ func fig3Instance(cfg RunConfig) (*core.Result, *core.Result, *core.Result, *poi
 		return nil, nil, nil, nil, err
 	}
 	const k = 4
-	r2, err := core.Instrument(core.LocalGreedy{Workers: 1}, cfg.Obs).Run(in, k)
+	r2, err := core.Instrument(core.LocalGreedy{Workers: 1}, cfg.Obs).Run(ctx, in, k)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	r3, err := core.Instrument(core.SimpleGreedy{}, cfg.Obs).Run(in, k)
+	r3, err := core.Instrument(core.SimpleGreedy{}, cfg.Obs).Run(ctx, in, k)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	r4, err := core.Instrument(core.ComplexGreedy{Workers: 1}, cfg.Obs).Run(in, k)
+	r4, err := core.Instrument(core.ComplexGreedy{Workers: 1}, cfg.Obs).Run(ctx, in, k)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -44,8 +45,8 @@ func fig3Instance(cfg RunConfig) (*core.Result, *core.Result, *core.Result, *poi
 // RunTable1 regenerates Table I: the coverage reward gained in each of the
 // four rounds by greedy 2, greedy 3, and greedy 4 on the worked example,
 // plus the totals.
-func RunTable1(cfg RunConfig) (*Output, error) {
-	r2, r3, r4, _, err := fig3Instance(cfg)
+func RunTable1(ctx context.Context, cfg RunConfig) (*Output, error) {
+	r2, r3, r4, _, err := fig3Instance(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -66,8 +67,8 @@ func RunTable1(cfg RunConfig) (*Output, error) {
 // one panel per round per algorithm — (a)–(d) greedy 2, (e)–(h) greedy 3,
 // (i)–(l) greedy 4 — showing the centers accumulated so far; this driver
 // renders the same 12-panel progression.
-func RunFig3(cfg RunConfig) (*Output, error) {
-	r2, r3, r4, set, err := fig3Instance(cfg)
+func RunFig3(ctx context.Context, cfg RunConfig) (*Output, error) {
+	r2, r3, r4, set, err := fig3Instance(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exhaustive"
@@ -19,8 +20,8 @@ var ratioAlgNames = []string{"greedy1", "greedy2", "greedy3", "greedy4"}
 // for n ∈ {10, 40} and every (k, r) configuration, the approximation ratio
 // of each greedy algorithm against the exhaustive baseline, averaged over
 // randomized trials, alongside the approx1/approx2 reference bounds.
-func figRatio(id string, nm norm.Norm, scheme pointset.WeightScheme) func(RunConfig) (*Output, error) {
-	return func(cfg RunConfig) (*Output, error) {
+func figRatio(id string, nm norm.Norm, scheme pointset.WeightScheme) func(context.Context, RunConfig) (*Output, error) {
+	return func(ctx context.Context, cfg RunConfig) (*Output, error) {
 		out := &Output{}
 		for _, n := range []int{10, 40} {
 			fig := &report.Figure{
@@ -39,7 +40,7 @@ func figRatio(id string, nm norm.Norm, scheme pointset.WeightScheme) func(RunCon
 			var a1s, a2s []float64
 			for ci, c := range grid {
 				xs[ci] = float64(ci + 1)
-				means, err := ratioCell(cfg, n, c, nm, scheme, uint64(ci)<<8)
+				means, err := ratioCell(ctx, cfg, n, c, nm, scheme, uint64(ci)<<8)
 				if err != nil {
 					return nil, err
 				}
@@ -82,9 +83,9 @@ func figRatio(id string, nm norm.Norm, scheme pointset.WeightScheme) func(RunCon
 
 // ratioCell averages the per-algorithm approximation ratios over trials for
 // one (n, k, r) configuration.
-func ratioCell(cfg RunConfig, n int, c kr, nm norm.Norm, scheme pointset.WeightScheme, salt uint64) (map[string]float64, error) {
-	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^salt,
-		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+func ratioCell(ctx context.Context, cfg RunConfig, n int, c kr, nm norm.Norm, scheme pointset.WeightScheme, salt uint64) (map[string]float64, error) {
+	res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^salt,
+		func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 			set, err := pointset.GenUniform(n, pointset.PaperBox2D(), scheme, rng)
 			if err != nil {
 				return nil, err
@@ -93,7 +94,7 @@ func ratioCell(cfg RunConfig, n int, c kr, nm norm.Norm, scheme pointset.WeightS
 			if err != nil {
 				return nil, err
 			}
-			ex, err := exhaustive.Solve(in, c.K, exhaustive.Options{
+			ex, err := exhaustive.Solve(ctx, in, c.K, exhaustive.Options{
 				GridPer: cfg.exhaustiveGridPer(2),
 				Box:     pointset.PaperBox2D(),
 				Polish:  cfg.polish(),
@@ -111,7 +112,7 @@ func ratioCell(cfg RunConfig, n int, c kr, nm norm.Norm, scheme pointset.WeightS
 			totals := map[string]float64{}
 			best := ex.Total
 			for _, alg := range paperAlgorithms(cfg) {
-				r, err := alg.Run(in, c.K)
+				r, err := alg.Run(ctx, in, c.K)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/norm"
@@ -14,8 +15,8 @@ import (
 // under the 1-norm, n ∈ {40, 160}, reporting the absolute total reward each
 // algorithm gains per (k, r) configuration (the paper does not compute an
 // exhaustive baseline in 3-D).
-func figReward(id string, scheme pointset.WeightScheme) func(RunConfig) (*Output, error) {
-	return func(cfg RunConfig) (*Output, error) {
+func figReward(id string, scheme pointset.WeightScheme) func(context.Context, RunConfig) (*Output, error) {
+	return func(ctx context.Context, cfg RunConfig) (*Output, error) {
 		nm := norm.L1{}
 		out := &Output{}
 		for _, n := range []int{40, 160} {
@@ -34,8 +35,8 @@ func figReward(id string, scheme pointset.WeightScheme) func(RunConfig) (*Output
 			series := map[string][]float64{}
 			for ci, c := range grid {
 				xs[ci] = float64(ci + 1)
-				res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^(uint64(ci)<<16)^0x3d,
-					func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+				res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^(uint64(ci)<<16)^0x3d,
+					func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 						set, err := pointset.GenUniform(n, pointset.PaperBox3D(), scheme, rng)
 						if err != nil {
 							return nil, err
@@ -46,7 +47,7 @@ func figReward(id string, scheme pointset.WeightScheme) func(RunConfig) (*Output
 						}
 						metrics := map[string]float64{"maxreward": set.TotalWeight()}
 						for _, alg := range paperAlgorithms(cfg) {
-							r, err := alg.Run(in, c.K)
+							r, err := alg.Run(ctx, in, c.K)
 							if err != nil {
 								return nil, err
 							}

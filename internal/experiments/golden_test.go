@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestGoldenDeterminism(t *testing.T) {
 		core.SimpleGreedy{},
 		core.ComplexGreedy{Workers: 1},
 	} {
-		res, err := a.Run(in, 3)
+		res, err := a.Run(context.Background(), in, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func TestGoldenDeterminism(t *testing.T) {
 		t.Fatalf("ordering violated: %v", got)
 	}
 	// Exact reproducibility: a second run yields identical bits.
-	res2, err := core.ComplexGreedy{Workers: 8}.Run(in, 3)
+	res2, err := core.ComplexGreedy{Workers: 8}.Run(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestGoldenDeterminism(t *testing.T) {
 
 // Fig2 output is a pure closed form: pin a rendered fragment exactly.
 func TestGoldenFig2Render(t *testing.T) {
-	out, err := RunFig2(RunConfig{Seed: 1})
+	out, err := RunFig2(context.Background(), RunConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/norm"
@@ -16,15 +17,15 @@ import (
 // greedy algorithms; the curve makes the paper's k ∈ {2, 4} snapshots
 // continuous. One run at k = kMax provides every prefix (the algorithms are
 // incremental), so the sweep costs a single run per algorithm and trial.
-func RunKCurve(cfg RunConfig) (*Output, error) {
+func RunKCurve(ctx context.Context, cfg RunConfig) (*Output, error) {
 	const (
 		n    = 40
 		r    = 1.0
 		kMax = 8
 	)
 	algs := paperAlgorithms(cfg)
-	res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^0xc0e,
-		func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+	res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^0xc0e,
+		func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 			set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
 			if err != nil {
 				return nil, err
@@ -35,7 +36,7 @@ func RunKCurve(cfg RunConfig) (*Output, error) {
 			}
 			metrics := map[string]float64{}
 			for _, alg := range algs {
-				full, err := alg.Run(in, kMax)
+				full, err := alg.Run(ctx, in, kMax)
 				if err != nil {
 					return nil, err
 				}

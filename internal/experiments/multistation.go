@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/broadcast"
@@ -17,7 +18,7 @@ import (
 // with the full budget always has the larger feasible set, so it should win;
 // the gap measures the partitioning cost, and interest-aware cells should
 // recover part of it on clustered populations.
-func RunMultistation(cfg RunConfig) (*Output, error) {
+func RunMultistation(ctx context.Context, cfg RunConfig) (*Output, error) {
 	tr, err := trace.Generate(trace.Config{
 		N:      80,
 		Box:    pointset.PaperBox2D(),
@@ -57,7 +58,7 @@ func RunMultistation(cfg RunConfig) (*Output, error) {
 	for _, r := range rows {
 		c := base
 		c.K = budget / r.stations
-		m, err := broadcast.RunMulti(tr, sched, c, r.stations, r.mode)
+		m, err := broadcast.RunMulti(ctx, tr, sched, c, r.stations, r.mode)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,7 +19,7 @@ import (
 // and both with the uniform-grid neighbor index installed. All four produce
 // bit-identical centers and totals (asserted here on every run); only the
 // wall time changes.
-func RunAblationScale(cfg RunConfig) (*Output, error) {
+func RunAblationScale(ctx context.Context, cfg RunConfig) (*Output, error) {
 	sizes := []int{500, 2000}
 	k, r := 6, 0.4
 	if cfg.Quick {
@@ -72,8 +73,11 @@ func RunAblationScale(cfg RunConfig) (*Output, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			start := time.Now()
-			res, err := v.alg.Run(in, k)
+			res, err := v.alg.Run(ctx, in, k)
 			if err != nil {
 				return nil, err
 			}

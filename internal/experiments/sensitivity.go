@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/norm"
@@ -16,7 +17,7 @@ import (
 // Reward is monotone in r point-wise (coverage only widens), so each curve
 // must be non-decreasing; the interesting shape is where the algorithms
 // separate — small r — and where they saturate toward Σw.
-func RunRadiusCurve(cfg RunConfig) (*Output, error) {
+func RunRadiusCurve(ctx context.Context, cfg RunConfig) (*Output, error) {
 	const (
 		n = 40
 		k = 4
@@ -36,8 +37,8 @@ func RunRadiusCurve(cfg RunConfig) (*Output, error) {
 	series := map[string][]float64{}
 	var xs, caps []float64
 	for ri, r := range radii {
-		res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^uint64(ri)<<20^0x4ad,
-			func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+		res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^uint64(ri)<<20^0x4ad,
+			func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 				set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, rng)
 				if err != nil {
 					return nil, err
@@ -48,7 +49,7 @@ func RunRadiusCurve(cfg RunConfig) (*Output, error) {
 				}
 				metrics := map[string]float64{"cap": set.TotalWeight()}
 				for _, alg := range algs {
-					rr, err := alg.Run(in, k)
+					rr, err := alg.Run(ctx, in, k)
 					if err != nil {
 						return nil, err
 					}
@@ -88,7 +89,7 @@ func RunRadiusCurve(cfg RunConfig) (*Output, error) {
 // the achievable reward. greedy3 keys on single-point weight, so skew helps
 // it; the coverage-aware algorithms are robust across the sweep — locating
 // where the paper's "different weight" scheme matters.
-func RunWeightSkew(cfg RunConfig) (*Output, error) {
+func RunWeightSkew(ctx context.Context, cfg RunConfig) (*Output, error) {
 	const (
 		n = 40
 		k = 4
@@ -103,8 +104,8 @@ func RunWeightSkew(cfg RunConfig) (*Output, error) {
 		"weights 1..W", "greedy1", "greedy2", "greedy3", "greedy4")
 	for wi, maxW := range maxWeights {
 		maxW := maxW
-		res, err := sim.RunTrials(cfg.trials(), cfg.Workers, cfg.Seed^uint64(wi)<<18^0x5e1f,
-			func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+		res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^uint64(wi)<<18^0x5e1f,
+			func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 				pts := make([]vec.V, n)
 				ws := make([]float64, n)
 				for i := range pts {
@@ -121,7 +122,7 @@ func RunWeightSkew(cfg RunConfig) (*Output, error) {
 				}
 				metrics := map[string]float64{}
 				for _, alg := range algs {
-					rr, err := alg.Run(in, k)
+					rr, err := alg.Run(ctx, in, k)
 					if err != nil {
 						return nil, err
 					}

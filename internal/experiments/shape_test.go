@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestFig4FullShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Run(RunConfig{Seed: 42, Trials: 2})
+	out, err := e.Run(context.Background(), RunConfig{Seed: 42, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestFig8FullShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Run(RunConfig{Seed: 42, Trials: 2})
+	out, err := e.Run(context.Background(), RunConfig{Seed: 42, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestTable1FullShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full table run skipped in -short mode")
 	}
-	r2, r3, r4, _, err := fig3Instance(RunConfig{Seed: 42})
+	r2, r3, r4, _, err := fig3Instance(context.Background(), RunConfig{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

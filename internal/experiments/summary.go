@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/norm"
@@ -16,7 +17,7 @@ import (
 // low 55.97%; 1-norm — best 82.76%, mid 68.77%, low 57%. The paper's prose
 // attaches those numbers to labels inconsistently with its own Table I; this
 // driver reports the measured mean per concretely defined algorithm.
-func RunSummary(cfg RunConfig) (*Output, error) {
+func RunSummary(ctx context.Context, cfg RunConfig) (*Output, error) {
 	type cell struct {
 		nm     norm.Norm
 		scheme pointset.WeightScheme
@@ -34,7 +35,7 @@ func RunSummary(cfg RunConfig) (*Output, error) {
 		for _, n := range []int{10, 40} {
 			for ci, krCfg := range configGrid() {
 				salt := uint64(cellIdx)<<24 ^ uint64(n)<<12 ^ uint64(ci)<<4 ^ 0x5a
-				means, err := ratioCell(cfg, n, krCfg, c.nm, c.scheme, salt)
+				means, err := ratioCell(ctx, cfg, n, krCfg, c.nm, c.scheme, salt)
 				if err != nil {
 					return nil, err
 				}

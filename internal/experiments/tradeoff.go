@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/broadcast"
 	"repro/internal/core"
 	"repro/internal/pointset"
@@ -14,7 +16,7 @@ import (
 // satisfiability, but it will also have less frequent service in a
 // time-slotted content distribution system." A Zipf-topic population is
 // simulated under a fixed slot budget while k sweeps upward.
-func RunTradeoff(cfg RunConfig) (*Output, error) {
+func RunTradeoff(ctx context.Context, cfg RunConfig) (*Output, error) {
 	rng := xrand.New(cfg.Seed ^ 0x7a0ff)
 	tr, err := trace.Generate(trace.Config{
 		N:      60,
@@ -32,7 +34,7 @@ func RunTradeoff(cfg RunConfig) (*Output, error) {
 	if cfg.Quick {
 		periods, kMax = 2, 3
 	}
-	ms, err := broadcast.KSweep(tr, broadcast.AlgorithmScheduler{Algo: core.LocalGreedy{Workers: 1}},
+	ms, err := broadcast.KSweep(ctx, tr, broadcast.AlgorithmScheduler{Algo: core.LocalGreedy{Workers: 1}},
 		broadcast.Config{
 			Radius:         1.2,
 			Periods:        periods,

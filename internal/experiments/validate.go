@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,7 +26,7 @@ import (
 //
 // It reports the worst observed ratios and counts bound violations (Theorem
 // 2's count must be zero; the harness fails otherwise).
-func RunValidate(cfg RunConfig) (*Output, error) {
+func RunValidate(ctx context.Context, cfg RunConfig) (*Output, error) {
 	instances := 400
 	if cfg.Quick {
 		instances = 40
@@ -42,6 +43,9 @@ func RunValidate(cfg RunConfig) (*Output, error) {
 	norms := []norm.Norm{norm.L1{}, norm.L2{}}
 
 	for t := 0; t < instances; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := rng.IntRange(3, 9)
 		k := rng.IntRange(1, 3)
 		r := rng.Uniform(0.6, 2.2)
@@ -66,17 +70,17 @@ func RunValidate(cfg RunConfig) (*Output, error) {
 		// bound check conservative in the right direction for Theorem 2's
 		// guarantee only if f_opt is not underestimated — so use the
 		// largest value any method can find).
-		ex, err := exhaustive.Solve(in, k, exhaustive.Options{
+		ex, err := exhaustive.Solve(ctx, in, k, exhaustive.Options{
 			GridPer: 7, Box: pointset.PaperBox2D(), Polish: true, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
 		}
-		g2, err := core.LocalGreedy{Workers: 1}.Run(in, k)
+		g2, err := core.LocalGreedy{Workers: 1}.Run(ctx, in, k)
 		if err != nil {
 			return nil, err
 		}
-		g1, err := (core.RoundBased{Solver: optimize.Multistart{Workers: 1}}).Run(in, k)
+		g1, err := (core.RoundBased{Solver: optimize.Multistart{Workers: 1}}).Run(ctx, in, k)
 		if err != nil {
 			return nil, err
 		}

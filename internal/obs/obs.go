@@ -67,11 +67,16 @@ const (
 	EvSwapPass = "swap_pass"
 	// EvExperiment records one cdbench experiment with "wall_ns".
 	EvExperiment = "experiment"
+	// EvCancelled records a solver run ending early because its context
+	// was cancelled or its deadline expired, carrying "rounds" — the number
+	// of completed rounds whose centers the partial result retains.
+	EvCancelled = "cancelled"
 )
 
 // Canonical metric names.
 const (
 	CtrRounds     = "core.rounds"
+	CtrCancelled  = "core.cancelled"
 	CtrCandidates = "core.candidates_evaluated"
 	CtrLazyRepops = "core.lazy_heap_repops"
 	CtrWalkSteps  = "core.walk_steps"

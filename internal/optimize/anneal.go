@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -29,8 +30,9 @@ type Anneal struct {
 // Name implements core.InnerSolver.
 func (Anneal) Name() string { return "anneal" }
 
-// Solve implements core.InnerSolver.
-func (a Anneal) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+// Solve implements core.InnerSolver. A cancelled call stops the chain at
+// the current step and returns the incumbent with ctx.Err().
+func (a Anneal) Solve(ctx context.Context, in *reward.Instance, y []float64) (vec.V, error) {
 	if in == nil {
 		return nil, errors.New("optimize: nil instance")
 	}
@@ -55,6 +57,9 @@ func (a Anneal) Solve(in *reward.Instance, y []float64) (vec.V, error) {
 	lo, hi := in.Set.Bounds()
 
 	for s := 0; s < steps; s++ {
+		if ctx != nil && ctx.Err() != nil {
+			return best, ctx.Err()
+		}
 		prop := cur.Clone()
 		for d := range prop {
 			prop[d] += scale * rng.NormFloat64()

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -30,7 +31,7 @@ func benchSolver(b *testing.B, s core.InnerSolver) {
 	b.ResetTimer()
 	var g float64
 	for i := 0; i < b.N; i++ {
-		c, err := s.Solve(in, y)
+		c, err := s.Solve(context.Background(), in, y)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -32,7 +33,7 @@ func (Critical) Name() string { return "critical" }
 // Solve implements core.InnerSolver. Only 2-D instances are supported (the
 // critical-point characterization used here is planar); other dimensions
 // return an error.
-func (cr Critical) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+func (cr Critical) Solve(ctx context.Context, in *reward.Instance, y []float64) (vec.V, error) {
 	if in == nil {
 		return nil, errors.New("optimize: nil instance")
 	}
@@ -76,9 +77,11 @@ func (cr Critical) Solve(in *reward.Instance, y []float64) (vec.V, error) {
 	}
 
 	scores := make([]float64, len(cands))
-	parallel.For(len(cands), cr.Workers, func(i int) {
+	if cerr := parallel.ForCtx(ctx, len(cands), cr.Workers, func(i int) {
 		scores[i] = in.RoundGain(cands[i], y)
-	})
+	}); cerr != nil {
+		return nil, cerr
+	}
 	// Select the top seeds without sorting everything: repeated argmax is
 	// fine at these sizes, but a partial selection keeps it tidy.
 	type seed struct {
@@ -106,15 +109,26 @@ func (cr Critical) Solve(in *reward.Instance, y []float64) (vec.V, error) {
 		c vec.V
 		g float64
 	}, len(best))
-	parallel.For(len(best), cr.Workers, func(i int) {
+	cerr := parallel.ForCtx(ctx, len(best), cr.Workers, func(i int) {
 		c, g := CompassSearch(in, y, cands[best[i].idx], in.Radius/8, in.Radius*1e-3)
 		results[i].c, results[i].g = c, g
 	})
-	win := 0
-	for i := 1; i < len(results); i++ {
-		if results[i].g > results[win].g {
+	win := -1
+	for i := 0; i < len(results); i++ {
+		if results[i].c != nil && (win < 0 || results[i].g > results[win].g) {
 			win = i
 		}
 	}
-	return results[win].c, nil
+	if win < 0 {
+		// Cancelled before any seed was polished: fall back to the best
+		// unpolished candidate so the caller still gets an incumbent.
+		top := 0
+		for i := 1; i < len(cands); i++ {
+			if scores[i] > scores[top] {
+				top = i
+			}
+		}
+		return cands[top].Clone(), cerr
+	}
+	return results[win].c, cerr
 }

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/norm"
@@ -12,12 +13,12 @@ func TestCriticalValidation(t *testing.T) {
 	if (Critical{}).Name() != "critical" {
 		t.Errorf("name = %q", (Critical{}).Name())
 	}
-	if _, err := (Critical{}).Solve(nil, nil); err == nil {
+	if _, err := (Critical{}).Solve(context.Background(), nil, nil); err == nil {
 		t.Error("nil instance accepted")
 	}
 	// 3-D is rejected: the planar critical-point characterization applies.
 	in3 := mustInstance(t, []vec.V{vec.Of(0, 0, 0)}, []float64{1}, norm.L2{}, 1)
-	if _, err := (Critical{}).Solve(in3, in3.NewResiduals()); err == nil {
+	if _, err := (Critical{}).Solve(context.Background(), in3, in3.NewResiduals()); err == nil {
 		t.Error("3-D accepted")
 	}
 }
@@ -25,7 +26,7 @@ func TestCriticalValidation(t *testing.T) {
 func TestCriticalFindsSquareCenter(t *testing.T) {
 	in := squareInstance(t)
 	y := in.NewResiduals()
-	c, err := Critical{}.Solve(in, y)
+	c, err := Critical{}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +51,11 @@ func TestCriticalCompetitiveWithMultistart(t *testing.T) {
 		}
 		in := mustInstance(t, pts, ws, norm.L2{}, rng.Uniform(0.6, 2))
 		y := in.NewResiduals()
-		cc, err := Critical{}.Solve(in, y)
+		cc, err := Critical{}.Solve(context.Background(), in, y)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mc, err := Multistart{}.Solve(in, y)
+		mc, err := Multistart{}.Solve(context.Background(), in, y)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestCriticalCompetitiveWithMultistart(t *testing.T) {
 func TestCriticalSinglePoint(t *testing.T) {
 	in := mustInstance(t, []vec.V{vec.Of(2, 2)}, []float64{3}, norm.L2{}, 1)
 	y := in.NewResiduals()
-	c, err := Critical{}.Solve(in, y)
+	c, err := Critical{}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}

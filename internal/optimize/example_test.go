@@ -1,6 +1,7 @@
 package optimize_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -20,7 +21,7 @@ func ExampleMultistart() {
 	})
 	in, _ := reward.NewInstance(users, norm.L2{}, 1)
 	y := in.NewResiduals()
-	c, _ := optimize.Multistart{}.Solve(in, y)
+	c, _ := optimize.Multistart{}.Solve(context.Background(), in, y)
 	fmt.Printf("center ≈ %v, gain %.2f\n", c, in.RoundGain(c, y))
 	// Output:
 	// center ≈ (0.400, 0.400), gain 1.74
@@ -30,7 +31,7 @@ func ExampleMultistart() {
 func ExampleNelderMead() {
 	users, _ := pointset.UnitWeights([]vec.V{vec.Of(1, 1), vec.Of(1.5, 1)})
 	in, _ := reward.NewInstance(users, norm.L2{}, 1)
-	res, _ := core.RoundBased{Solver: optimize.NelderMead{}}.Run(in, 1)
+	res, _ := core.RoundBased{Solver: optimize.NelderMead{}}.Run(context.Background(), in, 1)
 	// The gain is constant (1.5) anywhere on the segment between the two
 	// users: w·(2 − (d1+d2)/r) with d1+d2 fixed at their 0.5 separation.
 	fmt.Printf("one broadcast captures %.2f of 2.00\n", res.Total)

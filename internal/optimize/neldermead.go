@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -27,15 +28,23 @@ type NelderMead struct {
 // Name implements core.InnerSolver.
 func (NelderMead) Name() string { return "neldermead" }
 
-// Solve implements core.InnerSolver.
-func (nm NelderMead) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+// Solve implements core.InnerSolver. The simplex iteration count is already
+// bounded, so cancellation is only checked between the seeding scan and the
+// descent: a cancelled call returns the best simplex vertex so far.
+func (nm NelderMead) Solve(ctx context.Context, in *reward.Instance, y []float64) (vec.V, error) {
 	if in == nil {
 		return nil, errors.New("optimize: nil instance")
 	}
 	// Seed at the best single data point (greedy3's rule applied to the
 	// coverage gain), which is always a strong basin.
 	start, _ := bestPointStart(in, y)
+	if ctx != nil && ctx.Err() != nil {
+		return start, ctx.Err()
+	}
 	c, _ := NelderMeadFrom(in, y, start, nm.MaxIter, nm.InitScale, nm.Tol)
+	if ctx != nil {
+		return c, ctx.Err()
+	}
 	return c, nil
 }
 

@@ -9,6 +9,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -44,7 +45,7 @@ func (g Grid) perOrDefault() int {
 }
 
 // Solve implements core.InnerSolver.
-func (g Grid) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+func (g Grid) Solve(ctx context.Context, in *reward.Instance, y []float64) (vec.V, error) {
 	if in == nil {
 		return nil, errors.New("optimize: nil instance")
 	}
@@ -57,10 +58,13 @@ func (g Grid) Solve(in *reward.Instance, y []float64) (vec.V, error) {
 		return nil, err
 	}
 	cands := append(grid, in.Set.Points()...)
-	idx, _ := parallel.ArgmaxFloat(len(cands), g.Workers, func(i int) float64 {
+	idx, _, cerr := parallel.ArgmaxFloatCtx(ctx, len(cands), g.Workers, func(i int) float64 {
 		return in.RoundGain(cands[i], y)
 	})
-	return cands[idx].Clone(), nil
+	if cerr != nil && idx < 0 {
+		return nil, cerr
+	}
+	return cands[idx].Clone(), cerr
 }
 
 // Multistart seeds a compass pattern search from the most promising
@@ -89,8 +93,10 @@ type Multistart struct {
 // Name implements core.InnerSolver.
 func (Multistart) Name() string { return "multistart" }
 
-// Solve implements core.InnerSolver.
-func (m Multistart) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+// Solve implements core.InnerSolver. Cancellation is cooperative between
+// the seeding scan and each refinement start; a cancelled call returns the
+// best center refined so far (or nil when none was) with ctx.Err().
+func (m Multistart) Solve(ctx context.Context, in *reward.Instance, y []float64) (vec.V, error) {
 	if in == nil {
 		return nil, errors.New("optimize: nil instance")
 	}
@@ -121,9 +127,13 @@ func (m Multistart) Solve(in *reward.Instance, y []float64) (vec.V, error) {
 	}
 	starts := append(grid, in.Set.Points()...)
 	scores := make([]float64, len(starts))
-	parallel.For(len(starts), m.Workers, func(i int) {
+	if cerr := parallel.ForCtx(ctx, len(starts), m.Workers, func(i int) {
 		scores[i] = in.RoundGain(starts[i], y)
-	})
+	}); cerr != nil {
+		// A partially scored seeding scan would bias the start ranking;
+		// there is no refined center yet, so report plain cancellation.
+		return nil, cerr
+	}
 	order := make([]int, len(starts))
 	for i := range order {
 		order[i] = i
@@ -138,18 +148,21 @@ func (m Multistart) Solve(in *reward.Instance, y []float64) (vec.V, error) {
 		g float64
 	}
 	best := make([]refined, top)
-	parallel.For(top, m.Workers, func(i int) {
+	cerr := parallel.ForCtx(ctx, top, m.Workers, func(i int) {
 		s := starts[order[i]]
 		c, g := CompassSearch(in, y, s, initStep*in.Radius, minStep*in.Radius)
 		best[i] = refined{c: c, g: g}
 	})
-	win := 0
-	for i := 1; i < top; i++ {
-		if best[i].g > best[win].g {
+	win := -1
+	for i := 0; i < top; i++ {
+		if best[i].c != nil && (win < 0 || best[i].g > best[win].g) {
 			win = i
 		}
 	}
-	return best[win].c, nil
+	if win < 0 {
+		return nil, cerr
+	}
+	return best[win].c, cerr
 }
 
 // CompassSearch hill-climbs the round gain from start using axis-aligned

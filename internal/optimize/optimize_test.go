@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,10 +27,10 @@ func mustInstance(t *testing.T, pts []vec.V, ws []float64, n norm.Norm, r float6
 }
 
 func TestSolversRejectNil(t *testing.T) {
-	if _, err := (Grid{}).Solve(nil, nil); err == nil {
+	if _, err := (Grid{}).Solve(context.Background(), nil, nil); err == nil {
 		t.Error("Grid accepted nil instance")
 	}
-	if _, err := (Multistart{}).Solve(nil, nil); err == nil {
+	if _, err := (Multistart{}).Solve(context.Background(), nil, nil); err == nil {
 		t.Error("Multistart accepted nil instance")
 	}
 }
@@ -49,7 +50,7 @@ func TestNames(t *testing.T) {
 func TestGridFindsSinglePoint(t *testing.T) {
 	in := mustInstance(t, []vec.V{vec.Of(1.5, 2.5)}, []float64{4}, norm.L2{}, 1)
 	y := in.NewResiduals()
-	c, err := Grid{Per: 9}.Solve(in, y)
+	c, err := Grid{Per: 9}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestMultistartBeatsBestDataPointOnSquare(t *testing.T) {
 	pts := []vec.V{vec.Of(0, 0), vec.Of(0.8, 0), vec.Of(0, 0.8), vec.Of(0.8, 0.8)}
 	in := mustInstance(t, pts, []float64{1, 1, 1, 1}, norm.L2{}, 1)
 	y := in.NewResiduals()
-	c, err := Multistart{}.Solve(in, y)
+	c, err := Multistart{}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestMultistartNeverBelowGrid(t *testing.T) {
 		}
 		in := mustInstance(t, pts, ws, norm.L2{}, rng.Uniform(0.6, 2))
 		y := in.NewResiduals()
-		gc, err := Grid{Per: 5}.Solve(in, y)
+		gc, err := Grid{Per: 5}.Solve(context.Background(), in, y)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mc, err := Multistart{GridPer: 5}.Solve(in, y)
+		mc, err := Multistart{GridPer: 5}.Solve(context.Background(), in, y)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestRoundBasedWithSolvers(t *testing.T) {
 	}
 	in := mustInstance(t, pts, ws, norm.L2{}, 1.2)
 	for _, s := range []core.InnerSolver{Grid{Per: 9}, Multistart{}} {
-		res, err := core.RoundBased{Solver: s}.Run(in, 3)
+		res, err := core.RoundBased{Solver: s}.Run(context.Background(), in, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -146,7 +147,7 @@ func TestRoundBasedWithSolvers(t *testing.T) {
 		}
 		// Round-based with a decent solver should never lose to greedy3
 		// in the first round (greedy3's center is one of the starts).
-		r3, err := core.SimpleGreedy{}.Run(in, 1)
+		r3, err := core.SimpleGreedy{}.Run(context.Background(), in, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,11 +160,11 @@ func TestRoundBasedWithSolvers(t *testing.T) {
 func TestSearchBoxMismatch(t *testing.T) {
 	in := mustInstance(t, []vec.V{vec.Of(0, 0)}, []float64{1}, norm.L2{}, 1)
 	bad := Grid{Box: pointset.PaperBox3D()}
-	if _, err := bad.Solve(in, in.NewResiduals()); err == nil {
+	if _, err := bad.Solve(context.Background(), in, in.NewResiduals()); err == nil {
 		t.Error("mismatched box dimension accepted")
 	}
 	good := Multistart{Box: pointset.PaperBox2D()}
-	if _, err := good.Solve(in, in.NewResiduals()); err != nil {
+	if _, err := good.Solve(context.Background(), in, in.NewResiduals()); err != nil {
 		t.Errorf("valid box rejected: %v", err)
 	}
 }
@@ -173,7 +174,7 @@ func TestGridDerivedBoxCoversData(t *testing.T) {
 	// surround the data so the grid can cover it.
 	in := mustInstance(t, []vec.V{vec.Of(10, 10), vec.Of(11, 10)}, []float64{1, 1}, norm.L2{}, 1)
 	y := in.NewResiduals()
-	c, err := Grid{Per: 9}.Solve(in, y)
+	c, err := Grid{Per: 9}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,7 +22,7 @@ func squareInstance(t *testing.T) *reward.Instance {
 func TestNelderMeadFindsSquareCenter(t *testing.T) {
 	in := squareInstance(t)
 	y := in.NewResiduals()
-	c, err := NelderMead{}.Solve(in, y)
+	c, err := NelderMead{}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestNelderMeadFindsSquareCenter(t *testing.T) {
 func TestAnnealFindsSquareCenter(t *testing.T) {
 	in := squareInstance(t)
 	y := in.NewResiduals()
-	c, err := Anneal{Seed: 5}.Solve(in, y)
+	c, err := Anneal{Seed: 5}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,10 +47,10 @@ func TestSolverNamesAndNil(t *testing.T) {
 	if (NelderMead{}).Name() != "neldermead" || (Anneal{}).Name() != "anneal" {
 		t.Error("names wrong")
 	}
-	if _, err := (NelderMead{}).Solve(nil, nil); err == nil {
+	if _, err := (NelderMead{}).Solve(context.Background(), nil, nil); err == nil {
 		t.Error("neldermead accepted nil instance")
 	}
-	if _, err := (Anneal{}).Solve(nil, nil); err == nil {
+	if _, err := (Anneal{}).Solve(context.Background(), nil, nil); err == nil {
 		t.Error("anneal accepted nil instance")
 	}
 }
@@ -71,7 +72,7 @@ func TestSolversNeverBelowBestDataPoint(t *testing.T) {
 		y := in.NewResiduals()
 		_, baseline := bestPointStart(in, y)
 		for _, s := range solvers {
-			c, err := s.Solve(in, y)
+			c, err := s.Solve(context.Background(), in, y)
 			if err != nil {
 				t.Fatalf("%s: %v", s.Name(), err)
 			}
@@ -91,11 +92,11 @@ func TestAnnealDeterministicPerSeed(t *testing.T) {
 	set, _ := pointset.UnitWeights(pts)
 	in, _ := reward.NewInstance(set, norm.L2{}, 1.2)
 	y := in.NewResiduals()
-	a, err := Anneal{Seed: 9}.Solve(in, y)
+	a, err := Anneal{Seed: 9}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Anneal{Seed: 9}.Solve(in, y)
+	b, err := Anneal{Seed: 9}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestRoundBasedWithNewSolvers(t *testing.T) {
 	}
 	in := mustInstance(t, pts, ws, norm.L1{}, 1.5)
 	for _, s := range []core.InnerSolver{NelderMead{}, Anneal{Seed: 1, Steps: 500}} {
-		res, err := core.RoundBased{Solver: s}.Run(in, 3)
+		res, err := core.RoundBased{Solver: s}.Run(context.Background(), in, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

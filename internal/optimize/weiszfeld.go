@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/reward"
@@ -32,8 +33,9 @@ type Weiszfeld struct {
 // Name implements core.InnerSolver.
 func (Weiszfeld) Name() string { return "weiszfeld" }
 
-// Solve implements core.InnerSolver.
-func (w Weiszfeld) Solve(in *reward.Instance, y []float64) (vec.V, error) {
+// Solve implements core.InnerSolver. A cancelled call stops the alternation
+// at the current outer step and returns the incumbent with ctx.Err().
+func (w Weiszfeld) Solve(ctx context.Context, in *reward.Instance, y []float64) (vec.V, error) {
 	if in == nil {
 		return nil, errors.New("optimize: nil instance")
 	}
@@ -50,6 +52,9 @@ func (w Weiszfeld) Solve(in *reward.Instance, y []float64) (vec.V, error) {
 	euclid := in.Norm.P() == 2
 
 	for outer := 0; outer < maxOuter; outer++ {
+		if ctx != nil && ctx.Err() != nil {
+			return best, ctx.Err()
+		}
 		// Step 1: active set — covered points whose cap is not binding
 		// (z_i = 1 − d/r < y_i), i.e. moving c closer still helps them.
 		var idx []int

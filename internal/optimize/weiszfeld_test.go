@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -13,7 +14,7 @@ func TestWeiszfeldName(t *testing.T) {
 	if (Weiszfeld{}).Name() != "weiszfeld" {
 		t.Errorf("name = %q", (Weiszfeld{}).Name())
 	}
-	if _, err := (Weiszfeld{}).Solve(nil, nil); err == nil {
+	if _, err := (Weiszfeld{}).Solve(context.Background(), nil, nil); err == nil {
 		t.Error("nil instance accepted")
 	}
 }
@@ -21,7 +22,7 @@ func TestWeiszfeldName(t *testing.T) {
 func TestWeiszfeldFindsSquareCenter(t *testing.T) {
 	in := squareInstance(t)
 	y := in.NewResiduals()
-	c, err := Weiszfeld{}.Solve(in, y)
+	c, err := Weiszfeld{}.Solve(context.Background(), in, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestWeiszfeldNeverBelowBestPoint(t *testing.T) {
 			in := mustInstance(t, pts, ws, nm, rng.Uniform(0.6, 2))
 			y := in.NewResiduals()
 			_, baseline := bestPointStart(in, y)
-			c, err := Weiszfeld{}.Solve(in, y)
+			c, err := Weiszfeld{}.Solve(context.Background(), in, y)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -97,7 +98,7 @@ func TestRoundBasedWithWeiszfeld(t *testing.T) {
 		ws[i] = float64(rng.IntRange(1, 5))
 	}
 	in := mustInstance(t, pts, ws, norm.L2{}, 1.3)
-	res, err := core.RoundBased{Solver: Weiszfeld{}}.Run(in, 3)
+	res, err := core.RoundBased{Solver: Weiszfeld{}}.Run(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestRoundBasedWithWeiszfeld(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Must not lose to greedy3 (its start point is weiszfeld's too).
-	r3, err := core.SimpleGreedy{}.Run(in, 3)
+	r3, err := core.SimpleGreedy{}.Run(context.Background(), in, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,170 @@
+package parallel
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDegenerateArgs: every primitive must treat n <= 0 as a no-op and
+// workers <= 0 as "pick a sane default" — no goroutine leaks, no panics, no
+// spurious visits.
+func TestDegenerateArgs(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, workers int
+		wantVisits int64
+	}{
+		{"zero n", 0, 4, 0},
+		{"negative n", -3, 4, 0},
+		{"zero workers", 5, 0, 5},
+		{"negative workers", 5, -2, 5},
+		{"both degenerate", -1, -1, 0},
+		{"workers exceed n", 3, 64, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var visits int64
+			For(tc.n, tc.workers, func(i int) { atomic.AddInt64(&visits, 1) })
+			if visits != tc.wantVisits {
+				t.Errorf("For visited %d indices, want %d", visits, tc.wantVisits)
+			}
+
+			visits = 0
+			if err := ForCtx(context.Background(), tc.n, tc.workers, func(i int) { atomic.AddInt64(&visits, 1) }); err != nil {
+				t.Errorf("ForCtx = %v", err)
+			}
+			if visits != tc.wantVisits {
+				t.Errorf("ForCtx visited %d indices, want %d", visits, tc.wantVisits)
+			}
+
+			visits = 0
+			ForRanges(tc.n, tc.workers, func(lo, hi int) { atomic.AddInt64(&visits, int64(hi-lo)) })
+			if visits != tc.wantVisits {
+				t.Errorf("ForRanges covered %d indices, want %d", visits, tc.wantVisits)
+			}
+
+			visits = 0
+			if err := ForRangesCtx(nil, tc.n, tc.workers, func(lo, hi int) { atomic.AddInt64(&visits, int64(hi-lo)) }); err != nil {
+				t.Errorf("ForRangesCtx = %v", err)
+			}
+			if visits != tc.wantVisits {
+				t.Errorf("ForRangesCtx covered %d indices, want %d", visits, tc.wantVisits)
+			}
+
+			idx, val := MapReduce(tc.n, tc.workers, func(i int) float64 { return float64(i) },
+				func(a, b float64) bool { return a > b })
+			if tc.n <= 0 {
+				if idx != -1 || !math.IsNaN(val) {
+					t.Errorf("MapReduce on empty input = (%d, %v), want (-1, NaN)", idx, val)
+				}
+			} else if idx != tc.n-1 || val != float64(tc.n-1) {
+				t.Errorf("MapReduce = (%d, %v), want (%d, %v)", idx, val, tc.n-1, float64(tc.n-1))
+			}
+		})
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	cases := []struct {
+		n, workers, want int
+	}{
+		{10, 4, 4},
+		{10, 0, DefaultWorkers()},
+		{10, -7, DefaultWorkers()},
+		{2, 16, 2},
+		{1, 1, 1},
+	}
+	for _, tc := range cases {
+		if got := clampWorkers(tc.n, tc.workers); got != tc.want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d", tc.n, tc.workers, got, tc.want)
+		}
+		if got := clampWorkers(tc.n, tc.workers); got < 1 {
+			t.Errorf("clampWorkers(%d, %d) = %d < 1", tc.n, tc.workers, got)
+		}
+	}
+}
+
+// TestForRangesCtxCancelMidFlight cancels the context from inside a worker
+// while other workers are mid-dispatch: the call must return ctx.Err(), stop
+// dispatching new ranges, and never double-visit an index. Run under -race
+// this also checks the dispatch path is data-race free.
+func TestForRangesCtxCancelMidFlight(t *testing.T) {
+	const n = 100_000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	visited := make([]int32, n)
+	var covered int64
+	err := ForRangesCtx(ctx, n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if atomic.AddInt32(&visited[i], 1) != 1 {
+				t.Errorf("index %d visited twice", i)
+			}
+		}
+		atomic.AddInt64(&covered, int64(hi-lo))
+		if atomic.LoadInt64(&covered) >= n/10 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if covered == 0 || covered >= n {
+		t.Fatalf("covered %d of %d indices; want a strict partial sweep", covered, n)
+	}
+}
+
+// TestForCtxCancelMidFlight is the same contract for the index-granular
+// primitive, plus MapReduceCtx's partial-reduction guarantee: unvisited
+// indices are NaN-filled and never win the reduction.
+func TestForCtxCancelMidFlight(t *testing.T) {
+	const n = 100_000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var covered int64
+	err := ForCtx(ctx, n, 8, func(i int) {
+		if atomic.AddInt64(&covered, 1) >= n/10 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("ForCtx err = %v, want context.Canceled", err)
+	}
+	if covered == 0 || covered >= n {
+		t.Fatalf("covered %d of %d; want a strict partial sweep", covered, n)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var scored int64
+	idx, val, err := MapReduceCtx(ctx2, n, 8, func(i int) float64 {
+		if atomic.AddInt64(&scored, 1) >= n/10 {
+			cancel2()
+		}
+		return float64(i % 997)
+	}, func(a, b float64) bool { return a > b })
+	if err != context.Canceled {
+		t.Fatalf("MapReduceCtx err = %v, want context.Canceled", err)
+	}
+	if idx < 0 || math.IsNaN(val) {
+		t.Fatalf("MapReduceCtx = (%d, %v); a partial scan that scored indices must still reduce", idx, val)
+	}
+}
+
+// TestMapReduceCtxPreCancelled: a dead context means nothing is scored and
+// the reduction reports (-1, NaN, ctx.Err()).
+func TestMapReduceCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	idx, val, err := MapReduceCtx(ctx, 50, 4, func(i int) float64 {
+		t.Error("score called after cancellation")
+		return 0
+	}, func(a, b float64) bool { return a > b })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if idx != -1 || !math.IsNaN(val) {
+		t.Fatalf("got (%d, %v), want (-1, NaN)", idx, val)
+	}
+}

@@ -3,9 +3,18 @@
 // across cores. Results are always written to pre-indexed slots so that
 // parallel execution is deterministic: the reduction order never depends on
 // goroutine scheduling.
+//
+// Every primitive has a context-aware variant (ForCtx, ForRangesCtx,
+// MapReduceCtx, ...). Cancellation is cooperative at chunk granularity: once
+// the context is done no new chunk is dispatched, in-flight chunks run to
+// completion, and the variant returns ctx.Err(). Indices that were never
+// dispatched are simply not visited — callers that aggregate results must
+// treat their slots as absent (MapReduceCtx does so by pre-filling scores
+// with NaN).
 package parallel
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -18,12 +27,54 @@ import (
 // workers <= 0: the number of usable CPUs.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// clampWorkers normalizes a caller-supplied worker count: non-positive
+// selects DefaultWorkers, and the count never exceeds the number of work
+// items (never spawn zero-work goroutines).
+func clampWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers < 1 {
+		workers = 1 // defensive: GOMAXPROCS is >= 1, but never return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// doneChan extracts the cancellation channel of a context; a nil context
+// (or context.Background()) yields nil, on which a non-blocking receive is
+// never ready — the uncancellable fast path.
+func doneChan(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// ctxErr reports the context's error, tolerating nil.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // For runs fn(i) for every i in [0, n) using the given number of workers
-// (workers <= 0 selects DefaultWorkers). Indices are handed out dynamically
-// in chunks so that uneven per-index cost still balances. fn must be safe to
-// call concurrently; it must only write to state owned by index i.
+// (workers <= 0 selects DefaultWorkers; n <= 0 is a no-op). Indices are
+// handed out dynamically in chunks so that uneven per-index cost still
+// balances. fn must be safe to call concurrently; it must only write to
+// state owned by index i.
 func For(n, workers int, fn func(i int)) {
-	ForObs(n, workers, nil, fn)
+	forObs(nil, n, workers, nil, fn)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done no new chunk
+// is dispatched and ForCtx returns ctx.Err(); indices never dispatched are
+// not visited. A nil ctx behaves like For.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForObsCtx(ctx, n, workers, nil, fn)
 }
 
 // ForObs is For with telemetry: a live collector records the tasks
@@ -32,15 +83,21 @@ func For(n, workers int, fn func(i int)) {
 // worker's busy time (obs.TimWorkerBusy). A nil or Nop collector makes it
 // identical to For.
 func ForObs(n, workers int, c obs.Collector, fn func(i int)) {
+	forObs(nil, n, workers, c, fn)
+}
+
+// ForObsCtx combines ForObs and ForCtx.
+func ForObsCtx(ctx context.Context, n, workers int, c obs.Collector, fn func(i int)) error {
+	forObs(doneChan(ctx), n, workers, c, fn)
+	return ctxErr(ctx)
+}
+
+// forObs is the shared implementation: done == nil disables cancellation.
+func forObs(done <-chan struct{}, n, workers int, c obs.Collector, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = clampWorkers(n, workers)
 	active := obs.Active(c)
 	if active {
 		c.Count(obs.CtrParTasks, int64(n))
@@ -48,12 +105,17 @@ func ForObs(n, workers int, c obs.Collector, fn func(i int)) {
 	}
 	if workers == 1 {
 		t := obs.StartTimer(c, obs.TimWorkerBusy)
+		var chunks int64
 		for i := 0; i < n; i++ {
+			if cancelled(done) {
+				break
+			}
 			fn(i)
+			chunks = 1
 		}
 		t.Stop()
 		if active {
-			c.Count(obs.CtrParChunks, 1)
+			c.Count(obs.CtrParChunks, chunks)
 		}
 		return
 	}
@@ -70,6 +132,9 @@ func ForObs(n, workers int, c obs.Collector, fn func(i int)) {
 			defer wg.Done()
 			t := obs.StartTimer(c, obs.TimWorkerBusy)
 			for {
+				if cancelled(done) {
+					break
+				}
 				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
 				if start >= n {
 					break
@@ -94,25 +159,47 @@ func ForObs(n, workers int, c obs.Collector, fn func(i int)) {
 	}
 }
 
+// cancelled is a non-blocking poll of a done channel (nil: never cancelled).
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // ForRanges partitions [0, n) into contiguous half-open ranges and runs
 // fn(lo, hi) for each, spreading ranges over the given number of workers
-// (workers <= 0 selects DefaultWorkers). Ranges are handed out dynamically
-// so uneven per-range cost still balances. The range — not the index — being
-// the unit of dispatch lets callers run one kernel over a contiguous span of
-// a flat array (the batched distance kernels chunk the row-major coordinate
-// array this way) without per-index closure overhead. fn must be safe for
-// concurrent calls and must only touch state owned by its range.
+// (workers <= 0 selects DefaultWorkers; n <= 0 is a no-op). Ranges are
+// handed out dynamically so uneven per-range cost still balances. The range
+// — not the index — being the unit of dispatch lets callers run one kernel
+// over a contiguous span of a flat array (the batched distance kernels chunk
+// the row-major coordinate array this way) without per-index closure
+// overhead. fn must be safe for concurrent calls and must only touch state
+// owned by its range.
 func ForRanges(n, workers int, fn func(lo, hi int)) {
+	forRanges(nil, n, workers, fn)
+}
+
+// ForRangesCtx is ForRanges with cooperative cancellation: once ctx is done
+// no new range is dispatched and ForRangesCtx returns ctx.Err(); ranges
+// never dispatched are not visited. A nil ctx behaves like ForRanges.
+func ForRangesCtx(ctx context.Context, n, workers int, fn func(lo, hi int)) error {
+	forRanges(doneChan(ctx), n, workers, fn)
+	return ctxErr(ctx)
+}
+
+// forRanges is the shared implementation: done == nil disables cancellation.
+func forRanges(done <-chan struct{}, n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = clampWorkers(n, workers)
 	if workers == 1 {
+		if cancelled(done) {
+			return
+		}
 		fn(0, n)
 		return
 	}
@@ -127,6 +214,9 @@ func ForRanges(n, workers int, fn func(lo, hi int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled(done) {
+					break
+				}
 				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
 				if start >= n {
 					break
@@ -149,16 +239,44 @@ func ForRanges(n, workers int, fn func(lo, hi int)) {
 // as worse than any real score no matter where they appear. It returns
 // (-1, NaN) when n <= 0 or every score is NaN.
 func MapReduce(n, workers int, score func(i int) float64, better func(a, b float64) bool) (int, float64) {
-	return MapReduceObs(n, workers, nil, score, better)
+	idx, val, _ := mapReduce(nil, nil, n, workers, nil, score, better)
+	return idx, val
 }
 
 // MapReduceObs is MapReduce with the scan telemetry of ForObs.
 func MapReduceObs(n, workers int, c obs.Collector, score func(i int) float64, better func(a, b float64) bool) (int, float64) {
+	idx, val, _ := mapReduce(nil, nil, n, workers, c, score, better)
+	return idx, val
+}
+
+// MapReduceCtx is MapReduce with cooperative cancellation. On cancellation
+// the reduction runs over the scores actually computed (unvisited indices
+// count as NaN and are never selected) and the error is ctx.Err(); the
+// returned index is therefore the best of a partial scan, or -1 when
+// nothing was scored.
+func MapReduceCtx(ctx context.Context, n, workers int, score func(i int) float64, better func(a, b float64) bool) (int, float64, error) {
+	return mapReduce(ctx, doneChan(ctx), n, workers, nil, score, better)
+}
+
+// MapReduceObsCtx combines MapReduceObs and MapReduceCtx.
+func MapReduceObsCtx(ctx context.Context, n, workers int, c obs.Collector, score func(i int) float64, better func(a, b float64) bool) (int, float64, error) {
+	return mapReduce(ctx, doneChan(ctx), n, workers, c, score, better)
+}
+
+// mapReduce is the shared implementation: done == nil disables cancellation.
+func mapReduce(ctx context.Context, done <-chan struct{}, n, workers int, c obs.Collector, score func(i int) float64, better func(a, b float64) bool) (int, float64, error) {
 	if n <= 0 {
-		return -1, math.NaN()
+		return -1, math.NaN(), ctxErr(ctx)
 	}
 	scores := make([]float64, n)
-	ForObs(n, workers, c, func(i int) { scores[i] = score(i) })
+	if done != nil {
+		// Pre-fill with NaN so indices skipped by cancellation are never
+		// selected; the uncancellable path visits every index and skips this.
+		for i := range scores {
+			scores[i] = math.NaN()
+		}
+	}
+	forObs(done, n, workers, c, func(i int) { scores[i] = score(i) })
 	best := -1
 	for i, s := range scores {
 		if math.IsNaN(s) {
@@ -169,9 +287,9 @@ func MapReduceObs(n, workers int, c obs.Collector, score func(i int) float64, be
 		}
 	}
 	if best < 0 {
-		return -1, math.NaN()
+		return -1, math.NaN(), ctxErr(ctx)
 	}
-	return best, scores[best]
+	return best, scores[best], ctxErr(ctx)
 }
 
 // ArgmaxFloat returns the index of the strictly greatest score with ties
@@ -184,4 +302,15 @@ func ArgmaxFloat(n, workers int, score func(i int) float64) (int, float64) {
 // ArgmaxFloatObs is ArgmaxFloat with the scan telemetry of ForObs.
 func ArgmaxFloatObs(n, workers int, c obs.Collector, score func(i int) float64) (int, float64) {
 	return MapReduceObs(n, workers, c, score, func(a, b float64) bool { return a > b })
+}
+
+// ArgmaxFloatCtx is ArgmaxFloat with cooperative cancellation (see
+// MapReduceCtx for the partial-scan contract).
+func ArgmaxFloatCtx(ctx context.Context, n, workers int, score func(i int) float64) (int, float64, error) {
+	return MapReduceCtx(ctx, n, workers, score, func(a, b float64) bool { return a > b })
+}
+
+// ArgmaxFloatObsCtx combines ArgmaxFloatObs and ArgmaxFloatCtx.
+func ArgmaxFloatObsCtx(ctx context.Context, n, workers int, c obs.Collector, score func(i int) float64) (int, float64, error) {
+	return MapReduceObsCtx(ctx, n, workers, c, score, func(a, b float64) bool { return a > b })
 }

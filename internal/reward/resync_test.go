@@ -1,6 +1,7 @@
 package reward_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestSwapSearchObjectiveConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.SwapLocalSearch{MaxPasses: 20}.Run(in, 6)
+	res, err := core.SwapLocalSearch{MaxPasses: 20}.Run(context.Background(), in, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -15,8 +16,10 @@ import (
 )
 
 // TrialFunc runs one trial and returns named scalar observations. It must be
-// safe to call concurrently with other trials.
-type TrialFunc func(trial int, rng *xrand.Rand) (map[string]float64, error)
+// safe to call concurrently with other trials. The context is the runner's:
+// trial bodies that invoke solvers should pass it through so a cancelled
+// run stops inside the trial, not just between trials.
+type TrialFunc func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error)
 
 // Result aggregates per-metric summaries over all trials.
 type Result struct {
@@ -49,7 +52,14 @@ func (r *Result) MetricNames() []string {
 // workers (<= 0 uses all CPUs). Trial t's RNG is seeded with
 // seed ⊕ splitmix(t), so every trial is reproducible in isolation. The first
 // trial error aborts the aggregation.
-func RunTrials(trials, workers int, seed uint64, fn TrialFunc) (*Result, error) {
+//
+// Cancellation is anytime at trial granularity: once ctx is done no new
+// trial starts, trials whose own body returned ctx's error are dropped
+// rather than treated as failures, and the completed trials are aggregated
+// into a partial Result returned together with ctx.Err(). A run cancelled
+// before any trial completed returns an empty Result (Trials == 0) with
+// ctx.Err(). A nil ctx behaves like context.Background().
+func RunTrials(ctx context.Context, trials, workers int, seed uint64, fn TrialFunc) (*Result, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: trials = %d must be positive", trials)
 	}
@@ -57,25 +67,34 @@ func RunTrials(trials, workers int, seed uint64, fn TrialFunc) (*Result, error) 
 		return nil, errors.New("sim: nil trial function")
 	}
 	type out struct {
+		ran     bool
 		metrics map[string]float64
 		err     error
 	}
 	outs := make([]out, trials)
-	parallel.For(trials, workers, func(t int) {
+	cancelErr := parallel.ForCtx(ctx, trials, workers, func(t int) {
 		rng := xrand.New(seed ^ (0x9e3779b97f4a7c15 * (uint64(t) + 1)))
-		m, err := fn(t, rng)
-		outs[t] = out{metrics: m, err: err}
+		m, err := fn(ctx, t, rng)
+		outs[t] = out{ran: true, metrics: m, err: err}
 	})
 	samples := map[string][]float64{}
+	completed := 0
 	for t, o := range outs {
+		if !o.ran {
+			continue // never dispatched before cancellation
+		}
 		if o.err != nil {
+			if cancelErr != nil && errors.Is(o.err, cancelErr) {
+				continue // the trial itself was cut short; drop its partial data
+			}
 			return nil, fmt.Errorf("sim: trial %d: %w", t, o.err)
 		}
+		completed++
 		for k, v := range o.metrics {
 			samples[k] = append(samples[k], v)
 		}
 	}
-	res := &Result{Trials: trials, Summaries: map[string]stats.Summary{}, Samples: samples}
+	res := &Result{Trials: completed, Summaries: map[string]stats.Summary{}, Samples: samples}
 	for k, vs := range samples {
 		s, err := stats.Summarize(vs)
 		if err != nil {
@@ -83,5 +102,5 @@ func RunTrials(trials, workers int, seed uint64, fn TrialFunc) (*Result, error) 
 		}
 		res.Summaries[k] = s
 	}
-	return res, nil
+	return res, cancelErr
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestRunTrialsAggregates(t *testing.T) {
-	res, err := RunTrials(10, 4, 1, func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+	res, err := RunTrials(context.Background(), 10, 4, 1, func(_ context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 		return map[string]float64{
 			"trial": float64(trial),
 			"const": 3,
@@ -41,14 +42,14 @@ func TestRunTrialsAggregates(t *testing.T) {
 }
 
 func TestRunTrialsDeterministicAcrossWorkers(t *testing.T) {
-	fn := func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+	fn := func(_ context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 		return map[string]float64{"x": rng.Float64()}, nil
 	}
-	a, err := RunTrials(20, 1, 99, fn)
+	a, err := RunTrials(context.Background(), 20, 1, 99, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunTrials(20, 8, 99, fn)
+	b, err := RunTrials(context.Background(), 20, 8, 99, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestRunTrialsDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestRunTrialsDistinctSeedsPerTrial(t *testing.T) {
-	res, err := RunTrials(50, 4, 7, func(trial int, rng *xrand.Rand) (map[string]float64, error) {
+	res, err := RunTrials(context.Background(), 50, 4, 7, func(_ context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
 		return map[string]float64{"x": rng.Float64()}, nil
 	})
 	if err != nil {
@@ -76,14 +77,14 @@ func TestRunTrialsDistinctSeedsPerTrial(t *testing.T) {
 }
 
 func TestRunTrialsErrors(t *testing.T) {
-	if _, err := RunTrials(0, 1, 1, func(int, *xrand.Rand) (map[string]float64, error) { return nil, nil }); err == nil {
+	if _, err := RunTrials(context.Background(), 0, 1, 1, func(context.Context, int, *xrand.Rand) (map[string]float64, error) { return nil, nil }); err == nil {
 		t.Error("trials=0 accepted")
 	}
-	if _, err := RunTrials(3, 1, 1, nil); err == nil {
+	if _, err := RunTrials(context.Background(), 3, 1, 1, nil); err == nil {
 		t.Error("nil fn accepted")
 	}
 	boom := errors.New("boom")
-	if _, err := RunTrials(5, 2, 1, func(trial int, _ *xrand.Rand) (map[string]float64, error) {
+	if _, err := RunTrials(context.Background(), 5, 2, 1, func(_ context.Context, trial int, _ *xrand.Rand) (map[string]float64, error) {
 		if trial == 3 {
 			return nil, boom
 		}
@@ -91,7 +92,7 @@ func TestRunTrialsErrors(t *testing.T) {
 	}); err == nil || !errors.Is(err, boom) {
 		t.Errorf("trial error not propagated: %v", err)
 	}
-	if _, err := RunTrials(2, 1, 1, func(int, *xrand.Rand) (map[string]float64, error) {
+	if _, err := RunTrials(context.Background(), 2, 1, 1, func(context.Context, int, *xrand.Rand) (map[string]float64, error) {
 		return map[string]float64{"bad": math.NaN()}, nil
 	}); err == nil {
 		t.Error("NaN metric accepted")

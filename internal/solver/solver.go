@@ -1,0 +1,159 @@
+// Package solver is the single source of truth for the stack's algorithm
+// catalog: every runnable content-distribution algorithm is registered here
+// under its canonical name with a constructor taking uniform Options. The
+// CLI tools, the experiment drivers, and the broadcast simulator all resolve
+// algorithms through this registry instead of hand-rolling their own
+// name→constructor lists, so names, default worker counts, and telemetry
+// wiring (core.Instrument) cannot drift between layers.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/optimize"
+)
+
+// Options carries the cross-cutting knobs every constructor understands.
+// The zero value is always usable: all CPUs, seed 0, telemetry off.
+type Options struct {
+	// Workers bounds a parallel algorithm's worker count; <= 0 uses all
+	// CPUs (parallel.DefaultWorkers).
+	Workers int
+	// Seed drives any randomness the algorithm carries (the random
+	// baseline's placement, greedy4's Welzl shuffle). Deterministic per
+	// seed.
+	Seed uint64
+	// Obs, when live, is attached to the constructed algorithm via
+	// core.Instrument so per-round telemetry flows without every caller
+	// re-implementing the wrapping.
+	Obs obs.Collector
+}
+
+// Entry is one registered algorithm.
+type Entry struct {
+	// Name is the canonical identifier (e.g. "greedy2-lazy").
+	Name string
+	// Summary is a one-line description for listings.
+	Summary string
+	// New constructs the algorithm for the given options, without the
+	// Instrument wrapping (the registry applies it).
+	New func(Options) core.Algorithm
+}
+
+// registry maps canonical names to entries; names holds registration order.
+var (
+	registry = map[string]Entry{}
+	names    []string
+)
+
+// Register adds an entry. Registering an empty or duplicate name is an
+// error so two layers cannot silently claim the same identifier.
+func Register(e Entry) error {
+	if e.Name == "" || e.New == nil {
+		return fmt.Errorf("solver: entry needs a name and a constructor")
+	}
+	if _, dup := registry[e.Name]; dup {
+		return fmt.Errorf("solver: duplicate algorithm %q", e.Name)
+	}
+	registry[e.Name] = e
+	names = append(names, e.Name)
+	return nil
+}
+
+// mustRegister is Register for the built-in catalog, where a failure is a
+// programming error.
+func mustRegister(e Entry) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegister(Entry{
+		Name:    "greedy1",
+		Summary: "Algorithm 1: round-based with the multistart continuous inner solver",
+		New: func(o Options) core.Algorithm {
+			return core.RoundBased{Solver: optimize.Multistart{Workers: o.Workers}}
+		},
+	})
+	mustRegister(Entry{
+		Name:    "greedy2",
+		Summary: "Algorithm 2: best data point per round by coverage reward",
+		New: func(o Options) core.Algorithm {
+			return core.LocalGreedy{Workers: o.Workers}
+		},
+	})
+	mustRegister(Entry{
+		Name:    "greedy2-lazy",
+		Summary: "Algorithm 2 accelerated by lazy (CELF) evaluation; bit-identical output",
+		New: func(o Options) core.Algorithm {
+			return core.LazyGreedy{}
+		},
+	})
+	mustRegister(Entry{
+		Name:    "greedy2+swap",
+		Summary: "Algorithm 2 refined by 1-swap local search",
+		New: func(o Options) core.Algorithm {
+			return core.SwapLocalSearch{Seed: core.LocalGreedy{Workers: o.Workers}}
+		},
+	})
+	mustRegister(Entry{
+		Name:    "greedy3",
+		Summary: "Algorithm 3: heaviest remaining single-point reward per round",
+		New: func(o Options) core.Algorithm {
+			return core.SimpleGreedy{}
+		},
+	})
+	mustRegister(Entry{
+		Name:    "greedy4",
+		Summary: "Algorithm 4: disk-growing walk from every seed point",
+		New: func(o Options) core.Algorithm {
+			return core.ComplexGreedy{Workers: o.Workers, Seed: o.Seed}
+		},
+	})
+	mustRegister(Entry{
+		Name:    "random",
+		Summary: "baseline: k centers uniform over the data bounding box",
+		New: func(o Options) core.Algorithm {
+			return core.RandomPlacement(o.Seed)
+		},
+	})
+}
+
+// New resolves a registered name and constructs the algorithm, attaching
+// opts.Obs via core.Instrument when live. Unknown names report the sorted
+// catalog so callers' error messages are self-describing.
+func New(name string, opts Options) (core.Algorithm, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown algorithm %q (have: %s)", name, strings.Join(Names(), " | "))
+	}
+	return core.Instrument(e.New(opts), opts.Obs), nil
+}
+
+// Names returns every registered name, sorted.
+func Names() []string {
+	out := append([]string{}, names...)
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns every registered entry in registration order (the
+// built-in catalog first, extensions after).
+func Entries() []Entry {
+	out := make([]Entry, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// PaperNames lists the four algorithms of the source paper in its order —
+// the canonical comparison set for -all runs and the experiment drivers.
+func PaperNames() []string {
+	return []string{"greedy1", "greedy2", "greedy3", "greedy4"}
+}

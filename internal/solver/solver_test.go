@@ -1,0 +1,237 @@
+package solver_test
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/obs"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/solver"
+	"repro/internal/xrand"
+)
+
+func testInstance(t *testing.T, n int) *reward.Instance {
+	t.Helper()
+	set, err := pointset.GenUniform(n, pointset.PaperBox2D(), pointset.RandomIntWeight, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := reward.NewInstance(set, norm.L2{}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	ns := solver.Names()
+	if !sort.StringsAreSorted(ns) {
+		t.Fatalf("Names() not sorted: %v", ns)
+	}
+	for _, want := range []string{"greedy1", "greedy2", "greedy2-lazy", "greedy2+swap", "greedy3", "greedy4", "random"} {
+		i := sort.SearchStrings(ns, want)
+		if i >= len(ns) || ns[i] != want {
+			t.Fatalf("Names() = %v, missing %q", ns, want)
+		}
+	}
+}
+
+func TestEntriesMatchRegistry(t *testing.T) {
+	es := solver.Entries()
+	if len(es) != len(solver.Names()) {
+		t.Fatalf("Entries() has %d entries, Names() %d", len(es), len(solver.Names()))
+	}
+	for _, e := range es {
+		if e.Summary == "" {
+			t.Errorf("entry %q has no summary", e.Name)
+		}
+		if _, err := solver.New(e.Name, solver.Options{}); err != nil {
+			t.Errorf("New(%q) = %v", e.Name, err)
+		}
+	}
+}
+
+func TestUnknownNameListsSortedCatalog(t *testing.T) {
+	_, err := solver.New("bogus", solver.Options{})
+	if err == nil {
+		t.Fatal("New(bogus) succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error %q does not name the unknown algorithm", msg)
+	}
+	want := strings.Join(solver.Names(), " | ")
+	if !strings.Contains(msg, want) {
+		t.Errorf("error %q does not list the sorted catalog %q", msg, want)
+	}
+}
+
+func TestRegisterRejectsEmptyAndDuplicate(t *testing.T) {
+	if err := solver.Register(solver.Entry{}); err == nil {
+		t.Error("Register of empty entry succeeded")
+	}
+	dup := solver.Entry{
+		Name: "greedy2",
+		New:  func(solver.Options) core.Algorithm { return core.LocalGreedy{} },
+	}
+	if err := solver.Register(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("Register of duplicate name = %v, want duplicate error", err)
+	}
+}
+
+func TestPaperNamesResolve(t *testing.T) {
+	want := []string{"greedy1", "greedy2", "greedy3", "greedy4"}
+	got := solver.PaperNames()
+	if len(got) != len(want) {
+		t.Fatalf("PaperNames() = %v", got)
+	}
+	for i, n := range want {
+		if got[i] != n {
+			t.Fatalf("PaperNames() = %v, want %v", got, want)
+		}
+		a, err := solver.New(n, solver.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() == "" {
+			t.Errorf("%s constructs an unnamed algorithm", n)
+		}
+	}
+}
+
+func TestNewAttachesCollector(t *testing.T) {
+	in := testInstance(t, 40)
+	m := obs.NewMetrics()
+	a, err := solver.New("greedy2", solver.Options{Workers: 1, Obs: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(context.Background(), in, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Counters[obs.CtrRounds]; got != 2 {
+		t.Errorf("instrumented run recorded %d rounds, want 2", got)
+	}
+}
+
+// cancelAfterRound is an obs.Collector that cancels a context once the given
+// round's round_end event fires — the deterministic deadline used by the
+// anytime-prefix tests below.
+type cancelAfterRound struct {
+	round  int
+	cancel context.CancelFunc
+}
+
+func (cancelAfterRound) Count(string, int64)     {}
+func (cancelAfterRound) TimeNS(string, int64)    {}
+func (cancelAfterRound) Gauge(string, float64)   {}
+func (cancelAfterRound) Observe(string, float64) {}
+func (c cancelAfterRound) Emit(e obs.Event) {
+	if e.Type == obs.EvRoundEnd && e.Round >= c.round {
+		c.cancel()
+	}
+}
+
+// TestCancellationPrefixEquivalence is the anytime contract of DESIGN.md §8:
+// cancelling greedy 1–4 after round j yields exactly the first j centers of
+// the uncancelled run, bit for bit, with ctx.Err() reported alongside and the
+// cancellation recorded as telemetry.
+func TestCancellationPrefixEquivalence(t *testing.T) {
+	in := testInstance(t, 50)
+	const k = 4
+	for _, name := range solver.PaperNames() {
+		t.Run(name, func(t *testing.T) {
+			full, err := mustAlg(t, name, nil).Run(context.Background(), in, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(full.Centers) != k {
+				t.Fatalf("uncancelled run selected %d centers, want %d", len(full.Centers), k)
+			}
+			for j := 1; j < k; j++ {
+				m := obs.NewMetrics()
+				ctx, cancel := context.WithCancel(context.Background())
+				col := obs.Multi(m, cancelAfterRound{round: j, cancel: cancel})
+				part, err := mustAlg(t, name, col).Run(ctx, in, k)
+				cancel()
+				if err != context.Canceled {
+					t.Fatalf("j=%d: err = %v, want context.Canceled", j, err)
+				}
+				if part == nil {
+					t.Fatalf("j=%d: cancelled run returned nil result", j)
+				}
+				if verr := part.Validate(); verr != nil {
+					t.Fatalf("j=%d: partial result invalid: %v", j, verr)
+				}
+				if len(part.Centers) != j {
+					t.Fatalf("j=%d: got %d centers, want exactly %d", j, len(part.Centers), j)
+				}
+				for r := 0; r < j; r++ {
+					if part.Gains[r] != full.Gains[r] {
+						t.Fatalf("j=%d round %d: gain %v != uncancelled %v", j, r, part.Gains[r], full.Gains[r])
+					}
+					for d, x := range part.Centers[r] {
+						if x != full.Centers[r][d] {
+							t.Fatalf("j=%d round %d dim %d: center %v != uncancelled %v",
+								j, r, d, part.Centers[r], full.Centers[r])
+						}
+					}
+				}
+				snap := m.Snapshot()
+				if snap.Counters[obs.CtrCancelled] != 1 {
+					t.Errorf("j=%d: cancelled counter = %d, want 1", j, snap.Counters[obs.CtrCancelled])
+				}
+				found := false
+				for _, e := range snap.Events {
+					if e.Type == obs.EvCancelled {
+						found = true
+						if got := e.Fields["rounds"]; got != float64(j) {
+							t.Errorf("j=%d: cancelled event reports %v rounds", j, got)
+						}
+					}
+				}
+				if !found {
+					t.Errorf("j=%d: no %s event recorded", j, obs.EvCancelled)
+				}
+			}
+		})
+	}
+}
+
+// TestPreCancelledContext: a context that is already dead yields an empty
+// (but valid) prefix and the context's error — never a nil-result panic.
+func TestPreCancelledContext(t *testing.T) {
+	in := testInstance(t, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range solver.PaperNames() {
+		res, err := mustAlg(t, name, nil).Run(ctx, in, 3)
+		if err != context.Canceled {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res == nil {
+			t.Errorf("%s: nil result on pre-cancelled context", name)
+			continue
+		}
+		if len(res.Centers) != 0 {
+			t.Errorf("%s: pre-cancelled run committed %d centers", name, len(res.Centers))
+		}
+		if verr := res.Validate(); verr != nil {
+			t.Errorf("%s: empty prefix invalid: %v", name, verr)
+		}
+	}
+}
+
+func mustAlg(t *testing.T, name string, col obs.Collector) core.Algorithm {
+	t.Helper()
+	a, err := solver.New(name, solver.Options{Workers: 1, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -6,6 +6,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -18,6 +26,13 @@ go test ./...
 if [ "${RACE:-1}" != "0" ]; then
 	echo "==> go test -race ./..."
 	go test -race ./...
+fi
+
+# Binary-level cancellation smoke: each cmd tool under a short -timeout must
+# exit cleanly with valid partial output. SMOKE=0 skips it.
+if [ "${SMOKE:-1}" != "0" ]; then
+	echo "==> smoke"
+	./scripts/smoke.sh
 fi
 
 # Advisory benchmark comparison: never fails the check, but surfaces any

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Smoke test for the anytime-cancellation contract of the cmd/ binaries:
+# build each tool, run it with a -timeout short enough to trip mid-work, and
+# assert a clean exit (status 0) whose output carries either a finished run
+# or the early-stop note with whatever partial results were committed.
+# Run from the repository root: ./scripts/smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+
+echo "==> building cmd binaries"
+go build -o "$BIN" ./cmd/...
+
+fail() {
+	echo "smoke: $1" >&2
+	exit 1
+}
+
+# expect_clean <label> <output-file> <exit-status>
+expect_clean() {
+	[ "$3" -eq 0 ] || fail "$1 exited $3 (cancellation must be a clean exit)"
+	[ -s "$2" ] || fail "$1 produced no output"
+}
+
+echo "==> cdtrace: generate a working trace (with its own -timeout)"
+status=0
+"$BIN/cdtrace" -n 400 -seed 7 -timeout 10s >"$BIN/trace.json" 2>&1 || status=$?
+expect_clean cdtrace "$BIN/trace.json" "$status"
+
+echo "==> cdgreedy: 1ns deadline must yield a clean partial run"
+status=0
+"$BIN/cdgreedy" -trace "$BIN/trace.json" -k 8 -timeout 1ns >"$BIN/greedy.out" 2>&1 || status=$?
+expect_clean cdgreedy "$BIN/greedy.out" "$status"
+grep -q "note: run stopped early" "$BIN/greedy.out" ||
+	fail "cdgreedy output lacks the early-stop note"
+
+echo "==> cdgreedy: generous deadline must finish without the note"
+status=0
+"$BIN/cdgreedy" -trace "$BIN/trace.json" -k 2 -timeout 1m >"$BIN/greedy_full.out" 2>&1 || status=$?
+expect_clean cdgreedy "$BIN/greedy_full.out" "$status"
+grep -q "note: run stopped early" "$BIN/greedy_full.out" &&
+	fail "uncancelled cdgreedy run printed the early-stop note"
+
+echo "==> cdstation: 1ns deadline must yield a clean partial run"
+status=0
+"$BIN/cdstation" -trace "$BIN/trace.json" -k 4 -periods 50 -timeout 1ns >"$BIN/station.out" 2>&1 || status=$?
+expect_clean cdstation "$BIN/station.out" "$status"
+grep -q "note: run stopped early" "$BIN/station.out" ||
+	fail "cdstation output lacks the early-stop note"
+
+echo "==> cdbench: 50ms deadline must yield a clean partial run"
+status=0
+"$BIN/cdbench" -run summary -timeout 50ms >"$BIN/bench.out" 2>&1 || status=$?
+expect_clean cdbench "$BIN/bench.out" "$status"
+grep -q "note: run stopped early" "$BIN/bench.out" ||
+	fail "cdbench output lacks the early-stop note"
+
+echo "smoke OK"
