@@ -82,6 +82,7 @@ func Diff(baseline, current *Baseline, w io.Writer) {
 	}
 
 	pairSpeedups(current, w)
+	deltaSpeedups(current, w)
 }
 
 // pairSpeedups reports the scalar-vs-batched kernel speedup for every
@@ -116,6 +117,42 @@ func pairSpeedups(current *Baseline, w io.Writer) {
 			header = true
 		}
 		fmt.Fprintf(w, "%-52s %8.2fx\n", byKey[k].Name, sNS/bNS)
+	}
+}
+
+// deltaSpeedups reports the incremental-vs-rebuild speedup for every
+// BenchmarkFooDelta*/BenchmarkFooFull* pair in the current run: the same
+// population churn applied through Evaluator deltas versus a from-scratch
+// evaluator rebuild. The churn acceptance gate is a >= 5x speedup for the
+// single-user delta at n = 10000.
+func deltaSpeedups(current *Baseline, w io.Writer) {
+	byKey := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		byKey[key(r)] = r
+	}
+	var names []string
+	for k := range byKey {
+		if strings.Contains(k, "Delta") {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	header := false
+	for _, k := range names {
+		fk := strings.Replace(k, "Delta", "Full", 1)
+		full, ok := byKey[fk]
+		if !ok {
+			continue
+		}
+		dNS, fNS := byKey[k].Metrics["ns/op"], full.Metrics["ns/op"]
+		if dNS <= 0 || fNS <= 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\n%-52s %9s\n", "incremental delta vs full rebuild", "speedup")
+			header = true
+		}
+		fmt.Fprintf(w, "%-52s %8.0fx\n", byKey[k].Name, fNS/dNS)
 	}
 }
 

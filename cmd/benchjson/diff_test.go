@@ -11,6 +11,8 @@ const diffSample = `pkg: repro/internal/reward
 BenchmarkRoundGainScalar_N10000-8	     264	    240000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkRoundGainBatch_N10000-8 	     560	    120000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkFresh_New-8             	    1000	      5000 ns/op
+BenchmarkEvaluatorUserDelta_N10000-8	  200000	       150 ns/op	      22 B/op	       1 allocs/op
+BenchmarkEvaluatorUserFull_N10000-8 	      20	   1500000 ns/op	 1000000 B/op	      45 allocs/op
 PASS
 ok  	repro/internal/reward	1.0s
 `
@@ -53,6 +55,10 @@ func TestRunDiff(t *testing.T) {
 	// Pair table: 240000/120000 = 2.00x.
 	if !strings.Contains(got, "scalar vs batch") || !strings.Contains(got, "2.00x") {
 		t.Errorf("pair speedup missing:\n%s", got)
+	}
+	// Delta pair table: 1500000/150 = 10000x.
+	if !strings.Contains(got, "incremental delta vs full rebuild") || !strings.Contains(got, "10000x") {
+		t.Errorf("delta speedup missing:\n%s", got)
 	}
 }
 

@@ -1,12 +1,16 @@
 // Command cdstation runs the time-slotted base-station simulator (the
 // system the paper motivates) over a trace: each period the station selects
 // k broadcast contents with the chosen algorithm while user interests drift
-// and the population churns.
+// and the population churns. With -churn it switches to the dynamic-instance
+// loop: Poisson arrivals and departures are applied as incremental evaluator
+// deltas (bit-identical to rebuilding the instance) with one optionally
+// warm-started re-solve per period.
 //
 // Usage:
 //
 //	cdtrace -n 60 -kind zipf | cdstation -alg greedy2 -k 3 -periods 10
-//	cdstation -trace t.json -alg greedy4 -k 2 -r 1.5 -drift 0.2 -churn 0.1
+//	cdstation -trace t.json -alg greedy4 -k 2 -r 1.5 -drift 0.2 -replace 0.1
+//	cdtrace -n 200 | cdstation -churn -arrivals 5 -departs 3 -warm -index grid
 //	cdtrace -n 500 | cdstation -periods 200 -pprof localhost:6060 -metrics -
 package main
 

@@ -1,0 +1,321 @@
+package broadcast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/norm"
+	"repro/internal/obs"
+	"repro/internal/reward"
+	"repro/internal/solver"
+	"repro/internal/spatial"
+	"repro/internal/trace"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// ChurnConfig parameterizes the dynamic-instance re-solve loop: a base
+// station whose user population churns (Poisson arrivals and departures)
+// between broadcast periods, maintained incrementally instead of rebuilt.
+type ChurnConfig struct {
+	// K is the number of broadcasts per period.
+	K int
+	// Radius is the content scope r.
+	Radius float64
+	// Norm measures interest distance (default 2-norm).
+	Norm norm.Norm
+	// Periods is the number of broadcast periods simulated.
+	Periods int
+	// ArrivalRate is the mean number of users joining per period
+	// (Poisson-distributed). Arrivals take a uniform interest point inside
+	// the trace box and inherit the weight of a random existing user.
+	ArrivalRate float64
+	// DepartRate is the mean number of users leaving per period
+	// (Poisson-distributed, capped so the population never empties).
+	DepartRate float64
+	// Solver names the algorithm in the solver registry (default "greedy2").
+	Solver string
+	// Workers bounds the solver's parallelism; <= 0 uses all CPUs.
+	Workers int
+	// Seed drives churn and any solver randomness. Deterministic per seed.
+	Seed uint64
+	// WarmStart carries each period's centers into the next re-solve via
+	// solver.Options.WarmStart: the re-solve keeps whichever of the cold
+	// solution and the carried-over centers scores higher.
+	WarmStart bool
+	// FullEvery, when > 0, rebuilds the evaluator and spatial index from
+	// scratch every FullEvery periods (counted in obs.CtrChurnRebuilds).
+	// The deltas are bit-identical to rebuilds, so this only bounds
+	// hypothetical drift defensively; 0 never rebuilds.
+	FullEvery int
+	// Index selects the dynamic spatial accelerator maintained across
+	// deltas: "grid", "kdtree", or "none" (the default).
+	Index string
+	// Verify, when set, cross-checks the incrementally maintained objective
+	// against a from-scratch evaluator rebuild every period and fails the
+	// run on any bitwise mismatch. Intended for tests and smoke runs.
+	Verify bool
+	// Obs, when set, receives churn counters, warm-start telemetry, and
+	// reward-oracle counts.
+	Obs obs.Collector
+}
+
+func (c ChurnConfig) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("broadcast: K = %d", c.K)
+	}
+	if c.Radius <= 0 || math.IsNaN(c.Radius) || math.IsInf(c.Radius, 0) {
+		return fmt.Errorf("broadcast: radius = %v", c.Radius)
+	}
+	if c.Periods <= 0 {
+		return fmt.Errorf("broadcast: periods = %d", c.Periods)
+	}
+	if c.ArrivalRate < 0 || math.IsNaN(c.ArrivalRate) || math.IsInf(c.ArrivalRate, 0) {
+		return fmt.Errorf("broadcast: arrival rate = %v", c.ArrivalRate)
+	}
+	if c.DepartRate < 0 || math.IsNaN(c.DepartRate) || math.IsInf(c.DepartRate, 0) {
+		return fmt.Errorf("broadcast: depart rate = %v", c.DepartRate)
+	}
+	if c.FullEvery < 0 {
+		return fmt.Errorf("broadcast: full-rebuild period = %d", c.FullEvery)
+	}
+	switch c.Index {
+	case "", "none", "grid", "kdtree":
+	default:
+		return fmt.Errorf("broadcast: unknown index %q (have: none | grid | kdtree)", c.Index)
+	}
+	return nil
+}
+
+// ChurnPeriodStat records one period of the churn loop.
+type ChurnPeriodStat struct {
+	Period int
+	// N is the population size the period was scheduled for.
+	N int
+	// Objective is f(C) of the adopted centers, read from the maintained
+	// evaluator.
+	Objective float64
+	// MaxRwd is Σ w_i, the period's reward upper bound.
+	MaxRwd float64
+	// CarryObjective is the previous centers' objective on this period's
+	// (churned) population — the warm-start candidate's score. Zero for the
+	// first period.
+	CarryObjective float64
+	// Arrivals and Departures are the churn applied after this period.
+	Arrivals, Departures int
+}
+
+// ChurnMetrics summarizes a churn-loop run.
+type ChurnMetrics struct {
+	Solver  string
+	Periods []ChurnPeriodStat
+	// MeanSatisfaction is the mean over periods of f(C)/Σw.
+	MeanSatisfaction float64
+	// MeanPopulation is the mean scheduled population size.
+	MeanPopulation float64
+	// TotalArrivals / TotalDepartures count users over the whole run.
+	TotalArrivals, TotalDepartures int
+	// IncrementalDeltas counts AddUser/RemoveUser operations applied in
+	// place of full rebuilds; FullRebuilds counts scheduled rebuilds
+	// (cfg.FullEvery) plus the initial construction.
+	IncrementalDeltas, FullRebuilds int
+}
+
+// RunChurn simulates the base station over a churning population, maintaining
+// the reward instance incrementally: arrivals and departures are applied with
+// reward.Evaluator.AddUser/RemoveUser (bit-identical to rebuilding the
+// instance from scratch), the optional spatial index is a spatial.Dynamic
+// kept aligned across the same deltas, and with cfg.WarmStart each period's
+// centers seed the next re-solve. The input trace is copied, never mutated.
+//
+// RunChurn is anytime under cancellation: ctx is checked each period, a
+// period whose solve was cut short is discarded, and metrics over the
+// completed periods are returned together with ctx.Err().
+func RunChurn(ctx context.Context, tr *trace.Trace, cfg ChurnConfig) (*ChurnMetrics, error) {
+	if tr == nil {
+		return nil, errors.New("broadcast: nil trace")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nm := cfg.Norm
+	if nm == nil {
+		nm = norm.L2{}
+	}
+	solverName := cfg.Solver
+	if solverName == "" {
+		solverName = "greedy2"
+	}
+
+	set, err := tr.ToSet() // a fresh copy; churn deltas stay private
+	if err != nil {
+		return nil, err
+	}
+	in, err := reward.NewInstance(set, nm, cfg.Radius)
+	if err != nil {
+		return nil, err
+	}
+	in.SetCollector(cfg.Obs)
+	installIndex := func() error {
+		switch cfg.Index {
+		case "grid":
+			df, err := spatial.NewDynamicGrid(set.Points(), cfg.Radius)
+			if err != nil {
+				return err
+			}
+			in.SetFinder(df)
+		case "kdtree":
+			df, err := spatial.NewDynamicKDTree(set.Points(), cfg.Radius)
+			if err != nil {
+				return err
+			}
+			in.SetFinder(df)
+		}
+		return nil
+	}
+	if err := installIndex(); err != nil {
+		return nil, err
+	}
+	eval, err := reward.NewEvaluator(in, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := xrand.New(cfg.Seed)
+	box := tr.Box()
+	m := &ChurnMetrics{Solver: solverName, FullRebuilds: 1} // initial build
+	c := obs.OrNop(cfg.Obs)
+	var prev []vec.V
+	var carry float64
+	var popSum float64
+	var cancelErr error
+
+	for p := 0; p < cfg.Periods; p++ {
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
+		opts := solver.Options{Workers: cfg.Workers, Seed: cfg.Seed, Obs: cfg.Obs}
+		if cfg.WarmStart {
+			opts.WarmStart = prev
+		}
+		alg, err := solver.New(solverName, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := alg.Run(ctx, in, cfg.K)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				cancelErr = cerr
+				break
+			}
+			return nil, fmt.Errorf("broadcast: churn period %d: %w", p, err)
+		}
+		if err := eval.SetCenters(res.Centers); err != nil {
+			return nil, err
+		}
+		objective := eval.Objective()
+		if cfg.Verify {
+			if err := verifyObjective(in, res.Centers, objective, p); err != nil {
+				return nil, err
+			}
+		}
+		ps := ChurnPeriodStat{
+			Period: p, N: in.N(), Objective: objective,
+			MaxRwd: set.TotalWeight(), CarryObjective: carry,
+		}
+		popSum += float64(in.N())
+		prev = res.Centers
+
+		// Churn the population for the next period via incremental deltas.
+		if p < cfg.Periods-1 {
+			arrivals := rng.Poisson(cfg.ArrivalRate)
+			departures := rng.Poisson(cfg.DepartRate)
+			if max := in.N() + arrivals - 1; departures > max {
+				departures = max // never serve an empty cell
+			}
+			for a := 0; a < arrivals; a++ {
+				w := set.Weight(rng.Intn(set.Len()))
+				if _, err := eval.AddUser(vec.V(box.Sample(rng)), w); err != nil {
+					return nil, fmt.Errorf("broadcast: churn period %d: %w", p, err)
+				}
+			}
+			for d := 0; d < departures; d++ {
+				if _, err := eval.RemoveUser(rng.Intn(set.Len())); err != nil {
+					return nil, fmt.Errorf("broadcast: churn period %d: %w", p, err)
+				}
+			}
+			ps.Arrivals, ps.Departures = arrivals, departures
+			m.TotalArrivals += arrivals
+			m.TotalDepartures += departures
+			m.IncrementalDeltas += arrivals + departures
+			// The previous centers scored on the churned population: the
+			// next period's warm-start candidate.
+			carry = eval.Objective()
+			if obs.Active(cfg.Obs) {
+				c.Count(obs.CtrChurnAdded, int64(arrivals))
+				c.Count(obs.CtrChurnRemoved, int64(departures))
+				c.Count(obs.CtrChurnDeltas, int64(arrivals+departures))
+			}
+			if cfg.FullEvery > 0 && (p+1)%cfg.FullEvery == 0 {
+				if err := installIndex(); err != nil {
+					return nil, err
+				}
+				if eval, err = reward.NewEvaluator(in, prev); err != nil {
+					return nil, err
+				}
+				m.FullRebuilds++
+				c.Count(obs.CtrChurnRebuilds, 1)
+			}
+		}
+		m.Periods = append(m.Periods, ps)
+		c.Count(obs.CtrChurnPeriods, 1)
+		if obs.Active(cfg.Obs) {
+			c.Emit(obs.Event{Type: obs.EvChurnPeriod, Alg: solverName, Round: p,
+				Fields: map[string]float64{
+					"arrivals": float64(ps.Arrivals), "departures": float64(ps.Departures),
+					"n": float64(ps.N), "objective": objective,
+				}})
+		}
+	}
+
+	if len(m.Periods) > 0 {
+		var satSum float64
+		for _, ps := range m.Periods {
+			if ps.MaxRwd > 0 {
+				satSum += ps.Objective / ps.MaxRwd
+			}
+		}
+		m.MeanSatisfaction = satSum / float64(len(m.Periods))
+		m.MeanPopulation = popSum / float64(len(m.Periods))
+	}
+	return m, cancelErr
+}
+
+// verifyObjective cross-checks the maintained evaluator against a
+// from-scratch rebuild over a clone of the current population. Any deviation
+// means the incremental bookkeeping diverged — a bug, reported bitwise.
+func verifyObjective(in *reward.Instance, centers []vec.V, got float64, period int) error {
+	set := in.Set.Clone()
+	fresh, err := reward.NewInstance(set, in.Norm, in.Radius)
+	if err != nil {
+		return err
+	}
+	e, err := reward.NewEvaluator(fresh, centers)
+	if err != nil {
+		return err
+	}
+	if want := e.Objective(); got != want {
+		return fmt.Errorf("broadcast: period %d: incremental objective %v != rebuild %v (diff %g)",
+			period, got, want, got-want)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package broadcast
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func churnCfg() ChurnConfig {
+	return ChurnConfig{
+		K: 2, Radius: 1.5, Periods: 6, Seed: 7,
+		ArrivalRate: 3, DepartRate: 2, Verify: true,
+	}
+}
+
+// TestRunChurnBasic: the loop completes with Verify on (every period's
+// incremental objective bit-matches a rebuild), churn actually happens, and
+// the summary fields are consistent.
+func TestRunChurnBasic(t *testing.T) {
+	for _, index := range []string{"none", "grid", "kdtree"} {
+		t.Run(index, func(t *testing.T) {
+			tr := genTrace(t, 30, trace.Uniform)
+			cfg := churnCfg()
+			cfg.Index = index
+			m, err := RunChurn(context.Background(), tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Periods) != cfg.Periods {
+				t.Fatalf("completed %d periods, want %d", len(m.Periods), cfg.Periods)
+			}
+			if m.TotalArrivals+m.TotalDepartures == 0 {
+				t.Error("no churn happened at these rates")
+			}
+			if m.IncrementalDeltas != m.TotalArrivals+m.TotalDepartures {
+				t.Errorf("deltas %d != arrivals %d + departures %d",
+					m.IncrementalDeltas, m.TotalArrivals, m.TotalDepartures)
+			}
+			if m.MeanSatisfaction <= 0 || m.MeanSatisfaction > 1 {
+				t.Errorf("mean satisfaction = %v", m.MeanSatisfaction)
+			}
+			for _, ps := range m.Periods[1:] {
+				if ps.CarryObjective <= 0 {
+					t.Errorf("period %d: carry objective %v", ps.Period, ps.CarryObjective)
+				}
+			}
+		})
+	}
+}
+
+// TestRunChurnDoesNotMutateInput: the trace's population must be copied.
+func TestRunChurnDoesNotMutateInput(t *testing.T) {
+	tr := genTrace(t, 20, trace.Uniform)
+	before := len(tr.Users)
+	w0 := tr.Users[0].Weight
+	if _, err := RunChurn(context.Background(), tr, churnCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Users) != before || tr.Users[0].Weight != w0 {
+		t.Error("RunChurn mutated the input trace")
+	}
+}
+
+// TestRunChurnWarmStartNeverWorse: with warm starting, every period's
+// adopted objective must be at least the carried-over candidate's score —
+// the WarmStarted wrapper keeps the better of the two by construction.
+func TestRunChurnWarmStartNeverWorse(t *testing.T) {
+	tr := genTrace(t, 40, trace.Uniform)
+	cfg := churnCfg()
+	cfg.WarmStart = true
+	cfg.Index = "grid"
+	c := obs.NewMetrics()
+	cfg.Obs = c
+	m, err := RunChurn(context.Background(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range m.Periods {
+		if ps.Objective < ps.CarryObjective {
+			t.Errorf("period %d: objective %v < carried-over %v",
+				ps.Period, ps.Objective, ps.CarryObjective)
+		}
+	}
+	snap := c.Snapshot()
+	if got := snap.Counters[obs.CtrWarmStarts]; got != int64(cfg.Periods-1) {
+		t.Errorf("warm starts = %d, want %d", got, cfg.Periods-1)
+	}
+	if snap.Counters[obs.CtrChurnPeriods] != int64(cfg.Periods) {
+		t.Errorf("churn periods = %d", snap.Counters[obs.CtrChurnPeriods])
+	}
+	if snap.Counters[obs.CtrChurnAdded] != int64(m.TotalArrivals) {
+		t.Errorf("counter added %d != metric %d",
+			snap.Counters[obs.CtrChurnAdded], m.TotalArrivals)
+	}
+	if snap.Counters[obs.CtrChurnRemoved] != int64(m.TotalDepartures) {
+		t.Errorf("counter removed %d != metric %d",
+			snap.Counters[obs.CtrChurnRemoved], m.TotalDepartures)
+	}
+}
+
+// TestRunChurnFullEvery: scheduled full rebuilds land in the counters and —
+// because deltas are bit-identical to rebuilds — leave every per-period
+// result identical to the never-rebuilding run.
+func TestRunChurnFullEvery(t *testing.T) {
+	tr := genTrace(t, 30, trace.Uniform)
+	cfg := churnCfg()
+	base, err := RunChurn(context.Background(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FullEvery = 2
+	rebuilt, err := RunChurn(context.Background(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.FullRebuilds <= base.FullRebuilds {
+		t.Errorf("rebuilds = %d, base %d", rebuilt.FullRebuilds, base.FullRebuilds)
+	}
+	for p := range base.Periods {
+		if base.Periods[p].Objective != rebuilt.Periods[p].Objective ||
+			base.Periods[p].N != rebuilt.Periods[p].N {
+			t.Errorf("period %d diverged with FullEvery: %+v vs %+v",
+				p, base.Periods[p], rebuilt.Periods[p])
+		}
+	}
+}
+
+// TestRunChurnDeterminism: same seed, same run, across index choices (the
+// index is a conservative accelerator, so it cannot change results).
+func TestRunChurnDeterminism(t *testing.T) {
+	tr := genTrace(t, 25, trace.Uniform)
+	cfg := churnCfg()
+	cfg.Index = "grid"
+	a, err := RunChurn(context.Background(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Index = "none"
+	b, err := RunChurn(context.Background(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Periods) != len(b.Periods) {
+		t.Fatalf("period counts differ: %d vs %d", len(a.Periods), len(b.Periods))
+	}
+	for p := range a.Periods {
+		if a.Periods[p].Objective != b.Periods[p].Objective {
+			t.Errorf("period %d: grid %v != none %v",
+				p, a.Periods[p].Objective, b.Periods[p].Objective)
+		}
+	}
+}
+
+// TestRunChurnCancellation: a cancelled run returns the completed periods
+// with ctx.Err(), per the anytime contract.
+func TestRunChurnCancellation(t *testing.T) {
+	tr := genTrace(t, 20, trace.Uniform)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := RunChurn(ctx, tr, churnCfg())
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(m.Periods) != 0 {
+		t.Errorf("pre-cancelled run completed %d periods", len(m.Periods))
+	}
+}
+
+func TestRunChurnValidation(t *testing.T) {
+	tr := genTrace(t, 10, trace.Uniform)
+	run := func(mut func(*ChurnConfig)) error {
+		cfg := churnCfg()
+		mut(&cfg)
+		_, err := RunChurn(context.Background(), tr, cfg)
+		return err
+	}
+	if _, err := RunChurn(context.Background(), nil, churnCfg()); err == nil {
+		t.Error("nil trace accepted")
+	}
+	for name, mut := range map[string]func(*ChurnConfig){
+		"k":       func(c *ChurnConfig) { c.K = 0 },
+		"radius":  func(c *ChurnConfig) { c.Radius = -1 },
+		"periods": func(c *ChurnConfig) { c.Periods = 0 },
+		"arrival": func(c *ChurnConfig) { c.ArrivalRate = -1 },
+		"depart":  func(c *ChurnConfig) { c.DepartRate = -1 },
+		"index":   func(c *ChurnConfig) { c.Index = "quadtree" },
+		"solver":  func(c *ChurnConfig) { c.Solver = "no-such-algorithm" },
+		"rebuild": func(c *ChurnConfig) { c.FullEvery = -1 },
+	} {
+		if err := run(mut); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}

@@ -257,6 +257,24 @@ func TestStationPipeline(t *testing.T) {
 	}
 }
 
+func TestStationChurnMode(t *testing.T) {
+	js := genJSON(t, "-n", "30")
+	var out bytes.Buffer
+	err := Station(context.Background(), []string{
+		"-churn", "-arrivals", "3", "-departs", "2", "-periods", "4",
+		"-warm", "-index", "grid", "-verify", "-alg", "greedy3",
+	}, strings.NewReader(js), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"churn loop", "carry-over", "mean population", "incremental deltas"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("churn output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestStationMultiStation(t *testing.T) {
 	js := genJSON(t, "-kind", "clustered", "-n", "40")
 	var out bytes.Buffer
@@ -337,8 +355,11 @@ func TestStationRejects(t *testing.T) {
 	if err := Station(context.Background(), []string{"-periods", "0"}, strings.NewReader(js), &out); err == nil {
 		t.Error("bad periods accepted")
 	}
-	if err := Station(context.Background(), []string{"-churn", "2"}, strings.NewReader(js), &out); err == nil {
-		t.Error("bad churn accepted")
+	if err := Station(context.Background(), []string{"-replace", "2"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad replacement probability accepted")
+	}
+	if err := Station(context.Background(), []string{"-churn", "-index", "quadtree"}, strings.NewReader(js), &out); err == nil {
+		t.Error("bad churn index accepted")
 	}
 }
 

@@ -46,9 +46,13 @@ func Station(ctx context.Context, args []string, stdin io.Reader, stdout io.Writ
 		normName  = fs.String("norm", "l2", "interest-distance norm: l1 | l2 | linf")
 		periods   = fs.Int("periods", 10, "broadcast periods to simulate")
 		drift     = fs.Float64("drift", 0.1, "per-period interest drift sigma")
-		churn     = fs.Float64("churn", 0.05, "per-period user replacement probability")
+		replace   = fs.Float64("replace", 0.05, "per-period user replacement probability")
 		arrivals  = fs.Float64("arrivals", 0, "mean new users per period (Poisson)")
-		departs   = fs.Float64("departs", 0, "per-period probability a user leaves for good")
+		departs   = fs.Float64("departs", 0, "per-period probability a user leaves for good (-churn mode: mean departures per period, Poisson)")
+		churnMode = fs.Bool("churn", false, "dynamic-instance mode: Poisson arrivals/departures maintained incrementally (AddUser/RemoveUser deltas) with a re-solve per period")
+		warm      = fs.Bool("warm", false, "with -churn: warm-start each re-solve from the previous period's centers")
+		index     = fs.String("index", "none", "with -churn: dynamic spatial index maintained across deltas: none | grid | kdtree")
+		verify    = fs.Bool("verify", false, "with -churn: cross-check the incremental objective against a from-scratch rebuild every period")
 		slots     = fs.Int("slots", 0, "broadcast slots per period (0 = k)")
 		stations  = fs.Int("stations", 1, "number of base stations (users partitioned among them)")
 		assign    = fs.String("assign", "nearest-anchor", "multi-station user assignment: random | nearest-anchor")
@@ -89,6 +93,17 @@ func Station(ctx context.Context, args []string, stdin io.Reader, stdout io.Writ
 	if err != nil {
 		return err
 	}
+	if *churnMode {
+		if err := stationChurn(ctx, tr, stdout, broadcast.ChurnConfig{
+			K: *k, Radius: *r, Norm: nm, Periods: *periods,
+			ArrivalRate: *arrivals, DepartRate: *departs,
+			Solver: *algName, Seed: *seed, WarmStart: *warm,
+			Index: *index, Verify: *verify, Obs: tel.Collector(),
+		}); err != nil {
+			return err
+		}
+		return tel.Close(stdout)
+	}
 	alg, err := AlgorithmByName(*algName)
 	if err != nil {
 		return err
@@ -96,7 +111,7 @@ func Station(ctx context.Context, args []string, stdin io.Reader, stdout io.Writ
 	alg = core.Instrument(alg, tel.Collector())
 	cfg := broadcast.Config{
 		K: *k, Radius: *r, Norm: nm, Periods: *periods,
-		DriftSigma: *drift, ChurnRate: *churn,
+		DriftSigma: *drift, ChurnRate: *replace,
 		ArrivalRate: *arrivals, DepartRate: *departs,
 		SlotsPerPeriod: *slots, Seed: *seed, Obs: tel.Collector(),
 	}
@@ -148,7 +163,8 @@ func Station(ctx context.Context, args []string, stdin io.Reader, stdout io.Writ
 	fmt.Fprintf(stdout, "service frequency:    %.2f rounds/period\n", m.ServiceFrequency)
 	fmt.Fprintf(stdout, "satisfaction/slot:    %.4f\n", m.SatisfactionPerSlot)
 	if len(m.UserSatisfaction) > 0 {
-		h, err := stats.NewHistogram(0, 1.0000001, 10)
+		// [0, 1] is closed: a perfect score lands in the top bin.
+		h, err := stats.NewHistogram(0, 1, 10)
 		if err == nil {
 			for _, s := range m.UserSatisfaction {
 				h.Add(s)
@@ -160,6 +176,35 @@ func Station(ctx context.Context, args []string, stdin io.Reader, stdout io.Writ
 		cancelNote(stdout, cerr)
 	}
 	return tel.Close(stdout)
+}
+
+// stationChurn runs the dynamic-instance churn loop (-churn): the population
+// evolves by Poisson arrivals/departures applied as incremental evaluator
+// deltas, with one (optionally warm-started) re-solve per period.
+func stationChurn(ctx context.Context, tr *trace.Trace, stdout io.Writer, cfg broadcast.ChurnConfig) error {
+	m, cerr := broadcast.RunChurn(ctx, tr, cfg)
+	if cerr != nil && (m == nil || ctx.Err() == nil) {
+		return cerr
+	}
+	tb := report.NewTable(fmt.Sprintf("churn loop: %s, k=%d, r=%g, arrivals=%g departs=%g, index=%s warm=%v",
+		m.Solver, cfg.K, cfg.Radius, cfg.ArrivalRate, cfg.DepartRate, cfg.Index, cfg.WarmStart),
+		"period", "users", "+in", "-out", "objective", "carry-over", "satisfaction")
+	for _, p := range m.Periods {
+		carry := "-"
+		if p.Period > 0 {
+			carry = fmt.Sprintf("%.4f", p.CarryObjective)
+		}
+		tb.AddRow(p.Period, p.N, p.Arrivals, p.Departures, p.Objective, carry, p.Objective/p.MaxRwd)
+	}
+	fmt.Fprint(stdout, tb.Render())
+	fmt.Fprintf(stdout, "mean satisfaction:    %.4f\n", m.MeanSatisfaction)
+	fmt.Fprintf(stdout, "mean population:      %.1f\n", m.MeanPopulation)
+	fmt.Fprintf(stdout, "churn applied:        +%d / -%d users (%d incremental deltas, %d full rebuilds)\n",
+		m.TotalArrivals, m.TotalDepartures, m.IncrementalDeltas, m.FullRebuilds)
+	if cerr != nil {
+		cancelNote(stdout, cerr)
+	}
+	return nil
 }
 
 // stationTimeline replays a recorded timeline through the scheduler. The

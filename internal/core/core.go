@@ -149,6 +149,12 @@ func Instrument(a Algorithm, c obs.Collector) Algorithm {
 			t.Seed = Instrument(t.Seed, c)
 		}
 		return t
+	case WarmStarted:
+		t.Obs = c
+		if t.Base != nil {
+			t.Base = Instrument(t.Base, c)
+		}
+		return t
 	default:
 		return a
 	}

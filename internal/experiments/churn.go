@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/broadcast"
+	"repro/internal/pointset"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// RunChurnExperiment evaluates the dynamic-instance extension: a base
+// station whose population churns by Poisson arrivals and departures,
+// maintained with incremental evaluator deltas instead of per-period
+// rebuilds. Each trial runs the same churn sequence twice — cold re-solves
+// versus warm-started ones (the previous period's centers carried over) —
+// so the pairing isolates the warm start's effect. Every period of every
+// run is verified bitwise against a from-scratch rebuild, making the table
+// a correctness gate for the delta path as well as a performance readout.
+func RunChurnExperiment(ctx context.Context, cfg RunConfig) (*Output, error) {
+	n, periods := 60, 10
+	if cfg.Quick {
+		n, periods = 20, 3
+	}
+	churnCfg := func(seed uint64, warm bool) broadcast.ChurnConfig {
+		return broadcast.ChurnConfig{
+			K: 2, Radius: 1.2, Periods: periods,
+			ArrivalRate: 4, DepartRate: 3,
+			Solver: "greedy2", Seed: seed,
+			WarmStart: warm, Index: "grid", Verify: true,
+			Obs: cfg.Obs,
+		}
+	}
+	genChurnTrace := func(rng *xrand.Rand) (*trace.Trace, error) {
+		return trace.Generate(trace.Config{
+			N:      n,
+			Box:    pointset.PaperBox2D(),
+			Kind:   trace.ZipfTopics,
+			Scheme: pointset.RandomIntWeight,
+			Topics: 5,
+			Sigma:  0.35,
+		}, rng)
+	}
+
+	res, err := sim.RunTrials(ctx, cfg.trials(), cfg.Workers, cfg.Seed^0xc4012,
+		func(ctx context.Context, trial int, rng *xrand.Rand) (map[string]float64, error) {
+			tr, err := genChurnTrace(rng)
+			if err != nil {
+				return nil, err
+			}
+			seed := rng.Uint64()
+			cold, err := broadcast.RunChurn(ctx, tr, churnCfg(seed, false))
+			if err != nil {
+				return nil, err
+			}
+			warm, err := broadcast.RunChurn(ctx, tr, churnCfg(seed, true))
+			if err != nil {
+				return nil, err
+			}
+			wins := 0.0
+			for p, ps := range warm.Periods {
+				if p > 0 && ps.Objective > cold.Periods[p].Objective {
+					wins++
+				}
+			}
+			return map[string]float64{
+				"cold/sat":   cold.MeanSatisfaction,
+				"warm/sat":   warm.MeanSatisfaction,
+				"warm/wins":  wins,
+				"population": warm.MeanPopulation,
+				"deltas":     float64(warm.IncrementalDeltas),
+				"arrivals":   float64(warm.TotalArrivals),
+				"departures": float64(warm.TotalDepartures),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	get := func(key string) (float64, error) {
+		v, ok := res.Mean(key)
+		if !ok {
+			return 0, fmt.Errorf("experiments: missing churn metric %q", key)
+		}
+		return v, nil
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("dynamic-instance churn (n=%d start, %d periods, Poisson +4/-3, greedy2, grid index, verified)", n, periods),
+		"re-solve", "mean satisfaction", "warm wins/run", "deltas/run")
+	coldSat, err := get("cold/sat")
+	if err != nil {
+		return nil, err
+	}
+	warmSat, err := get("warm/sat")
+	if err != nil {
+		return nil, err
+	}
+	wins, err := get("warm/wins")
+	if err != nil {
+		return nil, err
+	}
+	deltas, err := get("deltas")
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("cold", coldSat, "-", deltas)
+	tb.AddRow("warm-started", warmSat, wins, deltas)
+
+	// A representative single run for the per-period view.
+	tr, err := genChurnTrace(xrand.New(cfg.Seed ^ 0x5eed))
+	if err != nil {
+		return nil, err
+	}
+	m, err := broadcast.RunChurn(ctx, tr, churnCfg(cfg.Seed^0x5eed, true))
+	if err != nil {
+		return nil, err
+	}
+	fig := &report.Figure{
+		ID: "churn", Title: "population and objective across a churning run (warm-started)",
+		XLabel: "period", YLabel: "value",
+	}
+	var xs, pop, obj, carry []float64
+	for _, ps := range m.Periods {
+		xs = append(xs, float64(ps.Period))
+		pop = append(pop, float64(ps.N))
+		obj = append(obj, ps.Objective)
+		if ps.Period > 0 {
+			carry = append(carry, ps.CarryObjective)
+		}
+	}
+	fig.Add("population", xs, pop)
+	fig.Add("objective (adopted)", xs, obj)
+	if len(carry) > 0 {
+		fig.Add("objective (carried-over)", xs[1:], carry)
+	}
+	out := &Output{Tables: []*report.Table{tb}, Figures: []*report.Figure{fig}}
+	out.Notes = append(out.Notes,
+		"Every period's incrementally maintained objective was verified bit-identical to a from-scratch",
+		"rebuild (ChurnConfig.Verify). The warm-started re-solve adopts the carried-over centers only when",
+		"they outscore the cold solution, so its satisfaction column can never trail the cold row's by more",
+		"than solver randomness; deltas/run counts AddUser/RemoveUser operations applied in place of rebuilds.")
+	return out, nil
+}

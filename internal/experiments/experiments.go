@@ -123,6 +123,7 @@ func Registry() []Experiment {
 		{ID: "baselines", Title: "Extension: greedy vs reward-blind placement (k-means/k-medians/random)", Run: RunBaselines},
 		{ID: "radiuscurve", Title: "Extension: total reward as a continuous function of the radius", Run: RunRadiusCurve},
 		{ID: "weightskew", Title: "Extension: sensitivity to the weight scheme's skew", Run: RunWeightSkew},
+		{ID: "churn", Title: "Extension: dynamic-instance churn — incremental deltas, warm-started re-solves", Run: RunChurnExperiment},
 	}
 }
 

@@ -71,6 +71,13 @@ const (
 	// was cancelled or its deadline expired, carrying "rounds" — the number
 	// of completed rounds whose centers the partial result retains.
 	EvCancelled = "cancelled"
+	// EvWarmStart records a warm-started re-solve comparing the carried-over
+	// center set against the cold solve, with "cold", "warm", and
+	// "improvement" (warm − cold, clamped at 0).
+	EvWarmStart = "warm_start"
+	// EvChurnPeriod records one period of the churn loop with "arrivals",
+	// "departures", "n" (population after churn), and "objective".
+	EvChurnPeriod = "churn_period"
 )
 
 // Canonical metric names.
@@ -101,6 +108,16 @@ const (
 
 	CtrExperiments = "bench.experiments"
 	TimExperiment  = "bench.experiment_ns"
+
+	CtrWarmStarts = "core.warm_starts"
+	CtrWarmWins   = "core.warm_wins"
+
+	CtrChurnPeriods  = "churn.periods"
+	CtrChurnAdded    = "churn.users_added"
+	CtrChurnRemoved  = "churn.users_removed"
+	CtrChurnDeltas   = "churn.incremental_deltas"
+	CtrChurnRebuilds = "churn.full_rebuilds"
+	ObsWarmImprove   = "churn.warmstart_improvement"
 )
 
 // Nop is the default collector: every method does nothing. Instrumented

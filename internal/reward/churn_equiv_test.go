@@ -1,0 +1,277 @@
+package reward
+
+import (
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/spatial"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// randPoint draws a point from the same box the churn sequences use.
+func randPoint(rng *xrand.Rand, dim int) vec.V {
+	p := vec.New(dim)
+	for d := range p {
+		p[d] = rng.Uniform(0, 4)
+	}
+	return p
+}
+
+// TestEvaluatorChurnEquivalence is the golden gate for the dynamic-instance
+// layer, in the same spirit as TestBatchedScalarEquivalence: across norms ×
+// dims × batch on/off × finder modes, a random sequence of AddUser /
+// RemoveUser / UpdateWeight / SetCenters deltas must leave the evaluator
+// bit-identical (==, not within-epsilon) to one rebuilt from scratch over a
+// clone of the mutated population. The delta path is only allowed to exist
+// because it can never change a published experiment number.
+func TestEvaluatorChurnEquivalence(t *testing.T) {
+	rng := xrand.New(4242)
+	for _, dim := range []int{1, 2, 3} {
+		for _, nm := range equivNorms(t, dim) {
+			for _, batch := range []bool{false, true} {
+				for _, finder := range []string{"none", "grid", "kdtree"} {
+					runChurnTrial(t, rng, dim, nm, batch, finder)
+				}
+			}
+		}
+	}
+}
+
+func runChurnTrial(t *testing.T, rng *xrand.Rand, dim int, nm norm.Norm, batch bool, finder string) {
+	t.Helper()
+	n := rng.IntRange(6, 40)
+	r := rng.Uniform(0.5, 2.0)
+	pts := make([]vec.V, n)
+	ws := make([]float64, n)
+	for i := range pts {
+		pts[i] = randPoint(rng, dim)
+		ws[i] = float64(rng.IntRange(1, 5))
+	}
+	in := mustInstance(t, pts, ws, nm, r)
+	in.SetBatch(batch)
+	switch finder {
+	case "grid":
+		df, err := spatial.NewDynamicGrid(pts, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.SetFinder(df)
+	case "kdtree":
+		df, err := spatial.NewDynamicKDTree(pts, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.SetFinder(df)
+	}
+
+	k := rng.IntRange(1, 4)
+	centers := make([]vec.V, k)
+	for j := range centers {
+		centers[j] = randPoint(rng, dim)
+	}
+	e, err := NewEvaluator(in, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for op := 0; op < 30; op++ {
+		switch pick := rng.Intn(10); {
+		case pick < 4: // AddUser
+			p := randPoint(rng, dim)
+			w := float64(rng.IntRange(1, 5))
+			i, err := e.AddUser(p, w)
+			if err != nil {
+				t.Fatalf("AddUser: %v", err)
+			}
+			if i != in.N()-1 {
+				t.Fatalf("AddUser index %d, want %d", i, in.N()-1)
+			}
+		case pick < 7: // RemoveUser
+			if in.N() < 2 {
+				continue
+			}
+			i := rng.Intn(in.N())
+			last := in.N() - 1
+			wantMoved := vec.V(nil)
+			if i != last {
+				wantMoved = in.Set.Point(last).Clone()
+			}
+			moved, err := e.RemoveUser(i)
+			if err != nil {
+				t.Fatalf("RemoveUser(%d): %v", i, err)
+			}
+			if i == last {
+				if moved != -1 {
+					t.Fatalf("RemoveUser(last) moved = %d, want -1", moved)
+				}
+			} else {
+				if moved != last {
+					t.Fatalf("RemoveUser(%d) moved = %d, want %d", i, moved, last)
+				}
+				for d := range wantMoved {
+					if in.Set.Point(i)[d] != wantMoved[d] {
+						t.Fatalf("slot %d holds %v after swap, want %v", i, in.Set.Point(i), wantMoved)
+					}
+				}
+			}
+		case pick < 9: // UpdateWeight
+			i := rng.Intn(in.N())
+			if err := e.UpdateWeight(i, float64(rng.IntRange(1, 9))); err != nil {
+				t.Fatalf("UpdateWeight: %v", err)
+			}
+		default: // SetCenters (adopt a freshly "solved" center set)
+			k := rng.IntRange(1, 4)
+			cs := make([]vec.V, k)
+			for j := range cs {
+				cs[j] = randPoint(rng, dim)
+			}
+			if err := e.SetCenters(cs); err != nil {
+				t.Fatalf("SetCenters: %v", err)
+			}
+		}
+		checkChurnState(t, rng, e, nm, r, batch, finder)
+	}
+}
+
+// checkChurnState rebuilds everything from scratch over a clone of the
+// mutated population and demands bit-identical agreement — the evaluator's
+// objective, and (when a finder is installed) accelerated RoundGain against
+// a freshly built static index.
+func checkChurnState(t *testing.T, rng *xrand.Rand, e *Evaluator, nm norm.Norm, r float64, batch bool, finder string) {
+	t.Helper()
+	set := e.in.Set.Clone()
+	in2, err := NewInstance(set, nm, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2.SetBatch(batch)
+	e2, err := NewEvaluator(in2, e.Centers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Objective(), e2.Objective(); got != want {
+		t.Fatalf("%s batch=%v finder=%s n=%d k=%d: delta objective %v != rebuild %v (diff %g)",
+			nm.Name(), batch, finder, e.in.N(), e.K(), got, want, got-want)
+	}
+	if finder == "none" {
+		return
+	}
+	if _, isScaled := nm.(norm.Scaled); isScaled {
+		// A radius-r Chebyshev index is only conservative for norms whose
+		// coverage vanishes outside the window (every p-norm with p ≥ 1). A
+		// scaled norm with sub-unit scales reaches beyond it, so different
+		// conservative supersets legitimately disagree — the production
+		// wiring never pairs such a norm with a finder, and neither does
+		// this cross-check.
+		return
+	}
+	var static NeighborFinder
+	switch finder {
+	case "grid":
+		g, err := spatial.NewGrid(set.Points(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static = g
+	case "kdtree":
+		kd, err := spatial.NewKDTree(set.Points(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static = kd
+	}
+	in2.SetFinder(static)
+	y := e.in.NewResiduals()
+	y2 := in2.NewResiduals()
+	for i := range y {
+		y[i] = rng.Uniform(0, 1)
+		y2[i] = y[i]
+	}
+	c := randPoint(rng, e.in.Set.Dim())
+	if got, want := e.in.RoundGain(c, y), in2.RoundGain(c, y2); got != want {
+		t.Fatalf("%s batch=%v finder=%s: dynamic-finder RoundGain %v != static rebuild %v (diff %g)",
+			nm.Name(), batch, finder, got, want, got-want)
+	}
+}
+
+// TestEvaluatorDeltaStaticFinder: population deltas against a static finder
+// must fail loudly — a Grid or KDTree silently going stale would break the
+// conservativeness contract every accelerated sum depends on.
+func TestEvaluatorDeltaStaticFinder(t *testing.T) {
+	rng := xrand.New(7)
+	pts := make([]vec.V, 10)
+	for i := range pts {
+		pts[i] = randPoint(rng, 2)
+	}
+	ws := make([]float64, len(pts))
+	for i := range ws {
+		ws[i] = 1
+	}
+	in := mustInstance(t, pts, ws, norm.L2{}, 1)
+	g, err := spatial.NewGrid(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetFinder(g)
+	e, err := NewEvaluator(in, []vec.V{pts[0].Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddUser(vec.V{1, 1}, 1); err == nil {
+		t.Error("AddUser with static finder accepted")
+	}
+	if _, err := e.RemoveUser(0); err == nil {
+		t.Error("RemoveUser with static finder accepted")
+	}
+	if in.N() != 10 {
+		t.Errorf("failed deltas mutated the set: n=%d", in.N())
+	}
+	// UpdateWeight never touches the finder, so it must still work.
+	if err := e.UpdateWeight(0, 3); err != nil {
+		t.Errorf("UpdateWeight with static finder: %v", err)
+	}
+	// Clearing the finder unblocks deltas.
+	in.SetFinder(nil)
+	if _, err := e.AddUser(vec.V{1, 1}, 1); err != nil {
+		t.Errorf("AddUser with nil finder: %v", err)
+	}
+}
+
+// TestEvaluatorDeltaValidation: invalid deltas must leave the evaluator's
+// parallel state (Set, coverage rows, fraction sums) untouched.
+func TestEvaluatorDeltaValidation(t *testing.T) {
+	rng := xrand.New(11)
+	pts := make([]vec.V, 6)
+	for i := range pts {
+		pts[i] = randPoint(rng, 2)
+	}
+	ws := make([]float64, len(pts))
+	for i := range ws {
+		ws[i] = 1
+	}
+	in := mustInstance(t, pts, ws, norm.L2{}, 1)
+	e, err := NewEvaluator(in, []vec.V{pts[0].Clone(), pts[1].Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Objective()
+	if _, err := e.AddUser(vec.V{1}, 1); err == nil {
+		t.Error("dim-mismatched AddUser accepted")
+	}
+	if _, err := e.RemoveUser(99); err == nil {
+		t.Error("out-of-range RemoveUser accepted")
+	}
+	if err := e.UpdateWeight(0, -1); err == nil {
+		t.Error("negative UpdateWeight accepted")
+	}
+	if err := e.SetCenters([]vec.V{{0}}); err == nil {
+		t.Error("dim-mismatched SetCenters accepted")
+	}
+	if got := e.Objective(); got != before {
+		t.Errorf("failed deltas changed the objective: %v != %v", got, before)
+	}
+	if in.N() != 6 || e.K() != 2 {
+		t.Errorf("failed deltas changed shapes: n=%d k=%d", in.N(), e.K())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/xrand"
@@ -96,5 +97,53 @@ func TestRunTrialsErrors(t *testing.T) {
 		return map[string]float64{"bad": math.NaN()}, nil
 	}); err == nil {
 		t.Error("NaN metric accepted")
+	}
+}
+
+// TestRunTrialsMidflightCancellation cancels the run from inside a trial
+// body while workers are mid-flight, then checks the partial Result's
+// integrity: Samples stay in ascending trial order with no holes from
+// dropped trials, Trials matches the aggregated sample count, and the
+// summaries agree. Run under -race this also exercises the outs-slice
+// hand-off between workers and the aggregator.
+func TestRunTrialsMidflightCancellation(t *testing.T) {
+	const trials = 60
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completed atomic.Int64
+	res, err := RunTrials(ctx, trials, 4, 9, func(ctx context.Context, trial int, _ *xrand.Rand) (map[string]float64, error) {
+		if completed.Add(1) == 12 {
+			cancel()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err // cut short: RunTrials must drop, not fail
+		}
+		return map[string]float64{"trial": float64(trial)}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("nil partial result")
+	}
+	if res.Trials == 0 || res.Trials >= trials {
+		t.Fatalf("Trials = %d, want a genuine partial run", res.Trials)
+	}
+	got := res.Samples["trial"]
+	if len(got) != res.Trials {
+		t.Fatalf("%d samples for %d trials", len(got), res.Trials)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("samples out of trial order at %d: %v", i, got)
+		}
+	}
+	for _, v := range got {
+		if v != math.Trunc(v) || v < 0 || v >= trials {
+			t.Fatalf("sample %v is not a trial index", v)
+		}
+	}
+	if s, ok := res.Summaries["trial"]; !ok || s.N != res.Trials {
+		t.Fatalf("summary N = %d, want %d", s.N, res.Trials)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/optimize"
+	"repro/internal/vec"
 )
 
 // Options carries the cross-cutting knobs every constructor understands.
@@ -31,6 +32,11 @@ type Options struct {
 	// core.Instrument so per-round telemetry flows without every caller
 	// re-implementing the wrapping.
 	Obs obs.Collector
+	// WarmStart, when non-empty, wraps the algorithm in core.WarmStarted:
+	// the carried-over centers are scored against the cold solve on the
+	// current instance and the better of the two is returned. Re-solve
+	// loops pass the previous period's centers here.
+	WarmStart []vec.V
 }
 
 // Entry is one registered algorithm.
@@ -132,7 +138,11 @@ func New(name string, opts Options) (core.Algorithm, error) {
 	if !ok {
 		return nil, fmt.Errorf("solver: unknown algorithm %q (have: %s)", name, strings.Join(Names(), " | "))
 	}
-	return core.Instrument(e.New(opts), opts.Obs), nil
+	alg := e.New(opts)
+	if len(opts.WarmStart) > 0 {
+		alg = core.WarmStarted{Base: alg, Prev: opts.WarmStart}
+	}
+	return core.Instrument(alg, opts.Obs), nil
 }
 
 // Names returns every registered name, sorted.

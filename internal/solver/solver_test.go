@@ -235,3 +235,36 @@ func mustAlg(t *testing.T, name string, col obs.Collector) core.Algorithm {
 	}
 	return a
 }
+
+// TestWarmStartOption: Options.WarmStart wraps the cold solver in
+// core.WarmStarted via the registry, so a strictly better carried-over
+// center set wins while a worthless one leaves the cold result untouched.
+func TestWarmStartOption(t *testing.T) {
+	in := testInstance(t, 40)
+	cold, err := solver.New("greedy3", solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Run(context.Background(), in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmC := obs.NewMetrics()
+	warm, err := solver.New("greedy3", solver.Options{WarmStart: coldRes.Centers, Obs: warmC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := warm.Run(context.Background(), in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < coldRes.Total {
+		t.Fatalf("warm-started total %v < cold %v", res.Total, coldRes.Total)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if warmC.Snapshot().Counters[obs.CtrWarmStarts] != 1 {
+		t.Error("warm start not counted — Options.WarmStart did not wrap")
+	}
+}

@@ -81,9 +81,20 @@ func (t *KDTree) N() int { return t.n }
 // Near returns the indices of every point within Chebyshev distance
 // t.radius of c (a conservative superset for every p-norm with p ≥ 1,
 // exactly like Grid.Near).
+//
+// Queries with NaN or ±Inf coordinates safely return nil, mirroring
+// Grid.Near: no finite indexed point lies within a finite radius of a
+// non-finite coordinate. Without the guard the recursive descent compares
+// raw coordinates, and NaN comparisons (all false) both prune every subtree
+// and pass the box test at the root, returning a bogus candidate.
 func (t *KDTree) Near(c vec.V) []int {
 	if c.Dim() != t.dim {
 		return nil
+	}
+	for _, x := range c {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil
+		}
 	}
 	var out []int
 	t.query(t.root, c, &out)

@@ -147,3 +147,25 @@ func BenchmarkKDTreeNear_N10000_R1(b *testing.B) {
 		_ = tree.Near(queries[i%len(queries)])
 	}
 }
+
+// Regression: a NaN-coordinate query used to return the root as a bogus
+// candidate — NaN comparisons are all false, so the recursive descent pruned
+// both subtrees everywhere while the root's |Δ| > r box test also failed to
+// exclude it. Non-finite queries must return nil, exactly like Grid.Near.
+func TestKDTreeNonFiniteQuery(t *testing.T) {
+	tree, err := NewKDTree([]vec.V{vec.Of(0, 0), vec.Of(1, 1), vec.Of(2, 2)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []vec.V{
+		vec.Of(math.NaN(), 0),
+		vec.Of(0, math.NaN()),
+		vec.Of(math.NaN(), math.NaN()),
+		vec.Of(math.Inf(1), 0),
+		vec.Of(0, math.Inf(-1)),
+	} {
+		if got := tree.Near(c); got != nil {
+			t.Errorf("Near(%v) = %v, want nil", c, got)
+		}
+	}
+}

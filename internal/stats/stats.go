@@ -71,16 +71,21 @@ func (s Summary) String() string {
 	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean, s.CI95(), s.N)
 }
 
-// Mean returns the arithmetic mean, or 0 for an empty slice.
-func Mean(xs []float64) float64 {
+// Mean returns the arithmetic mean. Like Summarize, it returns an explicit
+// error for an empty sample or non-finite observations instead of silently
+// propagating 0 or NaN into downstream tables.
+func Mean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, errors.New("stats: empty sample")
 	}
 	var sum float64
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("stats: non-finite observation %v", x)
+		}
 		sum += x
 	}
-	return sum / float64(len(xs))
+	return sum / float64(len(xs)), nil
 }
 
 // Median returns the sample median, or 0 for an empty slice.
@@ -147,12 +152,15 @@ func JainIndex(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
-// Histogram is a fixed-width histogram over [Lo, Hi).
+// Histogram is a fixed-width histogram over the closed range [Lo, Hi]: a
+// sample exactly equal to Hi lands in the top bin rather than overflowing,
+// so a histogram over [0, 1] counts a perfect score where readers expect it.
 type Histogram struct {
 	Lo, Hi  float64
 	Counts  []int
 	Under   int // observations below Lo
-	Over    int // observations at or above Hi
+	Over    int // observations strictly above Hi
+	NaN     int // NaN observations (neither binnable nor ordered)
 	samples int
 }
 
@@ -168,18 +176,24 @@ func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
 }
 
-// Add records one observation.
+// Add records one observation. x == Hi is clamped into the top bin (the
+// bin-index computation would otherwise land on len(Counts) and the sample
+// would vanish into the overflow count); NaN is tallied separately rather
+// than fed into the bin arithmetic, where its int conversion is
+// implementation-defined and can panic with an out-of-range index.
 func (h *Histogram) Add(x float64) {
 	h.samples++
 	switch {
+	case math.IsNaN(x):
+		h.NaN++
 	case x < h.Lo:
 		h.Under++
-	case x >= h.Hi:
+	case x > h.Hi:
 		h.Over++
 	default:
 		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
-		if i == len(h.Counts) { // x == Hi-ulp rounding
-			i--
+		if i >= len(h.Counts) { // x == Hi, or Hi-ulp rounding up
+			i = len(h.Counts) - 1
 		}
 		h.Counts[i]++
 	}
@@ -206,8 +220,8 @@ func (h *Histogram) Render(width int) string {
 		bar := strings.Repeat("#", c*width/maxCount)
 		fmt.Fprintf(&b, "[%8.3f, %8.3f) %6d %s\n", h.Lo+float64(i)*binW, h.Lo+float64(i+1)*binW, c, bar)
 	}
-	if h.Under > 0 || h.Over > 0 {
-		fmt.Fprintf(&b, "(under: %d, over: %d)\n", h.Under, h.Over)
+	if h.Under > 0 || h.Over > 0 || h.NaN > 0 {
+		fmt.Fprintf(&b, "(under: %d, over: %d, nan: %d)\n", h.Under, h.Over, h.NaN)
 	}
 	return b.String()
 }

@@ -52,11 +52,11 @@ func TestSummarizeRejects(t *testing.T) {
 }
 
 func TestMeanMedian(t *testing.T) {
-	if Mean(nil) != 0 || Median(nil) != 0 {
-		t.Error("empty mean/median not 0")
+	if Median(nil) != 0 {
+		t.Error("empty median not 0")
 	}
-	if Mean([]float64{1, 3}) != 2 {
-		t.Error("mean wrong")
+	if m, err := Mean([]float64{1, 3}); err != nil || m != 2 {
+		t.Errorf("mean = %v, %v", m, err)
 	}
 	if Median([]float64{5, 1, 3}) != 3 {
 		t.Error("odd median wrong")
@@ -69,6 +69,25 @@ func TestMeanMedian(t *testing.T) {
 	Median(xs)
 	if xs[0] != 3 {
 		t.Error("Median mutated input")
+	}
+}
+
+// Mean must reject the inputs Summarize rejects — empty samples and
+// non-finite observations — instead of silently returning 0 or NaN that
+// poisons downstream experiment tables.
+func TestMeanRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+	}{
+		{"empty", nil},
+		{"nan", []float64{1, math.NaN(), 2}},
+		{"+inf", []float64{math.Inf(1)}},
+		{"-inf", []float64{0, math.Inf(-1)}},
+	} {
+		if m, err := Mean(tc.xs); err == nil {
+			t.Errorf("%s: accepted, mean = %v", tc.name, m)
+		}
 	}
 }
 
@@ -135,7 +154,7 @@ func TestHistogram(t *testing.T) {
 	if h.N() != 7 {
 		t.Errorf("N = %d", h.N())
 	}
-	if h.Under != 1 || h.Over != 2 {
+	if h.Under != 1 || h.Over != 1 {
 		t.Errorf("under/over = %d/%d", h.Under, h.Over)
 	}
 	if h.Counts[0] != 2 { // 0 and 1.9
@@ -144,12 +163,65 @@ func TestHistogram(t *testing.T) {
 	if h.Counts[1] != 1 { // 2
 		t.Errorf("bin1 = %d", h.Counts[1])
 	}
-	if h.Counts[4] != 1 { // 9.99
+	if h.Counts[4] != 2 { // 9.99 and 10 (== Hi clamps into the top bin)
 		t.Errorf("bin4 = %d", h.Counts[4])
 	}
 	out := h.Render(20)
 	if !strings.Contains(out, "#") || !strings.Contains(out, "under: 1") {
 		t.Errorf("render = %q", out)
+	}
+}
+
+// Boundary handling of Add: x == Hi must land in the top bin (the raw bin
+// computation yields index == len(Counts) and used to leak the sample into
+// the overflow count), x == Lo in the bottom bin, and non-finite samples
+// must neither panic nor corrupt a bin.
+func TestHistogramEdges(t *testing.T) {
+	const bins = 4
+	for _, tc := range []struct {
+		name  string
+		x     float64
+		bin   int // expected Counts index, or -1
+		under int
+		over  int
+		nan   int
+	}{
+		{name: "at-lo", x: 0, bin: 0},
+		{name: "interior", x: 2.5, bin: 1},
+		{name: "at-hi", x: 8, bin: bins - 1},
+		{name: "just-below-hi", x: math.Nextafter(8, 0), bin: bins - 1},
+		{name: "just-above-hi", x: math.Nextafter(8, 9), bin: -1, over: 1},
+		{name: "below-lo", x: -0.001, bin: -1, under: 1},
+		{name: "+inf", x: math.Inf(1), bin: -1, over: 1},
+		{name: "-inf", x: math.Inf(-1), bin: -1, under: 1},
+		{name: "nan", x: math.NaN(), bin: -1, nan: 1},
+	} {
+		h, err := NewHistogram(0, 8, bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Add(tc.x)
+		if h.N() != 1 {
+			t.Errorf("%s: N = %d", tc.name, h.N())
+		}
+		if h.Under != tc.under || h.Over != tc.over || h.NaN != tc.nan {
+			t.Errorf("%s: under/over/nan = %d/%d/%d, want %d/%d/%d",
+				tc.name, h.Under, h.Over, h.NaN, tc.under, tc.over, tc.nan)
+		}
+		total := 0
+		for b, c := range h.Counts {
+			total += c
+			want := 0
+			if b == tc.bin {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("%s: Counts[%d] = %d, want %d", tc.name, b, c, want)
+			}
+		}
+		if tc.bin >= 0 && total != 1 {
+			t.Errorf("%s: sample dropped (bin total %d)", tc.name, total)
+		}
 	}
 }
 

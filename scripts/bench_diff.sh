@@ -10,6 +10,6 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-50ms}"
 
-go test -run '^$' -bench 'RoundGain|Objective|EvaluatorReplace|Near' -benchmem \
+go test -run '^$' -bench 'RoundGain|Objective|EvaluatorReplace|EvaluatorUser|Near' -benchmem \
 	-benchtime "$BENCHTIME" ./internal/reward ./internal/spatial |
 	go run ./cmd/benchjson -diff BENCH_baseline.json

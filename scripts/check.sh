@@ -23,6 +23,13 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
+# The churn-equivalence gate: incremental evaluator deltas must stay
+# bit-identical to from-scratch rebuilds across norms, finders, and batch
+# modes. Already part of the full suite above; rerun by name so a failure is
+# unmistakably attributed.
+echo "==> churn equivalence gate"
+go test -run 'TestEvaluatorChurnEquivalence|TestBatchedScalarEquivalence' -count=1 ./internal/reward
+
 if [ "${RACE:-1}" != "0" ]; then
 	echo "==> go test -race ./..."
 	go test -race ./...

@@ -51,6 +51,18 @@ expect_clean cdstation "$BIN/station.out" "$status"
 grep -q "note: run stopped early" "$BIN/station.out" ||
 	fail "cdstation output lacks the early-stop note"
 
+echo "==> cdstation -churn: dynamic-instance loop with verification must finish clean"
+status=0
+"$BIN/cdstation" -trace "$BIN/trace.json" -churn -arrivals 5 -departs 3 -periods 6 \
+	-warm -index grid -verify -timeout 1m >"$BIN/churn.out" 2>&1 || status=$?
+expect_clean "cdstation -churn" "$BIN/churn.out" "$status"
+grep -q "churn loop" "$BIN/churn.out" ||
+	fail "cdstation -churn output lacks the churn-loop table"
+grep -q "incremental deltas" "$BIN/churn.out" ||
+	fail "cdstation -churn output lacks the delta summary"
+grep -q "note: run stopped early" "$BIN/churn.out" &&
+	fail "uncancelled cdstation -churn run printed the early-stop note"
+
 echo "==> cdbench: 50ms deadline must yield a clean partial run"
 status=0
 "$BIN/cdbench" -run summary -timeout 50ms >"$BIN/bench.out" 2>&1 || status=$?
