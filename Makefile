@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check smoke bench-baseline bench-diff clean
+.PHONY: build test vet race check smoke apicheck apicheck-update bench-baseline bench-diff clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ check:
 # -timeout, and assert a clean exit with valid partial output.
 smoke:
 	./scripts/smoke.sh
+
+# Wire-schema gate: diff the exported v1 serving API against the committed
+# golden (api/v1.golden.txt); apicheck-update regenerates it deliberately.
+apicheck:
+	./scripts/apicheck.sh
+
+apicheck-update:
+	./scripts/apicheck.sh -update
 
 # Regenerate the committed benchmark baseline (BENCH_baseline.json).
 bench-baseline:

@@ -1,0 +1,40 @@
+// Command cdserved serves the solver stack over HTTP: a versioned JSON API
+// with explicit admission control (bounded workers + queue, 429 with
+// Retry-After past saturation), per-request deadlines that return anytime
+// partial results, and graceful drain on SIGTERM.
+//
+//	POST /v1/solve    one instance, one solver, per-request deadline
+//	POST /v1/churn    churn-loop simulation streamed as JSON lines
+//	GET  /v1/solvers  the algorithm catalog (same names cdgreedy -alg takes)
+//	GET  /healthz     liveness + drain state
+//	GET  /metrics     telemetry snapshot
+//	GET  /debug/pprof profiling
+//
+// Usage:
+//
+//	cdserved -addr :8080 -workers 4 -queue 16
+//	curl -s localhost:8080/v1/solvers
+//	curl -s -X POST --data-binary @request.json localhost:8080/v1/solve
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	// SIGINT/SIGTERM cancel the context, which triggers the graceful drain;
+	// a clean drain exits 0. A second signal kills outright (stop restores
+	// default handling once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.Served(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

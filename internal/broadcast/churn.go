@@ -60,6 +60,11 @@ type ChurnConfig struct {
 	// Obs, when set, receives churn counters, warm-start telemetry, and
 	// reward-oracle counts.
 	Obs obs.Collector
+	// OnPeriod, when non-nil, is invoked synchronously after each period's
+	// stats are committed — the streaming hook the serving layer uses to
+	// push per-period results to a client while the loop is still running.
+	// It runs on the loop's goroutine, so a slow callback slows the loop.
+	OnPeriod func(ChurnPeriodStat)
 }
 
 func (c ChurnConfig) validate() error {
@@ -85,6 +90,24 @@ func (c ChurnConfig) validate() error {
 	case "", "none", "grid", "kdtree":
 	default:
 		return fmt.Errorf("broadcast: unknown index %q (have: none | grid | kdtree)", c.Index)
+	}
+	return nil
+}
+
+// Validate checks the configuration without running the loop, including
+// that the solver name resolves in the registry. The serving layer calls it
+// before committing to a streamed response, so invalid configs still get a
+// proper HTTP error instead of a mid-stream failure.
+func (c ChurnConfig) Validate() error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	name := c.Solver
+	if name == "" {
+		name = "greedy2"
+	}
+	if _, ok := solver.Lookup(name); !ok {
+		return solver.CatalogError("solver", "algorithm", name, solver.Names())
 	}
 	return nil
 }
@@ -137,7 +160,7 @@ func RunChurn(ctx context.Context, tr *trace.Trace, cfg ChurnConfig) (*ChurnMetr
 	if tr == nil {
 		return nil, errors.New("broadcast: nil trace")
 	}
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := tr.Validate(); err != nil {
@@ -277,6 +300,9 @@ func RunChurn(ctx context.Context, tr *trace.Trace, cfg ChurnConfig) (*ChurnMetr
 			}
 		}
 		m.Periods = append(m.Periods, ps)
+		if cfg.OnPeriod != nil {
+			cfg.OnPeriod(ps)
+		}
 		c.Count(obs.CtrChurnPeriods, 1)
 		if obs.Active(cfg.Obs) {
 			c.Emit(obs.Event{Type: obs.EvChurnPeriod, Alg: solverName, Round: p,

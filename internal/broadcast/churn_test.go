@@ -50,6 +50,28 @@ func TestRunChurnBasic(t *testing.T) {
 	}
 }
 
+// TestRunChurnOnPeriodStreams: the OnPeriod hook fires once per committed
+// period, in order, with exactly the stats the final metrics carry — the
+// contract the serving layer's chunked per-period stream relies on.
+func TestRunChurnOnPeriodStreams(t *testing.T) {
+	tr := genTrace(t, 25, trace.Uniform)
+	cfg := churnCfg()
+	var streamed []ChurnPeriodStat
+	cfg.OnPeriod = func(ps ChurnPeriodStat) { streamed = append(streamed, ps) }
+	m, err := RunChurn(context.Background(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(m.Periods) {
+		t.Fatalf("streamed %d periods, metrics have %d", len(streamed), len(m.Periods))
+	}
+	for i, ps := range m.Periods {
+		if streamed[i] != ps {
+			t.Errorf("period %d: streamed %+v != committed %+v", i, streamed[i], ps)
+		}
+	}
+}
+
 // TestRunChurnDoesNotMutateInput: the trace's population must be copied.
 func TestRunChurnDoesNotMutateInput(t *testing.T) {
 	tr := genTrace(t, 20, trace.Uniform)

@@ -79,6 +79,25 @@ func TestTraceGenJSONAndCSV(t *testing.T) {
 	}
 }
 
+// TestTraceGenSetFormat: -format set emits the pointset wire schema — the
+// exact JSON the serving layer decodes as a /v1/solve "instance".
+func TestTraceGenSetFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := TraceGen(context.Background(), []string{"-n", "7", "-seed", "3", "-format", "set"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var set pointset.Set
+	if err := json.Unmarshal(out.Bytes(), &set); err != nil {
+		t.Fatalf("set output does not round-trip the pointset codec: %v\n%s", err, out.String())
+	}
+	if set.Len() != 7 || set.Dim() != 2 {
+		t.Errorf("set is %dx%d, want 7x2", set.Len(), set.Dim())
+	}
+	if !strings.Contains(out.String(), `"dim"`) || !strings.Contains(out.String(), `"points"`) {
+		t.Errorf("set output missing schema fields: %.80s", out.String())
+	}
+}
+
 func TestTraceGenRejects(t *testing.T) {
 	var out bytes.Buffer
 	for _, args := range [][]string{
@@ -444,7 +463,9 @@ func TestBenchUnknownExperimentListsSortedCatalog(t *testing.T) {
 		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)
-	if want := strings.Join(ids, ", "); !strings.Contains(err.Error(), want) {
+	// Same " | " catalog format as the solver registry's unknown-name error:
+	// cdbench -run and cdgreedy -alg answer typos identically.
+	if want := strings.Join(ids, " | "); !strings.Contains(err.Error(), want) {
 		t.Errorf("error %q does not list the sorted experiment catalog %q", err, want)
 	}
 }

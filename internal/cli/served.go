@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/solver"
+)
+
+// Served implements cdserved: the network solver service. It binds the
+// listener synchronously (so a bad -addr fails before any output), prints
+// the resolved address for scripts to scrape, serves until ctx is cancelled
+// (SIGINT/SIGTERM in main), then drains gracefully: admission stops at
+// once, in-flight solves get -drain-grace to finish, stragglers are
+// cancelled and answer their clients with anytime partial results. A clean
+// drain exits 0 and flushes -metrics/-events telemetry.
+func Served(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cdserved", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers     = fs.Int("workers", 0, "max concurrently running solves (0 = one per CPU)")
+		queue       = fs.Int("queue", serve.DefaultQueueDepth, "admitted requests that may wait for a worker before 429 (0 = none)")
+		maxBody     = fs.Int64("max-body", serve.DefaultMaxBody, "request body cap in bytes (413 past it)")
+		retryAfter  = fs.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint on 429/503 responses")
+		maxDeadline = fs.Duration("max-deadline", 0, "cap every request's deadline_ms; requests asking for more (or none) run under this cap (0 = uncapped)")
+		drainGrace  = fs.Duration("drain-grace", 10*time.Second, "time in-flight solves get to finish on SIGTERM before cancellation")
+		metrics     = fs.String("metrics", "", "write the final telemetry snapshot as JSON to this file at drain ('-' = stdout)")
+		events      = fs.String("events", "", "stream telemetry events (request lifecycle + solver rounds) as JSONL to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tel, err := newTelemetry(*metrics, *events)
+	if err != nil {
+		return err
+	}
+	qd := *queue
+	if qd == 0 {
+		qd = -1 // Config's "no waiting"; its 0 means the default depth
+	}
+	srv := serve.New(serve.Config{
+		Workers:     *workers,
+		QueueDepth:  qd,
+		MaxBody:     *maxBody,
+		RetryAfter:  *retryAfter,
+		MaxDeadline: *maxDeadline,
+		Obs:         tel.Collector(),
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("cdserved: listen: %w", err)
+	}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(stdout, "cdserved: listening on http://%s (%d solvers, %d workers)\n",
+		ln.Addr(), len(solver.Names()), nw)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		// The listener died on its own; nothing to drain.
+		return fmt.Errorf("cdserved: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "cdserved: draining (grace %s)\n", *drainGrace)
+	// The drain context bounds total shutdown even if a handler wedges;
+	// the grace period governs when in-flight solves are cancelled.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainGrace+30*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx, *drainGrace); err != nil {
+		return fmt.Errorf("cdserved: drain: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("cdserved: %w", err)
+	}
+	fmt.Fprintln(stdout, "cdserved: drain complete")
+	return tel.Close(stdout)
+}

@@ -1,0 +1,182 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuf is a goroutine-safe writer: the server goroutine writes while the
+// test polls for the listening line.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// TestServedLifecycle drives the full cdserved lifecycle in-process: start
+// on a free port, serve a solve, then cancel the context (what SIGTERM does
+// in main) and require a clean "drain complete" exit.
+func TestServedLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- Served(ctx, []string{"-addr", "127.0.0.1:0", "-drain-grace", "2s"},
+			strings.NewReader(""), &out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("server never printed its address; output: %q", out.String())
+		} else {
+			select {
+			case err := <-done:
+				t.Fatalf("server exited early: %v (output %q)", err, out.String())
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := `{"instance":{"points":[[0,0],[1,0],[0,1],[3,3]]},"radius":1.5,"k":2}`
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solved struct {
+		Total   float64 `json:"total"`
+		Partial bool    `json:"partial"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&solved)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d err %v", resp.StatusCode, err)
+	}
+	if solved.Total <= 0 || solved.Partial {
+		t.Errorf("solve result total=%v partial=%v", solved.Total, solved.Partial)
+	}
+
+	cancel() // SIGTERM path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v (output %q)", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain within 10s")
+	}
+	for _, want := range []string{"draining (grace", "drain complete"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestServedBadAddr: an unbindable address fails before serving anything.
+func TestServedBadAddr(t *testing.T) {
+	var out syncBuf
+	err := Served(context.Background(), []string{"-addr", "127.0.0.1:-1"},
+		strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatal("bad address accepted")
+	}
+	if !strings.Contains(err.Error(), "listen") {
+		t.Errorf("error %v does not mention listen", err)
+	}
+}
+
+// TestServedMetricsFlushedOnDrain: the -metrics snapshot lands in stdout
+// after a drain, with the serve counters populated.
+func TestServedMetricsFlushedOnDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- Served(ctx, []string{"-addr", "127.0.0.1:0", "-metrics", "-", "-drain-grace", "1s"},
+			strings.NewReader(""), &out)
+	}()
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" && time.Now().Before(deadline) {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line: %q", out.String())
+	}
+	if _, err := http.Get(base + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	body := `{"instance":{"points":[[0,0],[1,1]]},"radius":1,"k":1}`
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	idx := strings.Index(text, "drain complete")
+	if idx < 0 {
+		t.Fatalf("no drain complete line: %q", text)
+	}
+	snapshot := text[idx+len("drain complete"):]
+	if !strings.Contains(snapshot, `"serve.requests"`) {
+		t.Errorf("metrics snapshot missing serve counters: %s", snapshot)
+	}
+	var parsed struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	start := strings.Index(snapshot, "{")
+	if start < 0 {
+		t.Fatalf("no JSON in snapshot region: %q", snapshot)
+	}
+	if err := json.Unmarshal([]byte(snapshot[start:]), &parsed); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if parsed.Counters["serve.accepted"] < 1 {
+		t.Errorf("accepted counter = %d, want >= 1 (%v)", parsed.Counters["serve.accepted"], parsed.Counters)
+	}
+}

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,7 +30,7 @@ func TraceGen(ctx context.Context, args []string, stdout io.Writer) error {
 		sigma    = fs.Float64("sigma", 0.3, "within-community spread")
 		zipfS    = fs.Float64("zipf-s", 1, "zipf popularity exponent")
 		seed     = fs.Uint64("seed", 1, "generator seed")
-		format   = fs.String("format", "json", "output format: json | csv")
+		format   = fs.String("format", "json", "output format: json | csv | set (the pointset schema POST /v1/solve takes as \"instance\")")
 		timeline = fs.Int("timeline", 0, "emit a drifting timeline with this many period snapshots (JSON only)")
 		tlDrift  = fs.Float64("timeline-drift", 0.15, "per-period drift sigma for -timeline")
 		keywords = fs.String("keywords", "", "comma-separated names for the interest dimensions (e.g. \"genre,tempo\")")
@@ -92,8 +93,18 @@ func TraceGen(ctx context.Context, args []string, stdout io.Writer) error {
 		return tr.WriteJSON(stdout)
 	case "csv":
 		return tr.WriteCSV(stdout)
+	case "set":
+		// The pointset wire schema — the same codec the serving layer
+		// decodes, so `cdtrace -format set` output drops straight into a
+		// /v1/solve request's "instance" field.
+		set, err := tr.ToSet()
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		return enc.Encode(set)
 	default:
-		return fmt.Errorf("cdtrace: unknown format %q (json | csv)", *format)
+		return fmt.Errorf("cdtrace: unknown format %q (json | csv | set)", *format)
 	}
 }
 

@@ -14,32 +14,58 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/parallel"
 	"repro/internal/pointset"
 	"repro/internal/reward"
+	"repro/internal/solver"
 	"repro/internal/vec"
 )
 
-// Options configures the baseline search.
-type Options struct {
-	// GridPer adds a uniform lattice with GridPer points per dimension to
-	// the candidate set (0 disables enrichment).
-	GridPer int
-	// Box bounds the enrichment lattice; a zero Box uses the data bounds.
-	Box pointset.Box
-	// Polish refines each center of the winning subset by block
-	// coordinate ascent (compass search holding the others fixed),
-	// letting the baseline leave the candidate lattice. The result is
-	// never worse than the pure subset optimum.
-	Polish bool
-	// DisablePrune turns off branch-and-bound pruning (each partial
-	// subset's value plus an optimistic bound on its remaining slots is
-	// compared against the incumbent). Pruning never changes the result;
-	// the flag exists for the equivalence tests and benches.
-	DisablePrune bool
-	// Workers bounds the enumeration parallelism; <= 0 uses all CPUs.
-	Workers int
+// Options configures the baseline search: GridPer enriches the candidate
+// set with a uniform lattice, Box bounds it (zero = data bounds), Polish
+// refines the winning subset by block coordinate ascent, DisablePrune turns
+// off branch-and-bound pruning, and Workers bounds the enumeration
+// parallelism.
+//
+// Deprecated: Options is an alias for solver.Options — the one options
+// surface every solver entry point (registry constructors, this baseline,
+// the serving layer's wire schema) shares. New code should use
+// solver.Options directly; the alias keeps the historical spelling
+// compiling.
+type Options = solver.Options
+
+// Name is the baseline's identifier in the solver registry: Solve is also
+// reachable as solver.New("exhaustive", opts), with the exhaustive-specific
+// knobs (GridPer, Box, Polish, DisablePrune) read from the same unified
+// Options the greedy constructors take.
+const Name = "exhaustive"
+
+func init() {
+	if err := solver.Register(solver.Entry{
+		Name:    Name,
+		Summary: "exact baseline: best k-subset of the candidate set (optionally lattice-enriched and polished)",
+		New: func(o solver.Options) core.Algorithm {
+			return algorithm{opt: o}
+		},
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// algorithm adapts Solve to the core.Algorithm interface so the baseline is
+// a first-class catalog entry. The options are captured at construction;
+// WarmStart and Obs wrapping are applied by solver.New like for any other
+// entry.
+type algorithm struct{ opt Options }
+
+// Name implements core.Algorithm.
+func (algorithm) Name() string { return Name }
+
+// Run implements core.Algorithm by delegating to Solve.
+func (a algorithm) Run(ctx context.Context, in *reward.Instance, k int) (*core.Result, error) {
+	return Solve(ctx, in, k, a.opt)
 }
 
 // Solve returns the best center set found. The returned Result's Gains are
@@ -83,7 +109,7 @@ func Solve(ctx context.Context, in *reward.Instance, k int, opt Options) (*core.
 	}); cerr != nil {
 		// Cancelled during the precompute: no subset was evaluated yet, so
 		// the best-so-far solution is the empty one.
-		return &core.Result{Algorithm: "exhaustive"}, cerr
+		return cancelled(opt.Obs, &core.Result{Algorithm: Name}, cerr)
 	}
 	weights := in.Set.Weights()
 
@@ -141,7 +167,7 @@ func Solve(ctx context.Context, in *reward.Instance, k int, opt Options) (*core.
 	}
 	if best < 0 {
 		// Cancelled before any complete k-subset was scored.
-		return &core.Result{Algorithm: "exhaustive"}, cancelErr
+		return cancelled(opt.Obs, &core.Result{Algorithm: Name}, cancelErr)
 	}
 	centers := make([]vec.V, k)
 	for j, c := range bests[best].combo {
@@ -154,14 +180,29 @@ func Solve(ctx context.Context, in *reward.Instance, k int, opt Options) (*core.
 
 	// Re-derive per-round gains by committing the centers in order.
 	y := in.NewResiduals()
-	res := &core.Result{Algorithm: "exhaustive"}
+	res := &core.Result{Algorithm: Name}
 	for _, c := range centers {
 		g, _ := in.ApplyRound(c, y)
 		res.Centers = append(res.Centers, c)
 		res.Gains = append(res.Gains, g)
 		res.Total += g
 	}
-	return res, cancelErr
+	if cancelErr != nil {
+		return cancelled(opt.Obs, res, cancelErr)
+	}
+	return res, nil
+}
+
+// cancelled finalizes an anytime early return, mirroring the greedy
+// algorithms' lifecycle telemetry: the cancellation is counted and recorded
+// as an obs.EvCancelled event carrying the committed-round count.
+func cancelled(c obs.Collector, res *core.Result, err error) (*core.Result, error) {
+	if obs.Active(c) {
+		c.Count(obs.CtrCancelled, 1)
+		c.Emit(obs.Event{Type: obs.EvCancelled, Alg: res.Algorithm, Round: len(res.Gains),
+			Fields: map[string]float64{"rounds": float64(len(res.Gains))}})
+	}
+	return res, err
 }
 
 // enumerate recursively extends combo[:depth] with candidates having larger

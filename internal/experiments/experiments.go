@@ -8,7 +8,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -127,7 +126,9 @@ func Registry() []Experiment {
 	}
 }
 
-// ByID resolves an experiment, or lists valid IDs in the error.
+// ByID resolves an experiment. Unknown ids report the sorted catalog in the
+// same canonical format the solver registry uses (solver.CatalogError), so
+// `cdbench -run` and `cdgreedy -alg` answer a typo identically.
 func ByID(id string) (Experiment, error) {
 	ids := make([]string, 0)
 	for _, e := range Registry() {
@@ -136,8 +137,7 @@ func ByID(id string) (Experiment, error) {
 		}
 		ids = append(ids, e.ID)
 	}
-	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(ids, ", "))
+	return Experiment{}, solver.CatalogError("experiments", "id", id, ids)
 }
 
 // Algorithms under test, in the paper's naming, resolved through the solver

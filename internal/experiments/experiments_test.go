@@ -49,8 +49,13 @@ func TestByIDUnknownListsSortedIDs(t *testing.T) {
 	if err == nil {
 		t.Fatal("ByID(nope) succeeded")
 	}
-	if want := strings.Join(ids, ", "); !strings.Contains(err.Error(), want) {
+	// The catalog is joined with " | ", the same canonical format
+	// solver.CatalogError gives the solver registry's unknown-name error.
+	if want := strings.Join(ids, " | "); !strings.Contains(err.Error(), want) {
 		t.Errorf("unknown id error %q does not carry the sorted catalog %q", err, want)
+	}
+	if !strings.Contains(err.Error(), `experiments: unknown id "nope"`) {
+		t.Errorf("unknown id error %q is not in the canonical catalog-error format", err)
 	}
 }
 

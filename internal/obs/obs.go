@@ -78,6 +78,12 @@ const (
 	// EvChurnPeriod records one period of the churn loop with "arrivals",
 	// "departures", "n" (population after churn), and "objective".
 	EvChurnPeriod = "churn_period"
+	// EvRequestStart / EvRequestEnd bracket one request through the serving
+	// layer (internal/serve). Alg carries the request id — the one string
+	// slot an Event has — so a server-wide event trace can be grepped by
+	// request. EvRequestEnd carries "status" (HTTP code) and "wall_ns".
+	EvRequestStart = "request_start"
+	EvRequestEnd   = "request_end"
 )
 
 // Canonical metric names.
@@ -118,6 +124,16 @@ const (
 	CtrChurnDeltas   = "churn.incremental_deltas"
 	CtrChurnRebuilds = "churn.full_rebuilds"
 	ObsWarmImprove   = "churn.warmstart_improvement"
+
+	CtrSrvRequests   = "serve.requests"
+	CtrSrvAccepted   = "serve.accepted"
+	CtrSrvQueueFull  = "serve.rejected_queue_full"
+	CtrSrvBadRequest = "serve.rejected_bad_request"
+	CtrSrvPartial    = "serve.partial_results"
+	CtrSrvDraining   = "serve.rejected_draining"
+	TimSrvRequest    = "serve.request_ns"
+	GaugeSrvInFlight = "serve.in_flight"
+	GaugeSrvQueued   = "serve.queued"
 )
 
 // Nop is the default collector: every method does nothing. Instrumented

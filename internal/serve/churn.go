@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/broadcast"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// handleChurn answers POST /v1/churn with a stream of chunked JSON lines
+// (Content-Type application/x-ndjson): one ChurnLineV1 per completed period,
+// flushed as the loop commits it, then a final summary line. Warm starts are
+// carried across periods inside the loop when requested. A deadline or drain
+// mid-run ends the stream early with "partial": true on the summary — the
+// periods already streamed are complete results.
+//
+// All validation happens before the 200 header is written, so schema errors
+// still answer with proper HTTP statuses; only failures after streaming
+// began are reported in-band as an error line.
+func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.begin(w, r, http.MethodPost)
+	if !ok {
+		return
+	}
+	var req ChurnRequestV1
+	if e := s.decodeBody(w, r, &req); e != nil {
+		sc.fail(w, e)
+		return
+	}
+	_, nm, e := resolveNorm(req.Norm)
+	if e != nil {
+		sc.fail(w, e)
+		return
+	}
+	solverName, e := resolveSolver(req.Solver)
+	if e != nil {
+		sc.fail(w, e)
+		return
+	}
+	if req.K <= 0 {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadK, "k = %d, want k >= 1", req.K))
+		return
+	}
+	if e := checkRadius(req.Radius); e != nil {
+		sc.fail(w, e)
+		return
+	}
+	if req.Instance == nil || req.Instance.Len() == 0 {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadInstance, "request has no instance"))
+		return
+	}
+	box, e := wireBox(req.BoxLo, req.BoxHi, req.Instance.Dim())
+	if e != nil {
+		sc.fail(w, e)
+		return
+	}
+	if len(box.Lo) == 0 {
+		lo, hi := req.Instance.Bounds()
+		box.Lo, box.Hi = lo, hi
+	}
+	tr, err := trace.FromSet(req.Instance, box)
+	if err != nil {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadInstance, "%v", err))
+		return
+	}
+	cfg := broadcast.ChurnConfig{
+		K:           req.K,
+		Radius:      req.Radius,
+		Norm:        nm,
+		Periods:     req.Periods,
+		ArrivalRate: req.ArrivalRate,
+		DepartRate:  req.DepartRate,
+		Solver:      solverName,
+		Workers:     req.Workers,
+		Seed:        req.Seed,
+		WarmStart:   req.WarmStart,
+		Index:       req.Index,
+		Obs:         s.col,
+	}
+	// Run the loop's own validation up front (periods, rates, index) so the
+	// client gets a 400 rather than a mid-stream error line.
+	if err := cfg.Validate(); err != nil {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadRequest, "%v", err))
+		return
+	}
+
+	ctx, cancel := s.solveContext(r, req.DeadlineMS)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
+		sc.fail(w, errf(http.StatusServiceUnavailable, CodeDeadlineQueued,
+			"deadline expired while queued for a worker slot: %v", err))
+		return
+	}
+	defer s.adm.release()
+
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	wroteHeader := false
+	writeLine := func(line ChurnLineV1) {
+		if !wroteHeader {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Request-ID", sc.id)
+			w.WriteHeader(http.StatusOK)
+			wroteHeader = true
+		}
+		_ = enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	cfg.OnPeriod = func(ps broadcast.ChurnPeriodStat) {
+		writeLine(ChurnLineV1{Period: &ChurnPeriodV1{
+			Period:         ps.Period,
+			N:              ps.N,
+			Objective:      ps.Objective,
+			MaxReward:      ps.MaxRwd,
+			CarryObjective: ps.CarryObjective,
+			Arrivals:       ps.Arrivals,
+			Departures:     ps.Departures,
+		}})
+	}
+
+	m, runErr := broadcast.RunChurn(ctx, tr, cfg)
+	if runErr != nil && (m == nil || ctx.Err() == nil) {
+		// A real failure, not a cancellation.
+		if !wroteHeader {
+			sc.fail(w, errf(http.StatusInternalServerError, CodeSolveFailed, "%v", runErr))
+			return
+		}
+		writeLine(ChurnLineV1{Error: &ErrorV1{Code: CodeSolveFailed, Message: runErr.Error()}})
+		sc.end(http.StatusOK)
+		return
+	}
+	partial := runErr != nil
+	if partial {
+		s.col.Count(obs.CtrSrvPartial, 1)
+	}
+	writeLine(ChurnLineV1{Summary: &ChurnSummaryV1{
+		RequestID:         sc.id,
+		Solver:            m.Solver,
+		Periods:           len(m.Periods),
+		MeanSatisfaction:  m.MeanSatisfaction,
+		MeanPopulation:    m.MeanPopulation,
+		TotalArrivals:     m.TotalArrivals,
+		TotalDepartures:   m.TotalDepartures,
+		IncrementalDeltas: m.IncrementalDeltas,
+		FullRebuilds:      m.FullRebuilds,
+		Partial:           partial,
+	}})
+	sc.end(http.StatusOK)
+}

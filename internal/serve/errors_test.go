@@ -1,0 +1,169 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/solver"
+)
+
+// decodeError parses the machine-readable error envelope every non-2xx v1
+// response must carry.
+func decodeError(t *testing.T, data []byte) serve.ErrorV1 {
+	t.Helper()
+	var out serve.ErrorResponseV1
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("non-2xx body is not an error envelope: %v (%s)", err, data)
+	}
+	if out.Error.Code == "" || out.Error.Message == "" {
+		t.Fatalf("error envelope missing code or message: %s", data)
+	}
+	return out.Error
+}
+
+// TestSolveErrorPaths pins the wire-schema error contract: every malformed
+// request answers with the right status and a machine-readable code.
+func TestSolveErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxBody: 2048})
+	good := instanceJSON(5)
+	cases := []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"malformed json", `{"instance": nope`, http.StatusBadRequest, serve.CodeBadJSON},
+		{"unknown field", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"bogus":true}`, good),
+			http.StatusBadRequest, serve.CodeBadJSON},
+		{"not an object", `[1,2,3]`, http.StatusBadRequest, serve.CodeBadJSON},
+		{"unknown solver", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"solver":"greedy9"}`, good),
+			http.StatusBadRequest, serve.CodeUnknownSolver},
+		{"zero k", fmt.Sprintf(`{"instance":%s,"radius":1,"k":0}`, good),
+			http.StatusBadRequest, serve.CodeBadK},
+		{"negative k", fmt.Sprintf(`{"instance":%s,"radius":1,"k":-3}`, good),
+			http.StatusBadRequest, serve.CodeBadK},
+		{"zero radius", fmt.Sprintf(`{"instance":%s,"radius":0,"k":1}`, good),
+			http.StatusBadRequest, serve.CodeBadRadius},
+		{"bad norm", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"norm":"l7"}`, good),
+			http.StatusBadRequest, serve.CodeBadNorm},
+		{"missing instance", `{"radius":1,"k":1}`, http.StatusBadRequest, serve.CodeBadInstance},
+		{"empty instance", `{"instance":{"points":[]},"radius":1,"k":1}`,
+			http.StatusBadRequest, serve.CodeBadInstance},
+		{"non-finite coordinate", `{"instance":{"points":[[1e999,0]]},"radius":1,"k":1}`,
+			http.StatusBadRequest, serve.CodeBadInstance},
+		{"mixed instance dims", `{"instance":{"points":[[0,0],[1]]},"radius":1,"k":1}`,
+			http.StatusBadRequest, serve.CodeDimMismatch},
+		{"dim contradicts rows", `{"instance":{"dim":3,"points":[[0,0]]},"radius":1,"k":1}`,
+			http.StatusBadRequest, serve.CodeDimMismatch},
+		{"warm start dim mismatch",
+			fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"options":{"warm_start":[[1,2,3]]}}`, good),
+			http.StatusBadRequest, serve.CodeDimMismatch},
+		{"box dim mismatch",
+			fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"options":{"box_lo":[0],"box_hi":[1]}}`, good),
+			http.StatusBadRequest, serve.CodeDimMismatch},
+		{"oversized body",
+			fmt.Sprintf(`{"instance":%s,"radius":1,"k":1}`, instanceJSON(2000)),
+			http.StatusRequestEntityTooLarge, serve.CodeBodyTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJSON(t, ts.URL+"/v1/solve", tc.body, nil)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, data)
+			}
+			if e := decodeError(t, data); e.Code != tc.code {
+				t.Errorf("code %q, want %q (message %q)", e.Code, tc.code, e.Message)
+			}
+		})
+	}
+}
+
+// TestSolveUnknownSolverListsCatalog: the 400 message is the same sorted
+// catalog text cdgreedy -alg prints — one registry, one answer.
+func TestSolveUnknownSolverListsCatalog(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	body := fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"solver":"greedy9"}`, instanceJSON(3))
+	_, data := postJSON(t, ts.URL+"/v1/solve", body, nil)
+	e := decodeError(t, data)
+	want := solver.CatalogError("solver", "algorithm", "greedy9", solver.Names()).Error()
+	if e.Message != want {
+		t.Errorf("message %q\nwant      %q", e.Message, want)
+	}
+	if !strings.Contains(e.Message, "greedy2 | ") {
+		t.Errorf("catalog not sorted/pipe-joined: %q", e.Message)
+	}
+}
+
+// TestChurnErrorPaths: the churn endpoint shares the same error contract.
+func TestChurnErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	good := instanceJSON(5)
+	cases := []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"zero periods",
+			fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"periods":0,"arrival_rate":1,"depart_rate":1}`, good),
+			http.StatusBadRequest, serve.CodeBadRequest},
+		{"bad index",
+			fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"periods":2,"arrival_rate":1,"depart_rate":1,"index":"quadtree"}`, good),
+			http.StatusBadRequest, serve.CodeBadRequest},
+		{"negative arrival rate",
+			fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"periods":2,"arrival_rate":-1,"depart_rate":1}`, good),
+			http.StatusBadRequest, serve.CodeBadRequest},
+		{"unknown solver",
+			fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"periods":2,"arrival_rate":1,"depart_rate":1,"solver":"nope"}`, good),
+			http.StatusBadRequest, serve.CodeUnknownSolver},
+		{"zero k",
+			fmt.Sprintf(`{"instance":%s,"radius":1,"k":0,"periods":2,"arrival_rate":1,"depart_rate":1}`, good),
+			http.StatusBadRequest, serve.CodeBadK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJSON(t, ts.URL+"/v1/churn", tc.body, nil)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, data)
+			}
+			if e := decodeError(t, data); e.Code != tc.code {
+				t.Errorf("code %q, want %q (message %q)", e.Code, tc.code, e.Message)
+			}
+		})
+	}
+}
+
+// TestMethodNotAllowed: wrong verbs answer 405 with the JSON error envelope
+// and an Allow header, on every v1 endpoint.
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	cases := []struct{ method, path, allow string }{
+		{http.MethodGet, "/v1/solve", http.MethodPost},
+		{http.MethodGet, "/v1/churn", http.MethodPost},
+		{http.MethodPost, "/v1/solvers", http.MethodGet},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out serve.ErrorResponseV1
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed || out.Error.Code != serve.CodeMethodNotAllowed {
+			t.Errorf("%s %s: status %d code %q", tc.method, tc.path, resp.StatusCode, out.Error.Code)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+	}
+}

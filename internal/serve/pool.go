@@ -1,0 +1,62 @@
+package serve
+
+import "context"
+
+// admission is the bounded worker pool's bookkeeping: two token buckets.
+//
+// queue caps the requests the server has accepted responsibility for —
+// running plus waiting. Admission is non-blocking: when the bucket is full
+// the caller answers 429 immediately, so saturation never grows goroutines
+// or latency silently.
+//
+// run caps the solves actually executing. Admitted requests block on it (on
+// their own handler goroutine — net/http already gave us one per request, so
+// the pool hands out permission, not goroutines) until a slot frees or their
+// deadline expires while queued.
+type admission struct {
+	queue chan struct{}
+	run   chan struct{}
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	return &admission{
+		queue: make(chan struct{}, workers+queueDepth),
+		run:   make(chan struct{}, workers),
+	}
+}
+
+// tryAdmit claims an admission token without blocking; false means answer
+// 429.
+func (a *admission) tryAdmit() bool {
+	select {
+	case a.queue <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseAdmit returns an admission token (deferred by the request scope).
+func (a *admission) releaseAdmit() { <-a.queue }
+
+// acquire blocks for an execution slot; ctx expiring while queued returns
+// its error and claims nothing.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.run <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (a *admission) release() { <-a.run }
+
+// queued approximates how many admitted requests are waiting for a slot.
+func (a *admission) queued() int {
+	if n := len(a.queue) - len(a.run); n > 0 {
+		return n
+	}
+	return 0
+}

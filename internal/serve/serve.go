@@ -1,0 +1,403 @@
+// Package serve is the network face of the solver stack: a stdlib-only HTTP
+// service exposing the registry catalog behind a small versioned JSON API.
+//
+//	POST /v1/solve    one instance, one solver, per-request deadline
+//	POST /v1/churn    churn-loop simulation streamed as chunked JSON lines
+//	GET  /v1/solvers  the registry catalog (same names cdgreedy -alg takes)
+//	GET  /healthz     liveness + drain state (always 200)
+//	GET  /metrics     obs.Metrics snapshot of the whole server
+//	GET  /debug/pprof CPU/heap profiling
+//
+// The robustness core is explicit admission control: at most Workers solves
+// run concurrently, at most QueueDepth more may wait, and everything beyond
+// that is answered 429 with a Retry-After header instead of an unbounded
+// goroutine pile. Per-request deadlines ride the solver stack's anytime
+// contract — a solve cut off mid-run answers 200 with the committed prefix
+// and "partial": true. Drain (SIGTERM in cdserved) stops admission, lets
+// in-flight solves finish within a grace period, then cancels them; their
+// clients also get valid partial results.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pointset"
+	"repro/internal/solver"
+
+	// The serving catalog must include the exhaustive baseline alongside the
+	// registry's built-ins.
+	_ "repro/internal/exhaustive"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultQueueDepth  = 64
+	DefaultMaxBody     = 8 << 20 // 8 MiB of JSON is a ~100k-user instance
+	DefaultRetryAfter  = 1 * time.Second
+	DefaultMaxDeadline = 0 // uncapped
+)
+
+// Config parameterizes a Server. The zero value is usable: all-CPU worker
+// slots, a 64-deep queue, 8 MiB bodies, uncapped deadlines, telemetry kept
+// only in the server's own /metrics collector.
+type Config struct {
+	// Workers bounds the number of concurrently running solves; <= 0 uses
+	// one slot per CPU.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// slot beyond the running ones; past it requests are answered 429.
+	// 0 means DefaultQueueDepth; negative means no waiting at all.
+	QueueDepth int
+	// MaxBody caps request-body bytes (413 past it); 0 means DefaultMaxBody.
+	MaxBody int64
+	// RetryAfter is the hint attached to 429/503 responses; 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+	// MaxDeadline, when > 0, caps every request's deadline: requests asking
+	// for more (or for none) run under this cap instead.
+	MaxDeadline time.Duration
+	// Obs, when live, receives everything the server's own /metrics
+	// collector sees — counters, request events, solver telemetry — so an
+	// operator can stream the event trace to a JSONL sink.
+	Obs obs.Collector
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	switch {
+	case c.QueueDepth == 0:
+		return DefaultQueueDepth
+	case c.QueueDepth < 0:
+		return 0
+	}
+	return c.QueueDepth
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBody > 0 {
+		return c.MaxBody
+	}
+	return DefaultMaxBody
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
+// Server is the HTTP service. Construct with New, mount Handler (httptest)
+// or call Serve (cdserved), and stop with Drain.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	col     obs.Collector // metrics fanned out with cfg.Obs
+	adm     *admission
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	start   time.Time
+
+	reqSeq   atomic.Uint64
+	inFlight atomic.Int64
+	draining atomic.Bool
+
+	wg           sync.WaitGroup // tracks v1 request handlers, not conns
+	solveCtx     context.Context
+	cancelSolves context.CancelFunc
+}
+
+// New builds a Server from cfg. It never listens by itself — pass Handler to
+// an httptest.Server or a net listener to Serve.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		metrics: obs.NewMetrics(),
+		adm:     newAdmission(cfg.workers(), cfg.queueDepth()),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.col = obs.Multi(s.metrics, cfg.Obs)
+	s.solveCtx, s.cancelSolves = context.WithCancel(context.Background())
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/churn", s.handleChurn)
+	s.mux.HandleFunc("/v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's own collector (what /metrics snapshots).
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Serve accepts connections on ln until Drain. A clean shutdown returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain shuts the server down gracefully: new v1 requests are refused with
+// 503 immediately, in-flight solves get grace to finish on their own, then
+// their contexts are cancelled so they return anytime partial results. Drain
+// blocks until every v1 handler has written its response (or ctx expires)
+// and the listener is closed.
+func (s *Server) Drain(ctx context.Context, grace time.Duration) error {
+	s.draining.Store(true)
+	if grace > 0 {
+		t := time.AfterFunc(grace, s.cancelSolves)
+		defer t.Stop()
+	} else {
+		s.cancelSolves()
+	}
+	defer s.cancelSolves()
+
+	handlersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(handlersDone)
+	}()
+	err := s.httpSrv.Shutdown(ctx)
+	select {
+	case <-handlersDone:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// apiErr is an HTTP status plus the machine-readable v1 error payload.
+type apiErr struct {
+	status int
+	code   string
+	msg    string
+}
+
+func errf(status int, code, format string, args ...any) *apiErr {
+	return &apiErr{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// reqScope tracks one admitted v1 request: id, telemetry, slot release.
+type reqScope struct {
+	s       *Server
+	id      string
+	start   time.Time
+	release func()
+	done    bool
+}
+
+// begin runs the shared admission path for a v1 solve/churn request:
+// method check, drain check, queue admission (429 on saturation), request-id
+// assignment, and request_start telemetry. When ok is false the response has
+// already been written.
+func (s *Server) begin(w http.ResponseWriter, r *http.Request, method string) (*reqScope, bool) {
+	s.col.Count(obs.CtrSrvRequests, 1)
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, "", errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s %s: use %s", r.Method, r.URL.Path, method))
+		return nil, false
+	}
+	id := requestID(r, &s.reqSeq)
+	if s.draining.Load() {
+		s.col.Count(obs.CtrSrvDraining, 1)
+		w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
+		writeError(w, id, errf(http.StatusServiceUnavailable, CodeDraining,
+			"server is draining; retry against another instance"))
+		return nil, false
+	}
+	if !s.adm.tryAdmit() {
+		s.col.Count(obs.CtrSrvQueueFull, 1)
+		w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
+		writeError(w, id, errf(http.StatusTooManyRequests, CodeQueueFull,
+			"admission queue full (%d running + %d queued); retry after backoff",
+			s.cfg.workers(), s.cfg.queueDepth()))
+		return nil, false
+	}
+	s.col.Count(obs.CtrSrvAccepted, 1)
+	s.wg.Add(1)
+	n := s.inFlight.Add(1)
+	s.col.Gauge(obs.GaugeSrvInFlight, float64(n))
+	s.col.Gauge(obs.GaugeSrvQueued, float64(s.adm.queued()))
+	s.col.Emit(obs.Event{Type: obs.EvRequestStart, Alg: id,
+		Fields: map[string]float64{"in_flight": float64(n)}})
+	return &reqScope{s: s, id: id, start: time.Now(), release: s.adm.releaseAdmit}, true
+}
+
+// end closes the scope; status is the HTTP code the handler answered with.
+// Idempotent so handlers can defer it and still end early on error paths.
+func (sc *reqScope) end(status int) {
+	if sc.done {
+		return
+	}
+	sc.done = true
+	sc.release()
+	n := sc.s.inFlight.Add(-1)
+	wall := time.Since(sc.start).Nanoseconds()
+	sc.s.col.Gauge(obs.GaugeSrvInFlight, float64(n))
+	sc.s.col.Gauge(obs.GaugeSrvQueued, float64(sc.s.adm.queued()))
+	sc.s.col.TimeNS(obs.TimSrvRequest, wall)
+	sc.s.col.Emit(obs.Event{Type: obs.EvRequestEnd, Alg: sc.id,
+		Fields: map[string]float64{"status": float64(status), "wall_ns": float64(wall)}})
+	sc.s.wg.Done()
+}
+
+// fail answers the request with a v1 error and closes the scope.
+func (sc *reqScope) fail(w http.ResponseWriter, e *apiErr) {
+	if e.status == http.StatusBadRequest || e.status == http.StatusRequestEntityTooLarge {
+		sc.s.col.Count(obs.CtrSrvBadRequest, 1)
+	}
+	writeError(w, sc.id, e)
+	sc.end(e.status)
+}
+
+// requestID takes the client's X-Request-ID when it is short and printable,
+// else mints req-<seq>.
+func requestID(r *http.Request, seq *atomic.Uint64) string {
+	id := r.Header.Get("X-Request-ID")
+	if id != "" && len(id) <= 128 && !strings.ContainsFunc(id, func(c rune) bool {
+		return c < 0x20 || c > 0x7e
+	}) {
+		return id
+	}
+	return fmt.Sprintf("req-%08x", seq.Add(1))
+}
+
+func retryAfterValue(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// decodeBody strictly decodes the request body into dst under the body cap,
+// mapping failures to wire error codes.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) *apiErr {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(dst)
+	if err == nil {
+		return nil
+	}
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return errf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			"request body exceeds %d bytes", tooBig.Limit)
+	case errors.Is(err, pointset.ErrDim):
+		return errf(http.StatusBadRequest, CodeDimMismatch, "%v", err)
+	case strings.Contains(err.Error(), "pointset:"):
+		// The instance decoded as JSON but failed pointset validation.
+		return errf(http.StatusBadRequest, CodeBadInstance, "%v", err)
+	default:
+		return errf(http.StatusBadRequest, CodeBadJSON, "%v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, id string, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	if id != "" {
+		w.Header().Set("X-Request-ID", id)
+	}
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, id string, e *apiErr) {
+	writeJSON(w, id, e.status, ErrorResponseV1{Error: ErrorV1{Code: e.code, Message: e.msg}})
+}
+
+// handleSolvers answers GET /v1/solvers with the sorted registry catalog —
+// byte-for-byte the names cdgreedy -alg and cdbench resolve.
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, "", errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s %s: use GET", r.Method, r.URL.Path))
+		return
+	}
+	resp := SolversResponseV1{Solvers: []SolverInfoV1{}}
+	for _, name := range solver.Names() {
+		e, _ := solver.Lookup(name)
+		resp.Solvers = append(resp.Solvers, SolverInfoV1{Name: name, Summary: e.Summary})
+	}
+	writeJSON(w, "", http.StatusOK, resp)
+}
+
+// handleHealth answers GET /healthz. It never blocks on the worker pool and
+// always answers 200 so load balancers can distinguish "saturated but alive"
+// (429 on /v1/solve, ok here) from dead.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, "", http.StatusOK, HealthV1{
+		Status:   status,
+		InFlight: int(s.inFlight.Load()),
+		Queued:   s.adm.queued(),
+		UptimeNS: time.Since(s.start).Nanoseconds(),
+	})
+}
+
+// handleMetrics answers GET /metrics with the server collector's snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metrics.WriteJSON(w)
+}
+
+// solveContext merges the three cancellation sources a solve runs under:
+// the client connection (r.Context), the server's drain cancellation, and
+// the request's own deadline (clamped by cfg.MaxDeadline).
+func (s *Server) solveContext(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.solveCtx, cancel)
+	d := time.Duration(deadlineMS) * time.Millisecond
+	if s.cfg.MaxDeadline > 0 && (d <= 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	if d > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, d)
+		return tctx, func() { tcancel(); stop(); cancel() }
+	}
+	return ctx, func() { stop(); cancel() }
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/obs"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/solver"
+	"repro/internal/vec"
+)
+
+// handleSolve answers POST /v1/solve: validate, wait for a worker slot, run
+// the solver under the merged deadline/drain/client context, and answer with
+// the result — complete, or the anytime prefix with "partial": true when the
+// deadline (or a drain) cut the solve short.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.begin(w, r, http.MethodPost)
+	if !ok {
+		return
+	}
+	var req SolveRequestV1
+	if e := s.decodeBody(w, r, &req); e != nil {
+		sc.fail(w, e)
+		return
+	}
+	normName, nm, e := resolveNorm(req.Norm)
+	if e != nil {
+		sc.fail(w, e)
+		return
+	}
+	solverName, e := resolveSolver(req.Solver)
+	if e != nil {
+		sc.fail(w, e)
+		return
+	}
+	if req.K <= 0 {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadK, "k = %d, want k >= 1", req.K))
+		return
+	}
+	if e := checkRadius(req.Radius); e != nil {
+		sc.fail(w, e)
+		return
+	}
+	if req.Instance == nil || req.Instance.Len() == 0 {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadInstance, "request has no instance"))
+		return
+	}
+	warm, e := warmCenters(req.Options.WarmStart, req.Instance.Dim())
+	if e != nil {
+		sc.fail(w, e)
+		return
+	}
+	box, e := wireBox(req.Options.BoxLo, req.Options.BoxHi, req.Instance.Dim())
+	if e != nil {
+		sc.fail(w, e)
+		return
+	}
+
+	ctx, cancel := s.solveContext(r, req.DeadlineMS)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
+		sc.fail(w, errf(http.StatusServiceUnavailable, CodeDeadlineQueued,
+			"deadline expired while queued for a worker slot: %v", err))
+		return
+	}
+	defer s.adm.release()
+
+	// Per-request metrics ride alongside the server-wide collector: the
+	// request's rounds come from its own snapshot, the server's /metrics
+	// aggregates everything.
+	reqMetrics := obs.NewMetrics()
+	col := obs.Multi(s.col, reqMetrics)
+	in, err := reward.NewInstance(req.Instance, nm, req.Radius)
+	if err != nil {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadInstance, "%v", err))
+		return
+	}
+	in.SetCollector(col)
+	alg, err := solver.New(solverName, solver.Options{
+		Workers:      req.Options.Workers,
+		Seed:         req.Options.Seed,
+		Obs:          col,
+		WarmStart:    warm,
+		GridPer:      req.Options.GridPer,
+		Box:          box,
+		Polish:       req.Options.Polish,
+		DisablePrune: req.Options.DisablePrune,
+	})
+	if err != nil {
+		// Unreachable: resolveSolver already checked the catalog.
+		sc.fail(w, errf(http.StatusBadRequest, CodeUnknownSolver, "%v", err))
+		return
+	}
+
+	start := time.Now()
+	res, runErr := alg.Run(ctx, in, req.K)
+	wall := time.Since(start).Nanoseconds()
+	partial := false
+	if runErr != nil {
+		if res == nil || ctx.Err() == nil {
+			sc.fail(w, errf(http.StatusInternalServerError, CodeSolveFailed, "%v", runErr))
+			return
+		}
+		// The anytime contract: a cancelled solve returns the valid prefix
+		// it committed. That is a successful (partial) response.
+		partial = true
+		s.col.Count(obs.CtrSrvPartial, 1)
+	}
+
+	resp := SolveResponseV1{
+		RequestID: sc.id,
+		Solver:    solverName,
+		Norm:      normName,
+		K:         req.K,
+		Radius:    req.Radius,
+		N:         in.N(),
+		Centers:   centersWire(res.Centers),
+		Gains:     append([]float64{}, res.Gains...),
+		Total:     res.Total,
+		MaxReward: req.Instance.TotalWeight(),
+		Partial:   partial,
+		Rounds:    roundsFromEvents(res, reqMetrics.Snapshot()),
+		WallNS:    wall,
+	}
+	writeJSON(w, sc.id, http.StatusOK, resp)
+	sc.end(http.StatusOK)
+}
+
+// resolveNorm maps the wire norm name (default l2) to a norm.Norm.
+func resolveNorm(name string) (string, norm.Norm, *apiErr) {
+	if name == "" {
+		name = "l2"
+	}
+	nm, err := norm.ByName(name)
+	if err != nil {
+		return "", nil, errf(http.StatusBadRequest, CodeBadNorm,
+			"unknown norm %q (have: l1 | l2 | linf)", name)
+	}
+	return name, nm, nil
+}
+
+// resolveSolver maps the wire solver name (default greedy2) to a catalog
+// name, answering unknown names with the same sorted-catalog text as
+// cdgreedy -alg.
+func resolveSolver(name string) (string, *apiErr) {
+	if name == "" {
+		name = "greedy2"
+	}
+	if _, ok := solver.Lookup(name); !ok {
+		return "", errf(http.StatusBadRequest, CodeUnknownSolver, "%v",
+			solver.CatalogError("solver", "algorithm", name, solver.Names()))
+	}
+	return name, nil
+}
+
+func checkRadius(r float64) *apiErr {
+	if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return errf(http.StatusBadRequest, CodeBadRadius,
+			"radius = %v, want positive and finite", r)
+	}
+	return nil
+}
+
+// warmCenters converts wire warm-start rows, enforcing the instance dim.
+func warmCenters(rows [][]float64, dim int) ([]vec.V, *apiErr) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make([]vec.V, len(rows))
+	for i, row := range rows {
+		if len(row) != dim {
+			return nil, errf(http.StatusBadRequest, CodeDimMismatch,
+				"warm_start[%d] has dim %d, want %d", i, len(row), dim)
+		}
+		out[i] = vec.V(append([]float64{}, row...))
+	}
+	return out, nil
+}
+
+// wireBox converts optional box_lo/box_hi to a pointset.Box (zero Box when
+// absent, meaning data bounds).
+func wireBox(lo, hi []float64, dim int) (pointset.Box, *apiErr) {
+	if len(lo) == 0 && len(hi) == 0 {
+		return pointset.Box{}, nil
+	}
+	if len(lo) != dim || len(hi) != dim {
+		return pointset.Box{}, errf(http.StatusBadRequest, CodeDimMismatch,
+			"box_lo/box_hi have dims %d/%d, want %d", len(lo), len(hi), dim)
+	}
+	b := pointset.Box{Lo: vec.V(append([]float64{}, lo...)), Hi: vec.V(append([]float64{}, hi...))}
+	if !b.Valid() {
+		return pointset.Box{}, errf(http.StatusBadRequest, CodeBadRequest,
+			"box_lo must be <= box_hi component-wise")
+	}
+	return b, nil
+}
+
+func centersWire(centers []vec.V) [][]float64 {
+	out := make([][]float64, len(centers))
+	for i, c := range centers {
+		out[i] = append([]float64{}, c...)
+	}
+	return out
+}
+
+// roundsFromEvents builds per-round telemetry: gains from the result (the
+// ground truth), wall times joined in from the request's round_end events
+// when the solver emitted them. Warm-started results adopted from the
+// carried-over centers keep zero wall times — no cold rounds produced them.
+func roundsFromEvents(res *core.Result, snap obs.Snapshot) []RoundV1 {
+	rounds := make([]RoundV1, len(res.Gains))
+	for j, g := range res.Gains {
+		rounds[j] = RoundV1{Round: j + 1, Gain: g}
+	}
+	for _, e := range snap.Events {
+		if e.Type != obs.EvRoundEnd || e.Round < 1 || e.Round > len(rounds) {
+			continue
+		}
+		rounds[e.Round-1].WallNS = int64(e.Fields["wall_ns"])
+	}
+	return rounds
+}

@@ -15,11 +15,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/optimize"
+	"repro/internal/pointset"
 	"repro/internal/vec"
 )
 
-// Options carries the cross-cutting knobs every constructor understands.
-// The zero value is always usable: all CPUs, seed 0, telemetry off.
+// Options is the single options surface every solver entry point shares —
+// the registry constructors here, the exhaustive baseline (whose old
+// exhaustive.Options is now an alias of this type), and the serving layer's
+// wire schema all marshal exactly these knobs. The zero value is always
+// usable: all CPUs, seed 0, telemetry off, no enrichment.
 type Options struct {
 	// Workers bounds a parallel algorithm's worker count; <= 0 uses all
 	// CPUs (parallel.DefaultWorkers).
@@ -37,6 +41,22 @@ type Options struct {
 	// current instance and the better of the two is returned. Re-solve
 	// loops pass the previous period's centers here.
 	WarmStart []vec.V
+
+	// The remaining knobs configure the exhaustive baseline ("exhaustive"
+	// in the catalog); the greedy constructors ignore them.
+
+	// GridPer adds a uniform lattice with GridPer points per dimension to
+	// the exhaustive candidate set (0 disables enrichment).
+	GridPer int
+	// Box bounds the enrichment lattice; a zero Box uses the data bounds.
+	Box pointset.Box
+	// Polish refines each center of the exhaustive winner by block
+	// coordinate ascent, letting the baseline leave the candidate lattice.
+	Polish bool
+	// DisablePrune turns off the exhaustive branch-and-bound pruning.
+	// Pruning never changes the result; the flag exists for the
+	// equivalence tests and benches.
+	DisablePrune bool
 }
 
 // Entry is one registered algorithm.
@@ -130,13 +150,33 @@ func init() {
 	})
 }
 
+// CatalogError formats the canonical unknown-name error every name-resolving
+// surface shares — the solver registry, the experiment registry, and the
+// serving layer all answer an unknown name with
+//
+//	<domain>: unknown <kind> "<name>" (have: a | b | c)
+//
+// where the catalog is sorted. Keeping the text in one place means `cdgreedy
+// -alg`, `cdbench -run`, and `POST /v1/solve` cannot drift apart.
+func CatalogError(domain, kind, name string, have []string) error {
+	sorted := append([]string{}, have...)
+	sort.Strings(sorted)
+	return fmt.Errorf("%s: unknown %s %q (have: %s)", domain, kind, name, strings.Join(sorted, " | "))
+}
+
+// Lookup returns the entry registered under name, if any.
+func Lookup(name string) (Entry, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
 // New resolves a registered name and constructs the algorithm, attaching
 // opts.Obs via core.Instrument when live. Unknown names report the sorted
 // catalog so callers' error messages are self-describing.
 func New(name string, opts Options) (core.Algorithm, error) {
 	e, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("solver: unknown algorithm %q (have: %s)", name, strings.Join(Names(), " | "))
+		return nil, CatalogError("solver", "algorithm", name, Names())
 	}
 	alg := e.New(opts)
 	if len(opts.WarmStart) > 0 {

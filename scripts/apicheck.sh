@@ -1,0 +1,59 @@
+#!/bin/sh
+# Wire-schema gate for the v1 serving API (internal/serve).
+#
+# Dumps every exported *V1 wire type plus the Code* error constants via
+# go doc, strips comments and doc prose so only the declarations remain
+# (field names, Go types, JSON tags), and diffs the dump against the
+# committed golden in api/v1.golden.txt. Any schema change — a renamed
+# field, a retyped value, an edited JSON tag, a removed error code — fails
+# ./scripts/check.sh until the golden is regenerated on purpose with:
+#
+#	./scripts/apicheck.sh -update
+#
+# Run from the repository root: ./scripts/apicheck.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PKG=repro/internal/serve
+GOLDEN=api/v1.golden.txt
+
+dump() {
+	# Each *V1 type in sorted order, then the error-code const group.
+	# The sed pass keeps declarations only: drop the "package serve"
+	# headers, the 4-space-indented doc prose go doc appends, comment
+	# lines, and blanks.
+	{
+		for t in $(go doc "$PKG" | grep -o '^type [A-Za-z0-9]*V1' | awk '{print $2}' | sort); do
+			go doc "$PKG.$t"
+		done
+		go doc "$PKG.CodeBadJSON"
+	} | sed -e '/^package /d' -e '/^    /d' -e 's|[[:space:]]*//.*$||' -e '/^[[:space:]]*$/d'
+}
+
+case "${1:-}" in
+-update)
+	mkdir -p "$(dirname "$GOLDEN")"
+	dump >"$GOLDEN"
+	echo "apicheck: regenerated $GOLDEN"
+	;;
+"")
+	[ -f "$GOLDEN" ] || {
+		echo "apicheck: $GOLDEN missing; run ./scripts/apicheck.sh -update" >&2
+		exit 1
+	}
+	tmp="$(mktemp)"
+	trap 'rm -f "$tmp"' EXIT
+	if ! dump | diff -u "$GOLDEN" - >"$tmp" 2>&1; then
+		echo "apicheck: the v1 wire schema differs from $GOLDEN:" >&2
+		cat "$tmp" >&2
+		echo "apicheck: if the change is deliberate, run ./scripts/apicheck.sh -update" >&2
+		exit 1
+	fi
+	echo "apicheck OK"
+	;;
+*)
+	echo "usage: $0 [-update]" >&2
+	exit 2
+	;;
+esac

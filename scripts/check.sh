@@ -30,6 +30,12 @@ go test ./...
 echo "==> churn equivalence gate"
 go test -run 'TestEvaluatorChurnEquivalence|TestBatchedScalarEquivalence' -count=1 ./internal/reward
 
+# The wire-schema gate: the exported v1 serving API (internal/serve) must
+# match the committed golden dump; breaking a field name, type, tag, or
+# error code fails here until api/v1.golden.txt is regenerated deliberately.
+echo "==> apicheck (v1 wire schema)"
+./scripts/apicheck.sh
+
 if [ "${RACE:-1}" != "0" ]; then
 	echo "==> go test -race ./..."
 	go test -race ./...

@@ -70,4 +70,38 @@ expect_clean cdbench "$BIN/bench.out" "$status"
 grep -q "note: run stopped early" "$BIN/bench.out" ||
 	fail "cdbench output lacks the early-stop note"
 
+echo "==> cdserved: start, serve one solve over HTTP, drain clean on SIGTERM"
+"$BIN/cdserved" -addr 127.0.0.1:0 -drain-grace 5s >"$BIN/served.out" 2>&1 &
+SERVED_PID=$!
+base=""
+tries=0
+while [ -z "$base" ]; do
+	base="$(sed -n 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p' "$BIN/served.out")"
+	[ -n "$base" ] && break
+	tries=$((tries + 1))
+	[ "$tries" -lt 100 ] || {
+		kill "$SERVED_PID" 2>/dev/null || true
+		fail "cdserved never printed its listening address"
+	}
+	kill -0 "$SERVED_PID" 2>/dev/null || fail "cdserved died at startup: $(cat "$BIN/served.out")"
+	sleep 0.05
+done
+curl -sf "$base/healthz" >"$BIN/served_health.json" ||
+	{ kill "$SERVED_PID" 2>/dev/null || true; fail "cdserved /healthz unreachable"; }
+grep -q '"status":"ok"' "$BIN/served_health.json" ||
+	fail "cdserved /healthz did not report ok: $(cat "$BIN/served_health.json")"
+"$BIN/cdtrace" -n 60 -seed 7 -format set >"$BIN/served_set.json" ||
+	fail "cdtrace -format set failed"
+printf '{"instance":%s,"radius":1.5,"k":3}' "$(cat "$BIN/served_set.json")" >"$BIN/served_req.json"
+curl -sf -X POST --data-binary @"$BIN/served_req.json" "$base/v1/solve" >"$BIN/served_solve.json" ||
+	{ kill "$SERVED_PID" 2>/dev/null || true; fail "cdserved POST /v1/solve failed"; }
+grep -q '"total":' "$BIN/served_solve.json" ||
+	fail "cdserved solve response lacks a total: $(cat "$BIN/served_solve.json")"
+kill -TERM "$SERVED_PID"
+status=0
+wait "$SERVED_PID" || status=$?
+[ "$status" -eq 0 ] || fail "cdserved exited $status on SIGTERM (drain must be a clean exit)"
+grep -q "drain complete" "$BIN/served.out" ||
+	fail "cdserved output lacks the drain-complete line: $(cat "$BIN/served.out")"
+
 echo "smoke OK"
