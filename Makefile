@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check smoke apicheck apicheck-update bench-baseline bench-diff clean
+.PHONY: build test vet race check smoke load apicheck apicheck-update bench-baseline bench-diff clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ check:
 # -timeout, and assert a clean exit with valid partial output.
 smoke:
 	./scripts/smoke.sh
+
+# SLO harness: boot cdserved and drive it with cdload's open-loop Poisson
+# generator; RATE/DURATION/CHURN/SLO_P99/MAX_5XX/URL tune the run (see
+# scripts/load.sh).
+load:
+	./scripts/load.sh
 
 # Wire-schema gate: diff the exported v1 serving API against the committed
 # golden (api/v1.golden.txt); apicheck-update regenerates it deliberately.

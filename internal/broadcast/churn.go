@@ -216,6 +216,12 @@ func RunChurn(ctx context.Context, tr *trace.Trace, cfg ChurnConfig) (*ChurnMetr
 	box := tr.Box()
 	m := &ChurnMetrics{Solver: solverName, FullRebuilds: 1} // initial build
 	c := obs.OrNop(cfg.Obs)
+	// When the caller installed an ambient span (the serving layer wraps
+	// each /v1/churn request in one), every period gets a child span and the
+	// per-period events carry the request's trace ID; outside a span tree
+	// both are free no-ops.
+	parentSpan := obs.SpanFromContext(ctx)
+	reqID := parentSpan.TraceID()
 	var prev []vec.V
 	var carry float64
 	var popSum float64
@@ -226,20 +232,26 @@ func RunChurn(ctx context.Context, tr *trace.Trace, cfg ChurnConfig) (*ChurnMetr
 			cancelErr = err
 			break
 		}
+		psp := parentSpan.Child("period")
+		psp.SetAttr("period", float64(p))
 		opts := solver.Options{Workers: cfg.Workers, Seed: cfg.Seed, Obs: cfg.Obs}
 		if cfg.WarmStart {
 			opts.WarmStart = prev
 		}
 		alg, err := solver.New(solverName, opts)
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
-		res, err := alg.Run(ctx, in, cfg.K)
+		res, err := alg.Run(obs.ContextWithSpan(ctx, psp), in, cfg.K)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
+				psp.SetAttr("cancelled", 1)
+				psp.End()
 				cancelErr = cerr
 				break
 			}
+			psp.End()
 			return nil, fmt.Errorf("broadcast: churn period %d: %w", p, err)
 		}
 		if err := eval.SetCenters(res.Centers); err != nil {
@@ -303,9 +315,14 @@ func RunChurn(ctx context.Context, tr *trace.Trace, cfg ChurnConfig) (*ChurnMetr
 		if cfg.OnPeriod != nil {
 			cfg.OnPeriod(ps)
 		}
+		psp.SetAttr("n", float64(ps.N))
+		psp.SetAttr("objective", ps.Objective)
+		psp.SetAttr("arrivals", float64(ps.Arrivals))
+		psp.SetAttr("departures", float64(ps.Departures))
+		psp.End()
 		c.Count(obs.CtrChurnPeriods, 1)
 		if obs.Active(cfg.Obs) {
-			c.Emit(obs.Event{Type: obs.EvChurnPeriod, Alg: solverName, Round: p,
+			c.Emit(obs.Event{Type: obs.EvChurnPeriod, Alg: solverName, Round: p, Trace: reqID,
 				Fields: map[string]float64{
 					"arrivals": float64(ps.Arrivals), "departures": float64(ps.Departures),
 					"n": float64(ps.N), "objective": objective,

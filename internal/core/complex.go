@@ -100,7 +100,7 @@ func (a ComplexGreedy) Run(ctx context.Context, in *reward.Instance, k int) (*Re
 		if err := ctx.Err(); err != nil {
 			return cancelRun(a.Obs, res, err)
 		}
-		rs := startRound(a.Obs, a.Name(), j+1)
+		rs := startRound(ctx, a.Obs, a.Name(), j+1)
 		if rs.active() {
 			rs.c.Emit(obs.Event{Type: obs.EvScanStart, Alg: a.Name(), Round: j + 1})
 		}

@@ -162,29 +162,39 @@ func Instrument(a Algorithm, c obs.Collector) Algorithm {
 
 // roundScope bundles the shared per-round instrumentation all algorithms
 // emit: a round_start event on entry and a round_end event carrying the
-// gain, wall time, and any extra fields on exit.
+// gain, wall time, and any extra fields on exit. When the context carries an
+// ambient tracing span (the serving layer installs one around each solve),
+// the scope also opens a "round" child span, so a served request yields a
+// reconstructable request → solve → round tree; outside a span tree the
+// scope emits exactly the events it always has.
 type roundScope struct {
 	c     obs.Collector
 	alg   string
 	round int
 	timer obs.Timer
+	span  *obs.Span
 }
 
 // startRound opens an instrumented round scope. With an inactive collector
 // it returns an inert scope at zero cost beyond the branch.
-func startRound(c obs.Collector, alg string, round int) roundScope {
+func startRound(ctx context.Context, c obs.Collector, alg string, round int) roundScope {
 	if !obs.Active(c) {
 		return roundScope{}
 	}
 	c.Emit(obs.Event{Type: obs.EvRoundStart, Alg: alg, Round: round})
-	return roundScope{c: c, alg: alg, round: round, timer: obs.StartTimer(c, obs.TimRound)}
+	sp := obs.SpanFromContext(ctx).Child("round")
+	sp.SetAttr("round", float64(round))
+	return roundScope{c: c, alg: alg, round: round,
+		timer: obs.StartTimer(c, obs.TimRound), span: sp}
 }
 
 // active reports whether the scope carries a live collector.
 func (rs roundScope) active() bool { return rs.c != nil }
 
 // end closes the scope, recording the round gain and wall time merged with
-// any extra fields (extra may be nil; it is not retained).
+// any extra fields (extra may be nil; it is not retained). A round cancelled
+// mid-scan never reaches end; its span is left open, which the trace shows
+// as a span_start without a span_end.
 func (rs roundScope) end(gain float64, extra map[string]float64) {
 	if rs.c == nil {
 		return
@@ -196,6 +206,11 @@ func (rs roundScope) end(gain float64, extra map[string]float64) {
 	}
 	rs.c.Count(obs.CtrRounds, 1)
 	rs.c.Emit(obs.Event{Type: obs.EvRoundEnd, Alg: rs.alg, Round: rs.round, Fields: fields})
+	rs.span.SetAttr("gain", gain)
+	for k, v := range extra {
+		rs.span.SetAttr(k, v)
+	}
+	rs.span.End()
 }
 
 // checkArgs validates the shared Run preconditions.

@@ -80,7 +80,7 @@ func (a LazyGreedy) Run(ctx context.Context, in *reward.Instance, k int) (*Resul
 		if err := ctx.Err(); err != nil {
 			return cancelRun(a.Obs, res, err)
 		}
-		rs := startRound(a.Obs, a.Name(), j+1)
+		rs := startRound(ctx, a.Obs, a.Name(), j+1)
 		// Refresh stale tops until the best entry's bound is current for
 		// this round; bounds only shrink, so once the top is fresh no
 		// stale entry below can beat it. Heap refreshes are idempotent

@@ -39,7 +39,7 @@ func (a LocalGreedy) Run(ctx context.Context, in *reward.Instance, k int) (*Resu
 		if err := ctx.Err(); err != nil {
 			return cancelRun(a.Obs, res, err)
 		}
-		rs := startRound(a.Obs, a.Name(), j+1)
+		rs := startRound(ctx, a.Obs, a.Name(), j+1)
 		if rs.active() {
 			rs.c.Emit(obs.Event{Type: obs.EvScanStart, Alg: a.Name(), Round: j + 1})
 		}

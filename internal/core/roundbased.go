@@ -55,7 +55,7 @@ func (a RoundBased) Run(ctx context.Context, in *reward.Instance, k int) (*Resul
 		if err := ctx.Err(); err != nil {
 			return cancelRun(a.Obs, res, err)
 		}
-		rs := startRound(a.Obs, a.Name(), j+1)
+		rs := startRound(ctx, a.Obs, a.Name(), j+1)
 		st := obs.StartTimer(a.Obs, obs.TimInnerSolve)
 		c, err := a.Solver.Solve(ctx, in, y)
 		if cerr := ctx.Err(); cerr != nil {

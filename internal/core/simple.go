@@ -32,7 +32,7 @@ func (a SimpleGreedy) Run(ctx context.Context, in *reward.Instance, k int) (*Res
 		if err := ctx.Err(); err != nil {
 			return cancelRun(a.Obs, res, err)
 		}
-		rs := startRound(a.Obs, a.Name(), j+1)
+		rs := startRound(ctx, a.Obs, a.Name(), j+1)
 		// argmax_i w_i·y_i^j with index tie-break (line 3 of Algorithm 3).
 		best, bestVal := 0, in.Set.Weight(0)*y[0]
 		for i := 1; i < n; i++ {

@@ -54,7 +54,7 @@ func (s SwapLocalSearch) Run(ctx context.Context, in *reward.Instance, k int) (*
 		if cerr := ctx.Err(); cerr != nil && init != nil {
 			// Seed cancelled mid-run: its partial prefix is the best-so-far
 			// solution. Re-commit it under this algorithm's name.
-			return cancelRun(s.Obs, s.commit(in, init.Centers), cerr)
+			return cancelRun(s.Obs, s.commit(ctx, in, init.Centers), cerr)
 		}
 		return nil, err
 	}
@@ -129,7 +129,7 @@ sweep:
 			break
 		}
 	}
-	res := s.commit(in, eval.Centers())
+	res := s.commit(ctx, in, eval.Centers())
 	if cancelled {
 		return cancelRun(s.Obs, res, ctx.Err())
 	}
@@ -141,11 +141,11 @@ sweep:
 
 // commit re-derives per-round gains by applying the centers in order under
 // this algorithm's name (the shared tail of the normal and anytime exits).
-func (s SwapLocalSearch) commit(in *reward.Instance, centers []vec.V) *Result {
+func (s SwapLocalSearch) commit(ctx context.Context, in *reward.Instance, centers []vec.V) *Result {
 	y := in.NewResiduals()
 	res := &Result{Algorithm: s.Name()}
 	for j, c := range centers {
-		rs := startRound(s.Obs, s.Name(), j+1)
+		rs := startRound(ctx, s.Obs, s.Name(), j+1)
 		gain, _ := in.ApplyRound(c, y)
 		res.Centers = append(res.Centers, c.Clone())
 		res.Gains = append(res.Gains, gain)

@@ -1,0 +1,419 @@
+// Package load is the serving stack's SLO harness: an open-loop load
+// generator that drives a cdserved instance over HTTP with Poisson arrivals
+// and reports client-side latency distributions.
+//
+// Open-loop means arrivals are scheduled by the clock, not by responses: a
+// slow server does not slow the generator down, so saturation shows up as
+// rising latency, 429s, and drops — the failure modes a closed-loop client
+// hides (coordinated omission). The arrival process is Poisson at the
+// configured rate, each arrival is independently a solve or a churn request
+// per the configured mix, and every request body is drawn from a small pool
+// of deterministically generated instances (the Seed fixes both the pool
+// and the arrival randomness).
+//
+// The result is a Report: counts by outcome class, exact client-side
+// latency quantiles per request kind, and benchjson-compatible records so
+// serving-side numbers enter the same bench trajectory the solver kernels
+// use (cmd/benchjson -diff consumes them directly).
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/pointset"
+	"repro/internal/serve"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultTimeout     = 30 * time.Second
+	DefaultMaxInFlight = 1024
+	DefaultBodies      = 4
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the target server's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Rate is the offered load in requests per second (Poisson arrivals).
+	Rate float64
+	// Duration is how long arrivals are generated; in-flight requests are
+	// then drained (bounded by Timeout), not abandoned.
+	Duration time.Duration
+	// ChurnFraction is the probability an arrival is a /v1/churn request
+	// (the rest are /v1/solve). 0 is all-solve, 1 all-churn.
+	ChurnFraction float64
+	// N and Dim size the generated instances (defaults 200 points in 2-D).
+	N, Dim int
+	// K is the broadcast count per request (default 4).
+	K int
+	// Radius is the coverage radius (default 1.0 on the paper's 4×4 box).
+	Radius float64
+	// Periods is the churn-loop length for churn requests (default 3).
+	Periods int
+	// ArrivalRate / DepartRate drive churn-request population dynamics
+	// (defaults 4 and 2 users per period).
+	ArrivalRate, DepartRate float64
+	// Solver names the registry algorithm ("" = server default).
+	Solver string
+	// DeadlineMS is the per-request deadline forwarded to the server; 0
+	// sends none.
+	DeadlineMS int64
+	// Seed fixes the instance pool and all arrival randomness.
+	Seed uint64
+	// Timeout bounds each HTTP request client-side; 0 = DefaultTimeout.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently outstanding requests; arrivals past it
+	// are recorded as dropped instead of growing goroutines without bound.
+	// 0 = DefaultMaxInFlight.
+	MaxInFlight int
+	// Bodies is the size of the pre-generated request-body pool; 0 =
+	// DefaultBodies.
+	Bodies int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.N <= 0 {
+		out.N = 200
+	}
+	if out.Dim <= 0 {
+		out.Dim = 2
+	}
+	if out.K <= 0 {
+		out.K = 4
+	}
+	if out.Radius <= 0 {
+		out.Radius = 1.0
+	}
+	if out.Periods <= 0 {
+		out.Periods = 3
+	}
+	if out.ArrivalRate <= 0 {
+		out.ArrivalRate = 4
+	}
+	if out.DepartRate <= 0 {
+		out.DepartRate = 2
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = DefaultTimeout
+	}
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = DefaultMaxInFlight
+	}
+	if out.Bodies <= 0 {
+		out.Bodies = DefaultBodies
+	}
+	return out
+}
+
+func (c Config) validate() error {
+	if c.BaseURL == "" {
+		return errors.New("load: no target URL")
+	}
+	if !(c.Rate > 0) || math.IsInf(c.Rate, 0) {
+		return fmt.Errorf("load: rate = %v, want positive and finite", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("load: duration = %v, want positive", c.Duration)
+	}
+	if c.ChurnFraction < 0 || c.ChurnFraction > 1 || math.IsNaN(c.ChurnFraction) {
+		return fmt.Errorf("load: churn fraction = %v, want in [0, 1]", c.ChurnFraction)
+	}
+	return nil
+}
+
+// Request kinds.
+const (
+	KindSolve = "solve"
+	KindChurn = "churn"
+)
+
+// Outcome classes a completed request is filed under.
+const (
+	ClassOK      = "ok"      // 200, complete result
+	ClassPartial = "partial" // 200, deadline/drain-bounded prefix
+	Class429     = "429"     // admission queue full
+	Class503     = "503"     // draining or deadline-while-queued
+	Class4xx     = "4xx"     // any other client error
+	Class5xx     = "5xx"     // server error — an SLO violation
+	ClassError   = "error"   // transport error or unparseable response
+	ClassDropped = "dropped" // never sent: MaxInFlight exceeded
+)
+
+// bodyPool holds the pre-marshalled request bodies for one kind.
+type bodyPool struct {
+	kind   string
+	path   string
+	bodies [][]byte
+}
+
+func (p *bodyPool) pick(rng *xrand.Rand) []byte {
+	return p.bodies[rng.Intn(len(p.bodies))]
+}
+
+// genBodies builds the deterministic request-body pool. Solve and churn
+// requests reuse the serving wire schema types, so the harness can never
+// drift from the API it measures.
+func genBodies(cfg Config, rng *xrand.Rand) (solve, churn *bodyPool, err error) {
+	lo, hi := make(vec.V, cfg.Dim), make(vec.V, cfg.Dim)
+	for d := range hi {
+		hi[d] = 4
+	}
+	box := pointset.Box{Lo: lo, Hi: hi}
+	solve = &bodyPool{kind: KindSolve, path: "/v1/solve"}
+	churn = &bodyPool{kind: KindChurn, path: "/v1/churn"}
+	for i := 0; i < cfg.Bodies; i++ {
+		set, err := pointset.GenUniform(cfg.N, box, pointset.UnitWeight, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		sb, err := json.Marshal(serve.SolveRequestV1{
+			Instance: set, Radius: cfg.Radius, K: cfg.K, Solver: cfg.Solver,
+			DeadlineMS: cfg.DeadlineMS,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		solve.bodies = append(solve.bodies, sb)
+		cb, err := json.Marshal(serve.ChurnRequestV1{
+			Instance: set, Radius: cfg.Radius, K: cfg.K, Solver: cfg.Solver,
+			Periods: cfg.Periods, ArrivalRate: cfg.ArrivalRate,
+			DepartRate: cfg.DepartRate, Seed: cfg.Seed + uint64(i),
+			WarmStart: true, DeadlineMS: cfg.DeadlineMS,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		churn.bodies = append(churn.bodies, cb)
+	}
+	return solve, churn, nil
+}
+
+// Body returns the route path and one deterministic request body for the
+// given kind (KindSolve or KindChurn) under cfg's instance parameters —
+// for benchmarks and smoke checks that want a single representative
+// request without running the generator loop.
+func Body(cfg Config, kind string) (path string, body []byte, err error) {
+	cfg = cfg.withDefaults()
+	cfg.Bodies = 1
+	solve, churn, err := genBodies(cfg, xrand.New(cfg.Seed))
+	if err != nil {
+		return "", nil, err
+	}
+	switch kind {
+	case KindSolve:
+		return solve.path, solve.bodies[0], nil
+	case KindChurn:
+		return churn.path, churn.bodies[0], nil
+	default:
+		return "", nil, fmt.Errorf("load: unknown request kind %q", kind)
+	}
+}
+
+// recorder accumulates outcomes; one mutex is plenty at harness rates.
+type recorder struct {
+	mu     sync.Mutex
+	counts map[string]map[string]int // kind → class → count
+	lats   map[string][]time.Duration
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		counts: map[string]map[string]int{KindSolve: {}, KindChurn: {}},
+		lats:   map[string][]time.Duration{},
+	}
+}
+
+func (r *recorder) add(kind, class string, lat time.Duration) {
+	r.mu.Lock()
+	r.counts[kind][class]++
+	if class == ClassOK || class == ClassPartial {
+		r.lats[kind] = append(r.lats[kind], lat)
+	}
+	r.mu.Unlock()
+}
+
+// Run drives the target for cfg.Duration and returns the report. ctx
+// cancellation stops scheduling new arrivals early; what is already in
+// flight still completes and is counted.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rng := xrand.New(cfg.Seed)
+	solvePool, churnPool, err := genBodies(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{Timeout: cfg.Timeout}
+	rec := newRecorder()
+	var wg sync.WaitGroup
+	var inFlight int64
+	var mu sync.Mutex // guards inFlight
+	var sent, seq int64
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	timer := time.NewTimer(0)
+	<-timer.C
+	defer timer.Stop()
+
+	for {
+		gap := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		next := time.Now().Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		timer.Reset(time.Until(next))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			goto done
+		case <-timer.C:
+		}
+
+		pool := solvePool
+		if rng.Float64() < cfg.ChurnFraction {
+			pool = churnPool
+		}
+		mu.Lock()
+		over := inFlight >= int64(cfg.MaxInFlight)
+		if !over {
+			inFlight++
+		}
+		mu.Unlock()
+		if over {
+			rec.add(pool.kind, ClassDropped, 0)
+			continue
+		}
+		sent++
+		seq++
+		id := "load-" + strconv.FormatInt(seq, 10)
+		body := pool.pick(rng)
+		wg.Add(1)
+		go func(pool *bodyPool, body []byte, id string) {
+			defer wg.Done()
+			class, lat := fire(client, cfg.BaseURL, pool, body, id)
+			rec.add(pool.kind, class, lat)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+		}(pool, body, id)
+	}
+done:
+	wg.Wait()
+	elapsed := time.Since(start)
+	return buildReport(cfg, elapsed, sent, rec), nil
+}
+
+// fire sends one request and classifies the outcome. Latency is measured
+// from just before the request is written to the full response body having
+// been read — for churn streams that includes every period line, which is
+// what a real client pays.
+func fire(client *http.Client, base string, pool *bodyPool, body []byte, id string) (string, time.Duration) {
+	req, err := http.NewRequest(http.MethodPost, base+pool.path, bytes.NewReader(body))
+	if err != nil {
+		return ClassError, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", id)
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return ClassError, time.Since(t0)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		partial, err := readResult(pool.kind, resp.Body)
+		lat := time.Since(t0)
+		if err != nil {
+			return ClassError, lat
+		}
+		if partial {
+			return ClassPartial, lat
+		}
+		return ClassOK, lat
+	case resp.StatusCode == http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return Class429, time.Since(t0)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return Class503, time.Since(t0)
+	case resp.StatusCode >= 500:
+		io.Copy(io.Discard, resp.Body)
+		return Class5xx, time.Since(t0)
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return Class4xx, time.Since(t0)
+	}
+}
+
+// readResult consumes a 200 response body and reports whether the result
+// was partial (deadline- or drain-bounded).
+func readResult(kind string, body io.Reader) (partial bool, err error) {
+	if kind == KindSolve {
+		var res struct {
+			Partial bool `json:"partial"`
+		}
+		if err := json.NewDecoder(body).Decode(&res); err != nil {
+			return false, err
+		}
+		io.Copy(io.Discard, body)
+		return res.Partial, nil
+	}
+	// Churn: an ndjson stream; the summary (or error) line decides.
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	sawSummary := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var l struct {
+			Summary *struct {
+				Partial bool `json:"partial"`
+			} `json:"summary"`
+			Error *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(line, &l); err != nil {
+			return false, err
+		}
+		if l.Error != nil {
+			return false, fmt.Errorf("load: in-band churn error %q", l.Error.Code)
+		}
+		if l.Summary != nil {
+			sawSummary = true
+			partial = l.Summary.Partial
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return false, err
+	}
+	if !sawSummary {
+		return false, errors.New("load: churn stream ended without a summary line")
+	}
+	return partial, nil
+}

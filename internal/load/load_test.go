@@ -1,0 +1,253 @@
+package load_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+func newTarget(t testing.TB) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func runShort(t *testing.T, cfg load.Config) *load.Report {
+	t.Helper()
+	rep, err := load.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+// TestRunAgainstServer drives a real in-process server with a mixed
+// solve/churn load and checks the SLO invariants the harness reports on.
+func TestRunAgainstServer(t *testing.T) {
+	ts := newTarget(t)
+	rep := runShort(t, load.Config{
+		BaseURL:       ts.URL,
+		Rate:          200,
+		Duration:      300 * time.Millisecond,
+		ChurnFraction: 0.3,
+		N:             40,
+		Periods:       2,
+		Seed:          7,
+	})
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if rep.Completed() == 0 {
+		t.Fatalf("no requests completed: counts %v", rep.Counts)
+	}
+	for kind, byClass := range rep.Counts {
+		for _, bad := range []string{load.Class5xx, load.ClassError, load.Class4xx} {
+			if n := byClass[bad]; n > 0 {
+				t.Errorf("kind %s: %d %s outcomes", kind, n, bad)
+			}
+		}
+	}
+	all, ok := rep.Latency["all"]
+	if !ok || all.Count != rep.Completed() {
+		t.Fatalf("merged latency count = %d, want %d", all.Count, rep.Completed())
+	}
+	if !(all.Min <= all.P50 && all.P50 <= all.P90 && all.P90 <= all.P99 && all.P99 <= all.Max) {
+		t.Errorf("quantiles out of order: %+v", all)
+	}
+	if err := rep.CheckSLO(0, 0); err != nil {
+		t.Errorf("CheckSLO: %v", err)
+	}
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"throughput", "latency all", "rates:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunValidation checks each rejected configuration shape.
+func TestRunValidation(t *testing.T) {
+	bad := []load.Config{
+		{Rate: 10, Duration: time.Second},            // no URL
+		{BaseURL: "http://x", Duration: time.Second}, // no rate
+		{BaseURL: "http://x", Rate: 10},              // no duration
+		{BaseURL: "http://x", Rate: 10, Duration: 1, ChurnFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := load.Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d: expected a validation error", i)
+		}
+	}
+}
+
+// TestRunContextCancel checks cancellation stops scheduling promptly and
+// still returns a report for what ran.
+func TestRunContextCancel(t *testing.T) {
+	ts := newTarget(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := load.Run(ctx, load.Config{
+		BaseURL:  ts.URL,
+		Rate:     50,
+		Duration: 30 * time.Second, // cancelled long before this
+		N:        20,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if rep == nil {
+		t.Fatal("nil report after cancel")
+	}
+}
+
+// TestBenchOutputs checks the benchjson document parses into the baseline
+// shape cmd/benchjson -diff consumes, and the text lines look like go-bench
+// output (Benchmark prefix, >= 4 tab-separated fields, value/unit pairs).
+func TestBenchOutputs(t *testing.T) {
+	ts := newTarget(t)
+	rep := runShort(t, load.Config{
+		BaseURL:  ts.URL,
+		Rate:     150,
+		Duration: 200 * time.Millisecond,
+		N:        30,
+		Seed:     3,
+	})
+
+	var buf bytes.Buffer
+	if err := rep.WriteBenchJSON(&buf); err != nil {
+		t.Fatalf("WriteBenchJSON: %v", err)
+	}
+	var doc struct {
+		Env        map[string]string `json:"env"`
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Iterations int                `json:"iterations"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("bench JSON does not parse: %v", err)
+	}
+	if doc.Env["source"] != "cdload" {
+		t.Errorf("env.source = %q, want cdload", doc.Env["source"])
+	}
+	if len(doc.Benchmarks) == 0 {
+		t.Fatal("no benchmark records")
+	}
+	seen := map[string]bool{}
+	for _, b := range doc.Benchmarks {
+		seen[b.Name] = true
+		if b.Iterations <= 0 {
+			t.Errorf("%s: iterations = %d", b.Name, b.Iterations)
+		}
+		if b.Metrics["ns/op"] <= 0 {
+			t.Errorf("%s: ns/op = %v", b.Name, b.Metrics["ns/op"])
+		}
+		if b.Metrics["p99-ns"] < b.Metrics["p50-ns"] {
+			t.Errorf("%s: p99 %v < p50 %v", b.Name, b.Metrics["p99-ns"], b.Metrics["p50-ns"])
+		}
+	}
+	if !seen[load.BenchSolve] || !seen[load.BenchAll] {
+		t.Errorf("missing solve/all records: %v", seen)
+	}
+
+	buf.Reset()
+	rep.WriteBenchText(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no bench text lines")
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "Benchmark") {
+			t.Errorf("bench line lacks prefix: %q", line)
+		}
+		if fields := strings.Fields(line); len(fields) < 4 || len(fields)%2 != 0 {
+			t.Errorf("bench line not value/unit pairs: %q", line)
+		}
+	}
+}
+
+// TestCheckSLOFailures exercises each SLO violation branch.
+func TestCheckSLOFailures(t *testing.T) {
+	ts := newTarget(t)
+	rep := runShort(t, load.Config{
+		BaseURL:  ts.URL,
+		Rate:     100,
+		Duration: 200 * time.Millisecond,
+		N:        30,
+		Seed:     5,
+	})
+	if err := rep.CheckSLO(time.Nanosecond, -1); err == nil {
+		t.Error("expected a p99 SLO failure at 1ns")
+	}
+	if err := rep.CheckSLO(time.Hour, -1); err != nil {
+		t.Errorf("p99 within an hour should pass: %v", err)
+	}
+	empty := &load.Report{}
+	if err := empty.CheckSLO(0, -1); err == nil {
+		t.Error("empty report should fail the completed-requests check")
+	}
+}
+
+// Serving-side benchmarks: in-process client → httptest server → real
+// solver, one request per iteration. These feed BENCH_baseline.json so the
+// serving path has a tracked latency trajectory alongside the kernels.
+func benchServe(b *testing.B, path string, body []byte) {
+	b.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func requestBody(b *testing.B, kind string) (string, []byte) {
+	b.Helper()
+	path, body, err := load.Body(load.Config{
+		BaseURL: "http://bench", Rate: 1, Duration: time.Second,
+		N: 100, Periods: 2, Seed: 11,
+	}, kind)
+	if err != nil {
+		b.Fatalf("Body: %v", err)
+	}
+	return path, body
+}
+
+func BenchmarkServeSolve(b *testing.B) {
+	path, body := requestBody(b, load.KindSolve)
+	benchServe(b, path, body)
+}
+
+func BenchmarkServeChurn(b *testing.B) {
+	path, body := requestBody(b, load.KindChurn)
+	benchServe(b, path, body)
+}

@@ -1,0 +1,288 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Report is the outcome of one load run: counts by outcome class, exact
+// client-side latency quantiles per request kind, and the derived SLO
+// numbers. Unlike the server's bounded histograms, the client keeps every
+// success latency — a load run is finite, so exact quantiles are cheap and
+// give the bound the serving histograms are tested against.
+type Report struct {
+	// Config echoes the run's effective (defaulted) configuration.
+	Config Config `json:"config"`
+	// Elapsed is the wall time from first arrival scheduled to last
+	// response drained.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Sent counts requests actually fired (arrivals minus drops).
+	Sent int64 `json:"sent"`
+	// Counts maps kind → class → count.
+	Counts map[string]map[string]int `json:"counts"`
+	// Latency maps kind → summary over successful (ok or partial)
+	// responses; the "all" key merges both kinds.
+	Latency map[string]LatSummary `json:"latency"`
+}
+
+// LatSummary is an exact latency distribution over completed requests.
+type LatSummary struct {
+	Count int           `json:"count"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+func summarize(lats []time.Duration) LatSummary {
+	if len(lats) == 0 {
+		return LatSummary{}
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatSummary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   q(0.50),
+		P90:   q(0.90),
+		P99:   q(0.99),
+	}
+}
+
+func buildReport(cfg Config, elapsed time.Duration, sent int64, rec *recorder) *Report {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	r := &Report{
+		Config:  cfg,
+		Elapsed: elapsed,
+		Sent:    sent,
+		Counts:  map[string]map[string]int{},
+		Latency: map[string]LatSummary{},
+	}
+	var all []time.Duration
+	for kind, byClass := range rec.counts {
+		if len(byClass) == 0 {
+			continue
+		}
+		cp := make(map[string]int, len(byClass))
+		for class, n := range byClass {
+			cp[class] = n
+		}
+		r.Counts[kind] = cp
+	}
+	for kind, lats := range rec.lats {
+		if len(lats) == 0 {
+			continue
+		}
+		r.Latency[kind] = summarize(lats)
+		all = append(all, lats...)
+	}
+	if len(all) > 0 {
+		r.Latency["all"] = summarize(all)
+	}
+	return r
+}
+
+// classTotal sums one outcome class across kinds.
+func (r *Report) classTotal(class string) int {
+	n := 0
+	for _, byClass := range r.Counts {
+		n += byClass[class]
+	}
+	return n
+}
+
+// Completed counts successful responses (ok + partial) across kinds.
+func (r *Report) Completed() int {
+	return r.classTotal(ClassOK) + r.classTotal(ClassPartial)
+}
+
+// Throughput is completed requests per second of elapsed wall time.
+func (r *Report) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed()) / r.Elapsed.Seconds()
+}
+
+// Rate helpers, each a fraction of sent+dropped arrivals (0 when none).
+func (r *Report) rate(class string) float64 {
+	total := int(r.Sent) + r.classTotal(ClassDropped)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.classTotal(class)) / float64(total)
+}
+
+func (r *Report) ErrorRate() float64   { return r.rate(ClassError) + r.rate(Class5xx) }
+func (r *Report) RejectRate() float64  { return r.rate(Class429) + r.rate(Class503) }
+func (r *Report) PartialRate() float64 { return r.rate(ClassPartial) }
+
+// Print writes the human-readable SLO report.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "load: %.1f req/s offered for %v (%s)\n",
+		r.Config.Rate, r.Config.Duration, r.Config.BaseURL)
+	fmt.Fprintf(w, "  sent %d  completed %d  throughput %.1f req/s\n",
+		r.Sent, r.Completed(), r.Throughput())
+	kinds := make([]string, 0, len(r.Counts))
+	for k := range r.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		byClass := r.Counts[kind]
+		classes := make([]string, 0, len(byClass))
+		for c := range byClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(w, "  %s:", kind)
+		for _, c := range classes {
+			fmt.Fprintf(w, " %s=%d", c, byClass[c])
+		}
+		fmt.Fprintln(w)
+	}
+	lkinds := make([]string, 0, len(r.Latency))
+	for k := range r.Latency {
+		lkinds = append(lkinds, k)
+	}
+	sort.Strings(lkinds)
+	for _, kind := range lkinds {
+		s := r.Latency[kind]
+		fmt.Fprintf(w, "  latency %-6s p50=%v  p90=%v  p99=%v  max=%v  (n=%d)\n",
+			kind, s.P50.Round(time.Microsecond), s.P90.Round(time.Microsecond),
+			s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond), s.Count)
+	}
+	fmt.Fprintf(w, "  rates: error=%.2f%%  reject=%.2f%%  partial=%.2f%%\n",
+		100*r.ErrorRate(), 100*r.RejectRate(), 100*r.PartialRate())
+}
+
+// CheckSLO verifies the run against simple objectives: maxP99 bounds the
+// merged p99 latency (0 = unchecked), max5xx caps server errors (pass a
+// negative value to skip, 0 to require none), and at least one request must
+// have completed. Returns nil when all hold.
+func (r *Report) CheckSLO(maxP99 time.Duration, max5xx int) error {
+	if r.Completed() == 0 {
+		return fmt.Errorf("slo: no requests completed (sent %d)", r.Sent)
+	}
+	if n := r.classTotal(Class5xx); max5xx >= 0 && n > max5xx {
+		return fmt.Errorf("slo: %d server errors (5xx), want <= %d", n, max5xx)
+	}
+	if p99 := r.Latency["all"].P99; maxP99 > 0 && p99 > maxP99 {
+		return fmt.Errorf("slo: p99 latency %v, want <= %v", p99, maxP99)
+	}
+	return nil
+}
+
+// Bench record names. They keep the "Benchmark" prefix because that is
+// what cmd/benchjson stores for `go test -bench` lines (Parse strips only
+// the -procs suffix), so cdload baselines and piped bench text key
+// identically in `benchjson -diff`.
+const (
+	BenchSolve = "BenchmarkLoadServeSolve"
+	BenchChurn = "BenchmarkLoadServeChurn"
+	BenchAll   = "BenchmarkLoadServeAll"
+)
+
+// benchRecord mirrors cmd/benchjson's Result shape.
+type benchRecord struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchDoc mirrors cmd/benchjson's Baseline shape, so a cdload -bench-out
+// file is directly usable as a `benchjson -diff` baseline.
+type benchDoc struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []benchRecord     `json:"benchmarks"`
+}
+
+func benchName(kind string) string {
+	switch kind {
+	case KindSolve:
+		return BenchSolve
+	case KindChurn:
+		return BenchChurn
+	default:
+		return BenchAll
+	}
+}
+
+func (r *Report) benchRecords() []benchRecord {
+	kinds := make([]string, 0, len(r.Latency))
+	for k := range r.Latency {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	recs := make([]benchRecord, 0, len(kinds))
+	for _, kind := range kinds {
+		s := r.Latency[kind]
+		if s.Count == 0 {
+			continue
+		}
+		// Pkg stays empty so diff keys match go-bench text lines, which
+		// carry no package either.
+		recs = append(recs, benchRecord{
+			Name:       benchName(kind),
+			Procs:      runtime.GOMAXPROCS(0),
+			Iterations: s.Count,
+			Metrics: map[string]float64{
+				"ns/op":  float64(s.Mean),
+				"p50-ns": float64(s.P50),
+				"p90-ns": float64(s.P90),
+				"p99-ns": float64(s.P99),
+				"rps":    r.Throughput(),
+			},
+		})
+	}
+	return recs
+}
+
+// WriteBenchJSON writes benchjson-baseline-shaped records: per-kind mean
+// latency as ns/op plus p50/p90/p99 and throughput metrics.
+func (r *Report) WriteBenchJSON(w io.Writer) error {
+	env := map[string]string{
+		"go":     runtime.Version(),
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"source": "cdload",
+	}
+	if host, err := os.Hostname(); err == nil {
+		env["host"] = host
+	}
+	doc := benchDoc{Env: env, Benchmarks: r.benchRecords()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteBenchText writes go-bench-format lines (parseable by `go tool` style
+// consumers and by cmd/benchjson's Parse), one per request kind.
+func (r *Report) WriteBenchText(w io.Writer) {
+	for _, rec := range r.benchRecords() {
+		fmt.Fprintf(w, "%s-%d\t%d\t%.0f ns/op\t%.0f p50-ns\t%.0f p90-ns\t%.0f p99-ns\t%.2f rps\n",
+			rec.Name, rec.Procs, rec.Iterations,
+			rec.Metrics["ns/op"], rec.Metrics["p50-ns"], rec.Metrics["p90-ns"],
+			rec.Metrics["p99-ns"], rec.Metrics["rps"])
+	}
+}

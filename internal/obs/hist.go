@@ -81,6 +81,35 @@ func (h *Histogram) quantile(q float64) float64 {
 	return h.max
 }
 
+// Buckets exports the ladder as cumulative counts for text exposition:
+// bounds[i] is the inclusive upper bound of rung i (2^i, with bounds[0] = 1)
+// and cum[i] counts the valid samples ≤ bounds[i]. Rungs above the last
+// non-empty one are trimmed — the implicit +Inf bucket always equals N().
+// An empty histogram returns (nil, nil).
+func (h *Histogram) Buckets() (bounds []float64, cum []uint64) {
+	last := -1
+	for i, c := range h.counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil, nil
+	}
+	if last >= histBuckets {
+		last = histBuckets - 1 // overflow rung is the +Inf bucket
+	}
+	bounds = make([]float64, last+1)
+	cum = make([]uint64, last+1)
+	var seen uint64
+	for i := 0; i <= last; i++ {
+		seen += h.counts[i]
+		bounds[i] = math.Pow(2, float64(i))
+		cum[i] = seen
+	}
+	return bounds, cum
+}
+
 // HistSnapshot is the exported summary of a Histogram.
 type HistSnapshot struct {
 	Count   uint64  `json:"count"`

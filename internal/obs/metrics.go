@@ -108,8 +108,10 @@ func (m *Metrics) TimeNS(name string, ns int64) {
 // detailEvent reports whether an event type is high-frequency detail (one
 // per inner operation) rather than a lifecycle summary. Detail events are
 // the first to go when the buffer fills: a snapshot must never lose a
-// round_end to a flood of seb events.
-func detailEvent(typ string) bool { return typ == EvSEB }
+// round_end to a flood of seb events. span_start is detail too — a
+// span_end alone still reconstructs the tree (its TNS and wall_ns recover
+// the start).
+func detailEvent(typ string) bool { return typ == EvSEB || typ == EvSpanStart }
 
 // Emit implements Collector: the event is stamped against this collector's
 // monotonic base (when TNS is zero) and buffered up to the cap. When the
@@ -191,7 +193,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	return s
 }
 
-// WriteJSON writes the snapshot as indented JSON.
+// WriteJSON writes the snapshot as indented JSON. The output is
+// deterministic for a given collector state: encoding/json emits map keys
+// in sorted order and the struct fields in declaration order, so two
+// renders of the same state are byte-identical and /metrics output is
+// golden-testable and diff-stable (TestWriteJSONDeterministic pins this).
 func (m *Metrics) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

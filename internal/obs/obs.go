@@ -44,6 +44,18 @@ type Event struct {
 	Alg    string             `json:"alg,omitempty"`
 	Round  int                `json:"round,omitempty"`
 	Fields map[string]float64 `json:"fields,omitempty"`
+
+	// Trace is the request/trace ID the event belongs to; span events and
+	// (when serving) per-period churn events carry it so a server-wide JSONL
+	// stream can be partitioned by request.
+	Trace string `json:"trace,omitempty"`
+	// Span and Parent are span IDs linking span_start/span_end events into a
+	// tree (Parent is empty on a root span); Name is the span's operation
+	// name ("request.solve", "solve", "round", "period", ...). All three are
+	// empty on non-span events.
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name,omitempty"`
 }
 
 // Event types emitted by the instrumented solver packages.
@@ -79,11 +91,18 @@ const (
 	// "departures", "n" (population after churn), and "objective".
 	EvChurnPeriod = "churn_period"
 	// EvRequestStart / EvRequestEnd bracket one request through the serving
-	// layer (internal/serve). Alg carries the request id — the one string
-	// slot an Event has — so a server-wide event trace can be grepped by
-	// request. EvRequestEnd carries "status" (HTTP code) and "wall_ns".
+	// layer (internal/serve). Alg carries the request id — kept for
+	// backwards compatibility with pre-span traces — and Trace carries the
+	// same id. EvRequestEnd carries "status" (HTTP code) and "wall_ns".
 	EvRequestStart = "request_start"
 	EvRequestEnd   = "request_end"
+	// EvSpanStart / EvSpanEnd bracket one tracing span (see Span). Both
+	// carry Trace, Span, Parent, and Name; EvSpanEnd additionally carries
+	// "wall_ns" plus any attributes set on the span. A span_start without a
+	// matching span_end marks work that was still in flight (or cut off by
+	// cancellation) when the trace was read.
+	EvSpanStart = "span_start"
+	EvSpanEnd   = "span_end"
 )
 
 // Canonical metric names.
@@ -135,6 +154,24 @@ const (
 	GaugeSrvInFlight = "serve.in_flight"
 	GaugeSrvQueued   = "serve.queued"
 )
+
+// Per-route serving metric names ("serve.route.<route>.<series>"). The
+// serving layer emits one set per v1 route ("solve", "churn"); WriteProm
+// recognizes the "route.<value>" segment pair and turns it into a Prometheus
+// route label (e.g. cd_serve_route_requests_total{route="solve"}).
+
+// SrvRouteRequests names the per-route request counter.
+func SrvRouteRequests(route string) string { return "serve.route." + route + ".requests" }
+
+// SrvRouteRejected names the per-route admission-reject counter (429 queue
+// saturation plus 503 drain refusals).
+func SrvRouteRejected(route string) string { return "serve.route." + route + ".rejected" }
+
+// SrvRouteRequestNS names the per-route request-latency timer.
+func SrvRouteRequestNS(route string) string { return "serve.route." + route + ".request_ns" }
+
+// SrvRouteInFlight names the per-route in-flight gauge.
+func SrvRouteInFlight(route string) string { return "serve.route." + route + ".in_flight" }
 
 // Nop is the default collector: every method does nothing. Instrumented
 // code treats it (and nil) as "telemetry off" via Active.

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one node of a causal trace tree: a named operation with a start
+// and an end on the monotonic clock, an optional parent, and float64
+// attributes. Spans are recorded through the ordinary event machinery — a
+// span_start event when the span opens and a span_end event (carrying
+// "wall_ns" plus the attributes) when it closes — so any Sink or Metrics
+// collector that already captures events captures span trees too, and a
+// JSONL stream can be reassembled into per-request trees offline by linking
+// Span/Parent IDs under a shared Trace ID.
+//
+// The zero-cost rule extends to spans: StartSpan with an inactive collector
+// returns nil, every method is nil-safe, and ContextWithSpan(ctx, nil)
+// returns ctx unchanged — instrumented code never branches on span
+// presence. Child spans are only materialized under a live ancestor, so
+// solver runs outside the serving layer (no root span installed) emit no
+// span events at all.
+//
+// A Span's SetAttr and End are safe for concurrent use, matching the
+// Collector contract. End is idempotent; attributes set after End are
+// dropped.
+type Span struct {
+	c      Collector
+	trace  string
+	name   string
+	id     string
+	parent string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]float64
+	ended bool
+}
+
+// spanSeq mints process-unique span IDs; uniqueness within one trace is all
+// reconstruction needs, process-wide uniqueness is simply cheap.
+var spanSeq atomic.Uint64
+
+func nextSpanID() string {
+	return "s" + strconv.FormatUint(spanSeq.Add(1), 16)
+}
+
+// StartSpan opens a root span under the given trace ID (the serving layer
+// uses the request ID). With an inactive collector it returns nil, and the
+// whole span tree below it costs nothing.
+func StartSpan(c Collector, trace, name string) *Span {
+	if !Active(c) {
+		return nil
+	}
+	s := &Span{c: c, trace: trace, name: name, id: nextSpanID(), start: time.Now()}
+	s.emitStart()
+	return s
+}
+
+// Child opens a sub-span of s. On a nil receiver it returns nil, so call
+// sites chain without nil checks.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{c: s.c, trace: s.trace, name: name, id: nextSpanID(),
+		parent: s.id, start: time.Now()}
+	c.emitStart()
+	return c
+}
+
+func (s *Span) emitStart() {
+	s.c.Emit(Event{Type: EvSpanStart, Trace: s.trace, Span: s.id,
+		Parent: s.parent, Name: s.name})
+}
+
+// SetAttr attaches (or overwrites) one float64 attribute, carried on the
+// span_end event. Nil-safe; dropped after End.
+func (s *Span) SetAttr(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.attrs == nil {
+			s.attrs = make(map[string]float64, 4)
+		}
+		s.attrs[key] = v
+	}
+	s.mu.Unlock()
+}
+
+// End closes the span, emitting the span_end event with "wall_ns" and the
+// accumulated attributes, and returns the elapsed nanoseconds. Only the
+// first End emits; later calls return 0. Nil-safe.
+func (s *Span) End() int64 {
+	if s == nil {
+		return 0
+	}
+	ns := time.Since(s.start).Nanoseconds()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return 0
+	}
+	s.ended = true
+	fields := make(map[string]float64, len(s.attrs)+1)
+	for k, v := range s.attrs {
+		fields[k] = v
+	}
+	s.mu.Unlock()
+	fields["wall_ns"] = float64(ns)
+	s.c.Emit(Event{Type: EvSpanEnd, Trace: s.trace, Span: s.id,
+		Parent: s.parent, Name: s.name, Fields: fields})
+	return ns
+}
+
+// ID returns the span's ID ("" on nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// TraceID returns the trace (request) ID the span belongs to ("" on nil) —
+// the hook lower layers use to stamp their own events with the request ID
+// without a second plumbing path.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// spanKey keys the ambient span in a context.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the ambient parent span. A nil
+// span returns ctx unchanged, so uninstrumented paths never pay for a
+// context wrap.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the ambient span, or nil when none (or ctx is
+// nil). Combined with the nil-safety of Child/SetAttr/End, lower layers
+// write `sp := obs.SpanFromContext(ctx).Child("round")` unconditionally.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

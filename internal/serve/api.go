@@ -214,6 +214,9 @@ type SolversResponseV1 struct {
 type HealthV1 struct {
 	// Status is "ok" or "draining".
 	Status string `json:"status"`
+	// Draining mirrors Status == "draining" as a boolean, so probes need no
+	// string comparison.
+	Draining bool `json:"draining"`
 	// InFlight is the number of requests currently holding worker slots or
 	// waiting for one.
 	InFlight int `json:"in_flight"`
@@ -221,6 +224,8 @@ type HealthV1 struct {
 	Queued int `json:"queued"`
 	// UptimeNS is nanoseconds since the server was constructed.
 	UptimeNS int64 `json:"uptime_ns"`
+	// UptimeSeconds is UptimeNS in seconds, for human probes and dashboards.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // ErrorV1 is the machine-readable error every non-2xx v1 response carries.

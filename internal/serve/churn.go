@@ -20,7 +20,7 @@ import (
 // still answer with proper HTTP statuses; only failures after streaming
 // began are reported in-band as an error line.
 func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
-	sc, ok := s.begin(w, r, http.MethodPost)
+	sc, ok := s.begin(w, r, http.MethodPost, routeChurn)
 	if !ok {
 		return
 	}
@@ -88,12 +88,16 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.solveContext(r, req.DeadlineMS)
 	defer cancel()
+	queueSpan := sc.span.Child("queue")
 	if err := s.adm.acquire(ctx); err != nil {
+		queueSpan.SetAttr("expired", 1)
+		queueSpan.End()
 		w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
 		sc.fail(w, errf(http.StatusServiceUnavailable, CodeDeadlineQueued,
 			"deadline expired while queued for a worker slot: %v", err))
 		return
 	}
+	queueSpan.End()
 	defer s.adm.release()
 
 	enc := json.NewEncoder(w)
@@ -123,7 +127,15 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 		}})
 	}
 
-	m, runErr := broadcast.RunChurn(ctx, tr, cfg)
+	// The churn span parents the loop's per-period spans (RunChurn picks it
+	// up from the context) and stamps its events with the request ID.
+	churnSpan := sc.span.Child("churn")
+	churnSpan.SetAttr("periods", float64(req.Periods))
+	m, runErr := broadcast.RunChurn(obs.ContextWithSpan(ctx, churnSpan), tr, cfg)
+	if m != nil {
+		churnSpan.SetAttr("completed_periods", float64(len(m.Periods)))
+	}
+	churnSpan.End()
 	if runErr != nil && (m == nil || ctx.Err() == nil) {
 		// A real failure, not a cancellation.
 		if !wroteHeader {

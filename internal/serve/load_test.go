@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -69,8 +70,12 @@ func TestAdmissionSaturation(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated status %d, want 429 (%s)", resp.StatusCode, data)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	// Retry-After must be the integer-seconds form (RFC 9110): clients and
+	// proxies parse it as a delay, so "1.5" or an empty value is a bug.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 without a Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", ra)
 	}
 	if e := decodeError(t, data); e.Code != serve.CodeQueueFull {
 		t.Errorf("code %q, want %q", e.Code, serve.CodeQueueFull)
@@ -122,6 +127,11 @@ func TestQueuedDeadline(t *testing.T) {
 	}
 	if e := decodeError(t, data); e.Code != serve.CodeDeadlineQueued {
 		t.Errorf("code %q, want %q", e.Code, serve.CodeDeadlineQueued)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 without a Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", ra)
 	}
 
 	close(release)

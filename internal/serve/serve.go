@@ -116,6 +116,7 @@ type Server struct {
 	mux     *http.ServeMux
 	httpSrv *http.Server
 	start   time.Time
+	routes  map[string]*routeStats
 
 	reqSeq   atomic.Uint64
 	inFlight atomic.Int64
@@ -124,6 +125,26 @@ type Server struct {
 	wg           sync.WaitGroup // tracks v1 request handlers, not conns
 	solveCtx     context.Context
 	cancelSolves context.CancelFunc
+}
+
+// routeStats precomputes the per-route metric names (requests, latency,
+// in-flight, admission rejects) so the hot path never formats strings, and
+// carries the route's own in-flight count.
+type routeStats struct {
+	requests string // counter
+	rejected string // counter: 429 queue_full + 503 draining
+	latency  string // timer
+	inFlight string // gauge
+	n        atomic.Int64
+}
+
+func newRouteStats(route string) *routeStats {
+	return &routeStats{
+		requests: obs.SrvRouteRequests(route),
+		rejected: obs.SrvRouteRejected(route),
+		latency:  obs.SrvRouteRequestNS(route),
+		inFlight: obs.SrvRouteInFlight(route),
+	}
 }
 
 // New builds a Server from cfg. It never listens by itself — pass Handler to
@@ -135,6 +156,10 @@ func New(cfg Config) *Server {
 		adm:     newAdmission(cfg.workers(), cfg.queueDepth()),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		routes: map[string]*routeStats{
+			routeSolve: newRouteStats(routeSolve),
+			routeChurn: newRouteStats(routeChurn),
+		},
 	}
 	s.col = obs.Multi(s.metrics, cfg.Obs)
 	s.solveCtx, s.cancelSolves = context.WithCancel(context.Background())
@@ -213,10 +238,19 @@ func errf(status int, code, format string, args ...any) *apiErr {
 	return &apiErr{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-// reqScope tracks one admitted v1 request: id, telemetry, slot release.
+// v1 route labels for the per-route serving series and span names.
+const (
+	routeSolve = "solve"
+	routeChurn = "churn"
+)
+
+// reqScope tracks one admitted v1 request: id, telemetry, slot release, and
+// the root span of the request's trace tree.
 type reqScope struct {
 	s       *Server
 	id      string
+	route   *routeStats
+	span    *obs.Span
 	start   time.Time
 	release func()
 	done    bool
@@ -224,10 +258,13 @@ type reqScope struct {
 
 // begin runs the shared admission path for a v1 solve/churn request:
 // method check, drain check, queue admission (429 on saturation), request-id
-// assignment, and request_start telemetry. When ok is false the response has
-// already been written.
-func (s *Server) begin(w http.ResponseWriter, r *http.Request, method string) (*reqScope, bool) {
+// assignment, and request_start telemetry. route labels the per-route series
+// and names the request's root span ("request.solve" / "request.churn").
+// When ok is false the response has already been written.
+func (s *Server) begin(w http.ResponseWriter, r *http.Request, method, route string) (*reqScope, bool) {
+	rt := s.routes[route]
 	s.col.Count(obs.CtrSrvRequests, 1)
+	s.col.Count(rt.requests, 1)
 	if r.Method != method {
 		w.Header().Set("Allow", method)
 		writeError(w, "", errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
@@ -237,6 +274,7 @@ func (s *Server) begin(w http.ResponseWriter, r *http.Request, method string) (*
 	id := requestID(r, &s.reqSeq)
 	if s.draining.Load() {
 		s.col.Count(obs.CtrSrvDraining, 1)
+		s.col.Count(rt.rejected, 1)
 		w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
 		writeError(w, id, errf(http.StatusServiceUnavailable, CodeDraining,
 			"server is draining; retry against another instance"))
@@ -244,6 +282,7 @@ func (s *Server) begin(w http.ResponseWriter, r *http.Request, method string) (*
 	}
 	if !s.adm.tryAdmit() {
 		s.col.Count(obs.CtrSrvQueueFull, 1)
+		s.col.Count(rt.rejected, 1)
 		w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
 		writeError(w, id, errf(http.StatusTooManyRequests, CodeQueueFull,
 			"admission queue full (%d running + %d queued); retry after backoff",
@@ -254,10 +293,13 @@ func (s *Server) begin(w http.ResponseWriter, r *http.Request, method string) (*
 	s.wg.Add(1)
 	n := s.inFlight.Add(1)
 	s.col.Gauge(obs.GaugeSrvInFlight, float64(n))
+	s.col.Gauge(rt.inFlight, float64(rt.n.Add(1)))
 	s.col.Gauge(obs.GaugeSrvQueued, float64(s.adm.queued()))
-	s.col.Emit(obs.Event{Type: obs.EvRequestStart, Alg: id,
+	s.col.Emit(obs.Event{Type: obs.EvRequestStart, Alg: id, Trace: id,
 		Fields: map[string]float64{"in_flight": float64(n)}})
-	return &reqScope{s: s, id: id, start: time.Now(), release: s.adm.releaseAdmit}, true
+	span := obs.StartSpan(s.col, id, "request."+route)
+	return &reqScope{s: s, id: id, route: rt, span: span,
+		start: time.Now(), release: s.adm.releaseAdmit}, true
 }
 
 // end closes the scope; status is the HTTP code the handler answered with.
@@ -271,10 +313,14 @@ func (sc *reqScope) end(status int) {
 	n := sc.s.inFlight.Add(-1)
 	wall := time.Since(sc.start).Nanoseconds()
 	sc.s.col.Gauge(obs.GaugeSrvInFlight, float64(n))
+	sc.s.col.Gauge(sc.route.inFlight, float64(sc.route.n.Add(-1)))
 	sc.s.col.Gauge(obs.GaugeSrvQueued, float64(sc.s.adm.queued()))
 	sc.s.col.TimeNS(obs.TimSrvRequest, wall)
-	sc.s.col.Emit(obs.Event{Type: obs.EvRequestEnd, Alg: sc.id,
+	sc.s.col.TimeNS(sc.route.latency, wall)
+	sc.s.col.Emit(obs.Event{Type: obs.EvRequestEnd, Alg: sc.id, Trace: sc.id,
 		Fields: map[string]float64{"status": float64(status), "wall_ns": float64(wall)}})
+	sc.span.SetAttr("status", float64(status))
+	sc.span.End()
 	sc.s.wg.Done()
 }
 
@@ -371,18 +417,44 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
+	uptime := time.Since(s.start)
 	writeJSON(w, "", http.StatusOK, HealthV1{
-		Status:   status,
-		InFlight: int(s.inFlight.Load()),
-		Queued:   s.adm.queued(),
-		UptimeNS: time.Since(s.start).Nanoseconds(),
+		Status:        status,
+		Draining:      s.draining.Load(),
+		InFlight:      int(s.inFlight.Load()),
+		Queued:        s.adm.queued(),
+		UptimeNS:      uptime.Nanoseconds(),
+		UptimeSeconds: uptime.Seconds(),
 	})
 }
 
-// handleMetrics answers GET /metrics with the server collector's snapshot.
+// handleMetrics answers GET /metrics with the server collector's state,
+// content-negotiated: a Prometheus scraper asking for text/plain (or
+// OpenMetrics) gets the text exposition format, everything else gets the
+// JSON snapshot exactly as before.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if promAccepted(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = s.metrics.WriteProm(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.metrics.WriteJSON(w)
+}
+
+// promAccepted reports whether the Accept header asks for the Prometheus
+// text format: any listed media type of text/plain or
+// application/openmetrics-text. Wildcards and an absent header keep the
+// JSON default, so existing clients are untouched.
+func promAccepted(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		switch strings.TrimSpace(mt) {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
 }
 
 // solveContext merges the three cancellation sources a solve runs under:

@@ -19,7 +19,7 @@ import (
 // the result — complete, or the anytime prefix with "partial": true when the
 // deadline (or a drain) cut the solve short.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	sc, ok := s.begin(w, r, http.MethodPost)
+	sc, ok := s.begin(w, r, http.MethodPost, routeSolve)
 	if !ok {
 		return
 	}
@@ -63,12 +63,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.solveContext(r, req.DeadlineMS)
 	defer cancel()
+	queueSpan := sc.span.Child("queue")
 	if err := s.adm.acquire(ctx); err != nil {
+		queueSpan.SetAttr("expired", 1)
+		queueSpan.End()
 		w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
 		sc.fail(w, errf(http.StatusServiceUnavailable, CodeDeadlineQueued,
 			"deadline expired while queued for a worker slot: %v", err))
 		return
 	}
+	queueSpan.End()
 	defer s.adm.release()
 
 	// Per-request metrics ride alongside the server-wide collector: the
@@ -98,12 +102,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The solve span is the parent every per-round span hangs off: the
+	// solver's roundScope picks it up from the context, so one request
+	// yields a request.solve → solve → round tree keyed by the request ID.
+	solveSpan := sc.span.Child("solve")
+	solveSpan.SetAttr("k", float64(req.K))
+	solveSpan.SetAttr("n", float64(in.N()))
 	start := time.Now()
-	res, runErr := alg.Run(ctx, in, req.K)
+	res, runErr := alg.Run(obs.ContextWithSpan(ctx, solveSpan), in, req.K)
 	wall := time.Since(start).Nanoseconds()
 	partial := false
 	if runErr != nil {
 		if res == nil || ctx.Err() == nil {
+			solveSpan.SetAttr("failed", 1)
+			solveSpan.End()
 			sc.fail(w, errf(http.StatusInternalServerError, CodeSolveFailed, "%v", runErr))
 			return
 		}
@@ -111,7 +123,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// it committed. That is a successful (partial) response.
 		partial = true
 		s.col.Count(obs.CtrSrvPartial, 1)
+		solveSpan.SetAttr("partial", 1)
 	}
+	solveSpan.SetAttr("rounds", float64(len(res.Gains)))
+	solveSpan.SetAttr("total", res.Total)
+	solveSpan.End()
 
 	resp := SolveResponseV1{
 		RequestID: sc.id,

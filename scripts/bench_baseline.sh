@@ -8,7 +8,11 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-100ms}"
 
-go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . ./internal/reward ./internal/spatial |
+# ./internal/load contributes the serving-side numbers: BenchmarkServeSolve
+# and BenchmarkServeChurn run one HTTP request per iteration against an
+# in-process cdserved, so the end-to-end request path has a tracked
+# latency trajectory alongside the solver kernels.
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . ./internal/reward ./internal/spatial ./internal/load |
 	tee /dev/stderr |
 	go run ./cmd/benchjson > BENCH_baseline.json
 

@@ -97,6 +97,30 @@ curl -sf -X POST --data-binary @"$BIN/served_req.json" "$base/v1/solve" >"$BIN/s
 	{ kill "$SERVED_PID" 2>/dev/null || true; fail "cdserved POST /v1/solve failed"; }
 grep -q '"total":' "$BIN/served_solve.json" ||
 	fail "cdserved solve response lacks a total: $(cat "$BIN/served_solve.json")"
+
+echo "==> cdserved: /metrics content-negotiates the Prometheus text format"
+curl -sf -H 'Accept: text/plain' "$base/metrics" >"$BIN/served_prom.txt" ||
+	{ kill "$SERVED_PID" 2>/dev/null || true; fail "cdserved /metrics (text/plain) unreachable"; }
+grep -q '^cd_serve_requests_total ' "$BIN/served_prom.txt" ||
+	fail "prometheus exposition lacks cd_serve_requests_total: $(head -5 "$BIN/served_prom.txt")"
+grep -q '^# TYPE cd_serve_route_request_seconds histogram' "$BIN/served_prom.txt" ||
+	fail "prometheus exposition lacks the per-route latency histogram"
+grep -q '_ns ' "$BIN/served_prom.txt" &&
+	fail "prometheus exposition leaked a nanosecond metric name"
+curl -sf "$base/metrics" | grep -q '"counters"' ||
+	fail "cdserved /metrics default JSON output lost"
+
+echo "==> cdload: sustain mixed load, zero 5xx, sane p99"
+status=0
+"$BIN/cdload" -url "$base" -rate 80 -duration 2s -churn 0.25 -n 60 -seed 7 \
+	-max-5xx 0 -slo-p99 10s >"$BIN/load.out" 2>&1 || status=$?
+[ "$status" -eq 0 ] ||
+	{ kill "$SERVED_PID" 2>/dev/null || true; fail "cdload exited $status: $(cat "$BIN/load.out")"; }
+grep -q "rates:" "$BIN/load.out" ||
+	fail "cdload output lacks the SLO rates line: $(cat "$BIN/load.out")"
+grep -q "throughput" "$BIN/load.out" ||
+	fail "cdload output lacks the throughput line"
+
 kill -TERM "$SERVED_PID"
 status=0
 wait "$SERVED_PID" || status=$?
