@@ -24,8 +24,8 @@ smoke:
 	./scripts/smoke.sh
 
 # SLO harness: boot cdserved and drive it with cdload's open-loop Poisson
-# generator; RATE/DURATION/CHURN/SLO_P99/MAX_5XX/URL tune the run (see
-# scripts/load.sh).
+# generator; RATE/DURATION/CHURN/DUP/SLO_P99/MAX_5XX/URL tune the run (see
+# scripts/load.sh). DUP>0 replays duplicate solves to exercise the cache.
 load:
 	./scripts/load.sh
 

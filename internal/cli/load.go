@@ -24,6 +24,7 @@ func Load(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer)
 		rate     = fs.Float64("rate", 50, "offered load in requests per second (Poisson arrivals)")
 		duration = fs.Duration("duration", 10*time.Second, "how long to generate arrivals")
 		churn    = fs.Float64("churn", 0, "fraction of arrivals that are /v1/churn requests, in [0,1]")
+		dup      = fs.Float64("dup", 0, "fraction of solve arrivals replaying a previous body (cache hits), in [0,1]; the rest get fresh unique instances")
 		n        = fs.Int("n", 200, "users per generated instance")
 		dim      = fs.Int("dim", 2, "instance dimensionality")
 		k        = fs.Int("k", 4, "broadcast contents per request")
@@ -48,6 +49,7 @@ func Load(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer)
 		Rate:          *rate,
 		Duration:      *duration,
 		ChurnFraction: *churn,
+		DupFraction:   *dup,
 		N:             *n,
 		Dim:           *dim,
 		K:             *k,

@@ -31,6 +31,7 @@ func Served(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 		retryAfter  = fs.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint on 429/503 responses")
 		maxDeadline = fs.Duration("max-deadline", 0, "cap every request's deadline_ms; requests asking for more (or none) run under this cap (0 = uncapped)")
 		drainGrace  = fs.Duration("drain-grace", 10*time.Second, "time in-flight solves get to finish on SIGTERM before cancellation")
+		cacheBytes  = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "solve-result cache budget in bytes (0 disables caching and request collapsing)")
 		metrics     = fs.String("metrics", "", "write the final telemetry snapshot as JSON to this file at drain ('-' = stdout)")
 		events      = fs.String("events", "", "stream telemetry events (request lifecycle + solver rounds) as JSONL to this file")
 	)
@@ -45,12 +46,17 @@ func Served(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	if qd == 0 {
 		qd = -1 // Config's "no waiting"; its 0 means the default depth
 	}
+	cb := *cacheBytes
+	if cb == 0 {
+		cb = -1 // Config's "caching off"; its 0 means the default budget
+	}
 	srv := serve.New(serve.Config{
 		Workers:     *workers,
 		QueueDepth:  qd,
 		MaxBody:     *maxBody,
 		RetryAfter:  *retryAfter,
 		MaxDeadline: *maxDeadline,
+		CacheBytes:  cb,
 		Obs:         tel.Collector(),
 	})
 	ln, err := net.Listen("tcp", *addr)

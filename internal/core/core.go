@@ -170,21 +170,27 @@ func Instrument(a Algorithm, c obs.Collector) Algorithm {
 type roundScope struct {
 	c     obs.Collector
 	alg   string
+	trace string
 	round int
 	timer obs.Timer
 	span  *obs.Span
 }
 
 // startRound opens an instrumented round scope. With an inactive collector
-// it returns an inert scope at zero cost beyond the branch.
+// it returns an inert scope at zero cost beyond the branch. Round events
+// carry the ambient span's trace (request) ID, so consumers joining rounds
+// back to a request — the serving layer's per-round telemetry — can filter
+// by the request instead of trusting round numbers alone.
 func startRound(ctx context.Context, c obs.Collector, alg string, round int) roundScope {
 	if !obs.Active(c) {
 		return roundScope{}
 	}
-	c.Emit(obs.Event{Type: obs.EvRoundStart, Alg: alg, Round: round})
-	sp := obs.SpanFromContext(ctx).Child("round")
+	parent := obs.SpanFromContext(ctx)
+	trace := parent.TraceID()
+	c.Emit(obs.Event{Type: obs.EvRoundStart, Alg: alg, Round: round, Trace: trace})
+	sp := parent.Child("round")
 	sp.SetAttr("round", float64(round))
-	return roundScope{c: c, alg: alg, round: round,
+	return roundScope{c: c, alg: alg, trace: trace, round: round,
 		timer: obs.StartTimer(c, obs.TimRound), span: sp}
 }
 
@@ -205,7 +211,8 @@ func (rs roundScope) end(gain float64, extra map[string]float64) {
 		fields[k] = v
 	}
 	rs.c.Count(obs.CtrRounds, 1)
-	rs.c.Emit(obs.Event{Type: obs.EvRoundEnd, Alg: rs.alg, Round: rs.round, Fields: fields})
+	rs.c.Emit(obs.Event{Type: obs.EvRoundEnd, Alg: rs.alg, Round: rs.round,
+		Trace: rs.trace, Fields: fields})
 	rs.span.SetAttr("gain", gain)
 	for k, v := range extra {
 		rs.span.SetAttr(k, v)

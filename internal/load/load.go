@@ -72,6 +72,15 @@ type Config struct {
 	// DeadlineMS is the per-request deadline forwarded to the server; 0
 	// sends none.
 	DeadlineMS int64
+	// DupFraction is the probability a solve arrival replays a previously
+	// sent solve body — a guaranteed byte-identical duplicate, so a caching
+	// server answers it from the solve cache (or collapses it onto an
+	// in-flight identical solve). When positive, non-duplicate solve
+	// arrivals each get a freshly generated unique instance (a guaranteed
+	// cache miss) instead of drawing from the small shared pool, so the
+	// hit/miss split in the report is controlled by this knob alone.
+	// 0 (the default) keeps the pooled-body behavior.
+	DupFraction float64
 	// Seed fixes the instance pool and all arrival randomness.
 	Seed uint64
 	// Timeout bounds each HTTP request client-side; 0 = DefaultTimeout.
@@ -133,13 +142,21 @@ func (c Config) validate() error {
 	if c.ChurnFraction < 0 || c.ChurnFraction > 1 || math.IsNaN(c.ChurnFraction) {
 		return fmt.Errorf("load: churn fraction = %v, want in [0, 1]", c.ChurnFraction)
 	}
+	if c.DupFraction < 0 || c.DupFraction > 1 || math.IsNaN(c.DupFraction) {
+		return fmt.Errorf("load: dup fraction = %v, want in [0, 1]", c.DupFraction)
+	}
 	return nil
 }
 
-// Request kinds.
+// Request kinds. KindSolveHit and KindSolveMiss are latency sub-kinds of
+// solve: every 200 solve response files under KindSolve and additionally
+// under hit or miss per its "cached" field, so a -dup run reports the two
+// serving paths' quantiles separately.
 const (
-	KindSolve = "solve"
-	KindChurn = "churn"
+	KindSolve     = "solve"
+	KindChurn     = "churn"
+	KindSolveHit  = "hit"
+	KindSolveMiss = "miss"
 )
 
 // Outcome classes a completed request is filed under.
@@ -165,15 +182,67 @@ func (p *bodyPool) pick(rng *xrand.Rand) []byte {
 	return p.bodies[rng.Intn(len(p.bodies))]
 }
 
+// instanceBox is the generation domain: the paper's [0,4]^dim box.
+func instanceBox(dim int) pointset.Box {
+	lo, hi := make(vec.V, dim), make(vec.V, dim)
+	for d := range hi {
+		hi[d] = 4
+	}
+	return pointset.Box{Lo: lo, Hi: hi}
+}
+
+// solveBody generates one freshly sampled solve request body.
+func solveBody(cfg Config, box pointset.Box, rng *xrand.Rand) ([]byte, error) {
+	set, err := pointset.GenUniform(cfg.N, box, pointset.UnitWeight, rng)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(serve.SolveRequestV1{
+		Instance: set, Radius: cfg.Radius, K: cfg.K, Solver: cfg.Solver,
+		DeadlineMS: cfg.DeadlineMS,
+	})
+}
+
+// dupHistoryCap bounds the replayable-body history in dup mode; a full
+// history replaces a random slot, so replays stay spread over recent work.
+const dupHistoryCap = 512
+
+// solveSource picks the next solve request body. In pooled mode (DupFraction
+// 0) it draws from the small pre-generated pool. In dup mode a duplicate
+// arrival replays a random previously sent body byte-for-byte, and every
+// other arrival generates a fresh unique instance — a guaranteed cache miss
+// — and records it for future replay.
+type solveSource struct {
+	cfg     Config
+	box     pointset.Box
+	pool    *bodyPool
+	history [][]byte
+}
+
+func (s *solveSource) next(rng *xrand.Rand) ([]byte, error) {
+	if s.cfg.DupFraction <= 0 {
+		return s.pool.pick(rng), nil
+	}
+	if len(s.history) > 0 && rng.Float64() < s.cfg.DupFraction {
+		return s.history[rng.Intn(len(s.history))], nil
+	}
+	body, err := solveBody(s.cfg, s.box, rng)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.history) < dupHistoryCap {
+		s.history = append(s.history, body)
+	} else {
+		s.history[rng.Intn(len(s.history))] = body
+	}
+	return body, nil
+}
+
 // genBodies builds the deterministic request-body pool. Solve and churn
 // requests reuse the serving wire schema types, so the harness can never
 // drift from the API it measures.
 func genBodies(cfg Config, rng *xrand.Rand) (solve, churn *bodyPool, err error) {
-	lo, hi := make(vec.V, cfg.Dim), make(vec.V, cfg.Dim)
-	for d := range hi {
-		hi[d] = 4
-	}
-	box := pointset.Box{Lo: lo, Hi: hi}
+	box := instanceBox(cfg.Dim)
 	solve = &bodyPool{kind: KindSolve, path: "/v1/solve"}
 	churn = &bodyPool{kind: KindChurn, path: "/v1/churn"}
 	for i := 0; i < cfg.Bodies; i++ {
@@ -238,11 +307,20 @@ func newRecorder() *recorder {
 	}
 }
 
-func (r *recorder) add(kind, class string, lat time.Duration) {
+func (r *recorder) add(kind, class string, lat time.Duration, cached bool) {
 	r.mu.Lock()
 	r.counts[kind][class]++
 	if class == ClassOK || class == ClassPartial {
 		r.lats[kind] = append(r.lats[kind], lat)
+		if kind == KindSolve {
+			// The hit/miss sub-kinds split the same samples by serving
+			// path; buildReport keeps them out of the "all" merge.
+			sub := KindSolveMiss
+			if cached {
+				sub = KindSolveHit
+			}
+			r.lats[sub] = append(r.lats[sub], lat)
+		}
 	}
 	r.mu.Unlock()
 }
@@ -263,6 +341,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	solveSrc := &solveSource{cfg: cfg, box: instanceBox(cfg.Dim), pool: solvePool}
 
 	client := &http.Client{Timeout: cfg.Timeout}
 	rec := newRecorder()
@@ -302,18 +381,25 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		mu.Unlock()
 		if over {
-			rec.add(pool.kind, ClassDropped, 0)
+			rec.add(pool.kind, ClassDropped, 0, false)
 			continue
 		}
 		sent++
 		seq++
 		id := "load-" + strconv.FormatInt(seq, 10)
-		body := pool.pick(rng)
+		var body []byte
+		if pool.kind == KindSolve {
+			if body, err = solveSrc.next(rng); err != nil {
+				return nil, err
+			}
+		} else {
+			body = pool.pick(rng)
+		}
 		wg.Add(1)
 		go func(pool *bodyPool, body []byte, id string) {
 			defer wg.Done()
-			class, lat := fire(client, cfg.BaseURL, pool, body, id)
-			rec.add(pool.kind, class, lat)
+			class, cached, lat := fire(client, cfg.BaseURL, pool, body, id)
+			rec.add(pool.kind, class, lat, cached)
 			mu.Lock()
 			inFlight--
 			mu.Unlock()
@@ -328,58 +414,61 @@ done:
 // fire sends one request and classifies the outcome. Latency is measured
 // from just before the request is written to the full response body having
 // been read — for churn streams that includes every period line, which is
-// what a real client pays.
-func fire(client *http.Client, base string, pool *bodyPool, body []byte, id string) (string, time.Duration) {
+// what a real client pays. cached reports whether a 200 solve response was
+// served from the target's solve cache.
+func fire(client *http.Client, base string, pool *bodyPool, body []byte, id string) (string, bool, time.Duration) {
 	req, err := http.NewRequest(http.MethodPost, base+pool.path, bytes.NewReader(body))
 	if err != nil {
-		return ClassError, 0
+		return ClassError, false, 0
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-ID", id)
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return ClassError, time.Since(t0)
+		return ClassError, false, time.Since(t0)
 	}
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		partial, err := readResult(pool.kind, resp.Body)
+		partial, cached, err := readResult(pool.kind, resp.Body)
 		lat := time.Since(t0)
 		if err != nil {
-			return ClassError, lat
+			return ClassError, false, lat
 		}
 		if partial {
-			return ClassPartial, lat
+			return ClassPartial, cached, lat
 		}
-		return ClassOK, lat
+		return ClassOK, cached, lat
 	case resp.StatusCode == http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
-		return Class429, time.Since(t0)
+		return Class429, false, time.Since(t0)
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
-		return Class503, time.Since(t0)
+		return Class503, false, time.Since(t0)
 	case resp.StatusCode >= 500:
 		io.Copy(io.Discard, resp.Body)
-		return Class5xx, time.Since(t0)
+		return Class5xx, false, time.Since(t0)
 	default:
 		io.Copy(io.Discard, resp.Body)
-		return Class4xx, time.Since(t0)
+		return Class4xx, false, time.Since(t0)
 	}
 }
 
 // readResult consumes a 200 response body and reports whether the result
-// was partial (deadline- or drain-bounded).
-func readResult(kind string, body io.Reader) (partial bool, err error) {
+// was partial (deadline- or drain-bounded) and, for solves, whether it was
+// served from the solve cache.
+func readResult(kind string, body io.Reader) (partial, cached bool, err error) {
 	if kind == KindSolve {
 		var res struct {
 			Partial bool `json:"partial"`
+			Cached  bool `json:"cached"`
 		}
 		if err := json.NewDecoder(body).Decode(&res); err != nil {
-			return false, err
+			return false, false, err
 		}
 		io.Copy(io.Discard, body)
-		return res.Partial, nil
+		return res.Partial, res.Cached, nil
 	}
 	// Churn: an ndjson stream; the summary (or error) line decides.
 	sc := bufio.NewScanner(body)
@@ -399,10 +488,10 @@ func readResult(kind string, body io.Reader) (partial bool, err error) {
 			} `json:"error"`
 		}
 		if err := json.Unmarshal(line, &l); err != nil {
-			return false, err
+			return false, false, err
 		}
 		if l.Error != nil {
-			return false, fmt.Errorf("load: in-band churn error %q", l.Error.Code)
+			return false, false, fmt.Errorf("load: in-band churn error %q", l.Error.Code)
 		}
 		if l.Summary != nil {
 			sawSummary = true
@@ -410,10 +499,10 @@ func readResult(kind string, body io.Reader) (partial bool, err error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return false, err
+		return false, false, err
 	}
 	if !sawSummary {
-		return false, errors.New("load: churn stream ended without a summary line")
+		return false, false, errors.New("load: churn stream ended without a summary line")
 	}
-	return partial, nil
+	return partial, false, nil
 }

@@ -77,6 +77,55 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 }
 
+// TestRunDupMode drives a caching server with -dup-style duplicate replays
+// and checks the report splits solve latencies into hit and miss paths with
+// a meaningful hit rate.
+func TestRunDupMode(t *testing.T) {
+	ts := newTarget(t)
+	rep := runShort(t, load.Config{
+		BaseURL:     ts.URL,
+		Rate:        150,
+		Duration:    400 * time.Millisecond,
+		DupFraction: 0.5,
+		N:           40,
+		Seed:        9,
+	})
+	hits, misses := rep.CacheHits(), rep.CacheMisses()
+	if misses == 0 {
+		t.Fatal("dup run recorded no cache misses (fresh instances must miss)")
+	}
+	if hits == 0 {
+		t.Fatalf("dup run recorded no cache hits (counts %v, latency %v)", rep.Counts, rep.Latency)
+	}
+	if hits+misses != rep.Latency[load.KindSolve].Count {
+		t.Fatalf("hit %d + miss %d != solve %d: sub-kinds must partition solves",
+			hits, misses, rep.Latency[load.KindSolve].Count)
+	}
+	if hr := rep.HitRate(); hr <= 0 || hr >= 1 {
+		t.Errorf("hit rate = %v, want strictly between 0 and 1", hr)
+	}
+	// Solve-only samples enter "all" exactly once, not re-counted per
+	// sub-kind.
+	if all := rep.Latency["all"].Count; all != rep.Completed() {
+		t.Fatalf("merged latency count = %d, want %d", all, rep.Completed())
+	}
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	if !strings.Contains(buf.String(), "hit rate") {
+		t.Errorf("Print output missing the cache line:\n%s", buf.String())
+	}
+}
+
+// TestDupModeValidation rejects out-of-range dup fractions.
+func TestDupModeValidation(t *testing.T) {
+	for _, frac := range []float64{-0.1, 1.5} {
+		cfg := load.Config{BaseURL: "http://x", Rate: 10, Duration: time.Second, DupFraction: frac}
+		if _, err := load.Run(context.Background(), cfg); err == nil {
+			t.Errorf("dup fraction %v: expected a validation error", frac)
+		}
+	}
+}
+
 // TestRunValidation checks each rejected configuration shape.
 func TestRunValidation(t *testing.T) {
 	bad := []load.Config{
@@ -209,9 +258,12 @@ func TestCheckSLOFailures(t *testing.T) {
 // Serving-side benchmarks: in-process client → httptest server → real
 // solver, one request per iteration. These feed BENCH_baseline.json so the
 // serving path has a tracked latency trajectory alongside the kernels.
-func benchServe(b *testing.B, path string, body []byte) {
+// Solve and churn run with the cache disabled so they keep measuring the
+// full solve path; the Hit variant runs the default caching config, where
+// every iteration after the first is a cache hit.
+func benchServe(b *testing.B, cfg serve.Config, path string, body []byte) {
 	b.Helper()
-	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	ts := httptest.NewServer(serve.New(cfg).Handler())
 	defer ts.Close()
 	client := ts.Client()
 	b.ResetTimer()
@@ -244,10 +296,15 @@ func requestBody(b *testing.B, kind string) (string, []byte) {
 
 func BenchmarkServeSolve(b *testing.B) {
 	path, body := requestBody(b, load.KindSolve)
-	benchServe(b, path, body)
+	benchServe(b, serve.Config{CacheBytes: -1}, path, body)
+}
+
+func BenchmarkServeSolveHit(b *testing.B) {
+	path, body := requestBody(b, load.KindSolve)
+	benchServe(b, serve.Config{}, path, body)
 }
 
 func BenchmarkServeChurn(b *testing.B) {
 	path, body := requestBody(b, load.KindChurn)
-	benchServe(b, path, body)
+	benchServe(b, serve.Config{CacheBytes: -1}, path, body)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -51,19 +52,33 @@ func summarize(lats []time.Duration) LatSummary {
 	for _, l := range sorted {
 		sum += l
 	}
-	q := func(p float64) time.Duration {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
-	}
 	return LatSummary{
 		Count: len(sorted),
 		Min:   sorted[0],
 		Max:   sorted[len(sorted)-1],
 		Mean:  sum / time.Duration(len(sorted)),
-		P50:   q(0.50),
-		P90:   q(0.90),
-		P99:   q(0.99),
+		P50:   quantile(sorted, 0.50),
+		P90:   quantile(sorted, 0.90),
+		P99:   quantile(sorted, 0.99),
 	}
+}
+
+// quantile returns the nearest-rank p-quantile of a sorted slice: the
+// smallest element such that at least p·n of the samples are <= it, i.e.
+// sorted[ceil(p·n)−1]. The obvious index int(p·(n−1)) truncates toward zero
+// and systematically understates upper tails — with n=10 it reports the 9th
+// sample as p99 when the nearest-rank answer is the 10th (the max), which is
+// exactly the sample an SLO check cares about.
+func quantile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
 }
 
 func buildReport(cfg Config, elapsed time.Duration, sent int64, rec *recorder) *Report {
@@ -92,7 +107,11 @@ func buildReport(cfg Config, elapsed time.Duration, sent int64, rec *recorder) *
 			continue
 		}
 		r.Latency[kind] = summarize(lats)
-		all = append(all, lats...)
+		// The hit/miss sub-kinds re-file solve samples by serving path;
+		// merging them too would double-count every solve in "all".
+		if kind != KindSolveHit && kind != KindSolveMiss {
+			all = append(all, lats...)
+		}
 	}
 	if len(all) > 0 {
 		r.Latency["all"] = summarize(all)
@@ -135,6 +154,20 @@ func (r *Report) ErrorRate() float64   { return r.rate(ClassError) + r.rate(Clas
 func (r *Report) RejectRate() float64  { return r.rate(Class429) + r.rate(Class503) }
 func (r *Report) PartialRate() float64 { return r.rate(ClassPartial) }
 
+// CacheHits and CacheMisses count completed solve responses by serving path
+// (a response is a hit when the server answered it from its solve cache).
+func (r *Report) CacheHits() int   { return r.Latency[KindSolveHit].Count }
+func (r *Report) CacheMisses() int { return r.Latency[KindSolveMiss].Count }
+
+// HitRate is the fraction of completed solves served from the cache.
+func (r *Report) HitRate() float64 {
+	total := r.CacheHits() + r.CacheMisses()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits()) / float64(total)
+}
+
 // Print writes the human-readable SLO report.
 func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "load: %.1f req/s offered for %v (%s)\n",
@@ -170,6 +203,10 @@ func (r *Report) Print(w io.Writer) {
 			kind, s.P50.Round(time.Microsecond), s.P90.Round(time.Microsecond),
 			s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond), s.Count)
 	}
+	if hits, misses := r.CacheHits(), r.CacheMisses(); hits > 0 || misses > 0 {
+		fmt.Fprintf(w, "  cache: hits=%d  misses=%d  hit rate=%.1f%%\n",
+			hits, misses, 100*r.HitRate())
+	}
 	fmt.Fprintf(w, "  rates: error=%.2f%%  reject=%.2f%%  partial=%.2f%%\n",
 		100*r.ErrorRate(), 100*r.RejectRate(), 100*r.PartialRate())
 }
@@ -196,9 +233,11 @@ func (r *Report) CheckSLO(maxP99 time.Duration, max5xx int) error {
 // the -procs suffix), so cdload baselines and piped bench text key
 // identically in `benchjson -diff`.
 const (
-	BenchSolve = "BenchmarkLoadServeSolve"
-	BenchChurn = "BenchmarkLoadServeChurn"
-	BenchAll   = "BenchmarkLoadServeAll"
+	BenchSolve     = "BenchmarkLoadServeSolve"
+	BenchChurn     = "BenchmarkLoadServeChurn"
+	BenchSolveHit  = "BenchmarkLoadServeSolveHit"
+	BenchSolveMiss = "BenchmarkLoadServeSolveMiss"
+	BenchAll       = "BenchmarkLoadServeAll"
 )
 
 // benchRecord mirrors cmd/benchjson's Result shape.
@@ -223,6 +262,10 @@ func benchName(kind string) string {
 		return BenchSolve
 	case KindChurn:
 		return BenchChurn
+	case KindSolveHit:
+		return BenchSolveHit
+	case KindSolveMiss:
+		return BenchSolveMiss
 	default:
 		return BenchAll
 	}

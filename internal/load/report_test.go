@@ -1,0 +1,76 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// seq returns [1ms, 2ms, ..., n ms] — distinct values whose sorted rank
+// equals their millisecond count, so expected quantiles read directly.
+func seq(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return out
+}
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// TestQuantileNearestRank pins the nearest-rank definition: the p-quantile of
+// n samples is the ceil(p·n)-th smallest. The rows marked with a comment are
+// the ones the old truncating index int(p·(n−1)) got wrong.
+func TestQuantileNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		{"p50 odd", 5, 0.50, ms(3)},
+		{"p50 even", 10, 0.50, ms(5)},
+		{"p50 single", 1, 0.50, ms(1)},
+		{"p90 of 10", 10, 0.90, ms(9)},
+		{"p99 of 10", 10, 0.99, ms(10)}, // old formula: ms(9)
+		{"p99 of 100", 100, 0.99, ms(99)},
+		{"p99 of 150", 150, 0.99, ms(149)}, // old formula: ms(148)
+		{"p99 of 200", 200, 0.99, ms(198)},
+		{"p90 of 15", 15, 0.90, ms(14)}, // old formula: ms(13)
+		{"p100 max", 10, 1.00, ms(10)},
+		{"p0 min", 10, 0.0, ms(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := quantile(seq(tc.n), tc.p); got != tc.want {
+				t.Fatalf("quantile(n=%d, p=%v) = %v, want %v", tc.n, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSummarizeQuantiles pins the full summary over an unsorted sample so a
+// regression in either the sort or the index math is caught by exact values.
+func TestSummarizeQuantiles(t *testing.T) {
+	// 10 samples in scrambled order: 1..10 ms.
+	lats := []time.Duration{ms(7), ms(1), ms(10), ms(4), ms(2), ms(9), ms(5), ms(3), ms(8), ms(6)}
+	s := summarize(lats)
+	if s.Count != 10 || s.Min != ms(1) || s.Max != ms(10) {
+		t.Fatalf("count/min/max = %d/%v/%v, want 10/1ms/10ms", s.Count, s.Min, s.Max)
+	}
+	if want := ms(55) / 10; s.Mean != want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+	if s.P50 != ms(5) {
+		t.Fatalf("p50 = %v, want %v", s.P50, ms(5))
+	}
+	if s.P90 != ms(9) {
+		t.Fatalf("p90 = %v, want %v", s.P90, ms(9))
+	}
+	// The tail sample: p99 over 10 samples must be the max, not the 9th.
+	if s.P99 != ms(10) {
+		t.Fatalf("p99 = %v, want %v (nearest rank must reach the max)", s.P99, ms(10))
+	}
+	if (summarize(nil) != LatSummary{}) {
+		t.Fatalf("summarize(nil) = %+v, want zero", summarize(nil))
+	}
+}

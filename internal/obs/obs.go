@@ -45,9 +45,11 @@ type Event struct {
 	Round  int                `json:"round,omitempty"`
 	Fields map[string]float64 `json:"fields,omitempty"`
 
-	// Trace is the request/trace ID the event belongs to; span events and
-	// (when serving) per-period churn events carry it so a server-wide JSONL
-	// stream can be partitioned by request.
+	// Trace is the request/trace ID the event belongs to; span events,
+	// round events, and (when serving) per-period churn events carry it so a
+	// server-wide JSONL stream can be partitioned by request. On round
+	// events it is taken from the ambient span, so it is empty outside the
+	// serving layer.
 	Trace string `json:"trace,omitempty"`
 	// Span and Parent are span IDs linking span_start/span_end events into a
 	// tree (Parent is empty on a root span); Name is the span's operation
@@ -143,6 +145,19 @@ const (
 	CtrChurnDeltas   = "churn.incremental_deltas"
 	CtrChurnRebuilds = "churn.full_rebuilds"
 	ObsWarmImprove   = "churn.warmstart_improvement"
+
+	// Solve-result cache series (internal/cache wired through the serving
+	// layer). Hits/misses/collapsed/bypass are counted by the serving layer
+	// per lookup outcome; evictions and the bytes/entries gauges are
+	// maintained by the cache itself as entries come and go. WriteProm
+	// renders them as cd_cache_hits_total, cd_cache_bytes, and so on.
+	CtrCacheHits      = "cache.hits"
+	CtrCacheMisses    = "cache.misses"
+	CtrCacheEvictions = "cache.evictions"
+	CtrCacheCollapsed = "cache.collapsed"
+	CtrCacheBypass    = "cache.bypass"
+	GaugeCacheBytes   = "cache.bytes"
+	GaugeCacheEntries = "cache.entries"
 
 	CtrSrvRequests   = "serve.requests"
 	CtrSrvAccepted   = "serve.accepted"

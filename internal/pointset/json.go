@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/vec"
 )
@@ -39,10 +40,13 @@ func (s *Set) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON implements json.Unmarshaler with the same validation rules
-// as New: a non-empty point list, consistent dimensions (ErrDim otherwise),
-// finite coordinates, and non-negative finite weights. Note that standard
-// JSON cannot carry NaN or infinity literals, so non-finite rejection guards
+// UnmarshalJSON implements json.Unmarshaler and is the wire boundary's
+// validator: everything New checks, enforced here with decode-flavored
+// errors, plus the wire-only holes New cannot see. A non-empty point list, a
+// positive dimension (an empty row like [[]] must not produce a dim-0 set),
+// consistent dimensions (ErrDim otherwise), a weight per point, finite
+// coordinates, and non-negative finite weights. Note that standard JSON
+// cannot carry NaN or infinity literals, so non-finite rejection guards
 // against values like 1e999 that overflow to +Inf as well as future non-JSON
 // decoders reusing this path.
 func (s *Set) UnmarshalJSON(data []byte) error {
@@ -57,9 +61,17 @@ func (s *Set) UnmarshalJSON(data []byte) error {
 	if dim == 0 {
 		dim = len(raw.Points[0])
 	}
+	if dim < 1 {
+		return fmt.Errorf("pointset: decode: dim = %d, want >= 1", dim)
+	}
 	for i, row := range raw.Points {
 		if len(row) != dim {
 			return fmt.Errorf("%w: point %d has dim %d, want %d", ErrDim, i, len(row), dim)
+		}
+		for j, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("pointset: decode: point %d coordinate %d = %v is not finite", i, j, x)
+			}
 		}
 	}
 	weights := raw.Weights
@@ -67,6 +79,14 @@ func (s *Set) UnmarshalJSON(data []byte) error {
 		weights = make([]float64, len(raw.Points))
 		for i := range weights {
 			weights[i] = 1
+		}
+	}
+	if len(weights) != len(raw.Points) {
+		return fmt.Errorf("pointset: decode: %d points but %d weights", len(raw.Points), len(weights))
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("pointset: decode: weight %d = %v, want finite and >= 0", i, w)
 		}
 	}
 	pts := make([]vec.V, len(raw.Points))

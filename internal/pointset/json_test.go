@@ -69,6 +69,11 @@ func TestSetJSONRejectsBadInput(t *testing.T) {
 		{"weight count mismatch", `{"points":[[0,0]],"weights":[1,2]}`, false},
 		{"negative weight", `{"points":[[0,0]],"weights":[-1]}`, false},
 		{"overflowing coordinate", `{"points":[[1e999,0]]}`, false},
+		{"overflowing negative coordinate", `{"points":[[-1e999,0]]}`, false},
+		{"overflowing weight", `{"points":[[0,0]],"weights":[1e999]}`, false},
+		{"empty point row", `{"points":[[]]}`, false},
+		{"all empty rows with dim", `{"dim":0,"points":[[],[]]}`, false},
+		{"negative dim", `{"dim":-2,"points":[[0,0]]}`, false},
 		{"not an object", `[[0,0]]`, false},
 	}
 	for _, tc := range cases {

@@ -57,6 +57,11 @@ type SolveRequestV1 struct {
 	// best-so-far prefix is returned with "partial": true. 0 means no
 	// deadline (the server may still cap it; see cdserved -max-deadline).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// CacheControl steers the solve-result cache: "" (default) serves an
+	// identical earlier solve from memory and collapses concurrent
+	// duplicates onto one run; "bypass" forces a fresh solve that neither
+	// reads nor fills the cache. Any other value is a bad_request error.
+	CacheControl string `json:"cache_control,omitempty"`
 	// Options carries the unified solver options.
 	Options OptionsV1 `json:"options"`
 }
@@ -100,8 +105,15 @@ type SolveResponseV1 struct {
 	Partial bool `json:"partial"`
 	// Rounds is per-round telemetry (gain and wall time per round).
 	Rounds []RoundV1 `json:"rounds,omitempty"`
-	// WallNS is the server-side wall time of the solve.
+	// WallNS is the server-side wall time of the solve. On a cached
+	// response it is the original solve's wall time, not the (microsecond)
+	// lookup.
 	WallNS int64 `json:"wall_ns"`
+	// Cached marks a response answered from the solve-result cache: every
+	// field except RequestID (and this flag) is bit-identical to the
+	// original solve's response, including Rounds and WallNS. Partial
+	// results are never cached, so Cached implies Partial == false.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // ChurnRequestV1 is the body of POST /v1/churn: a churn-loop simulation
@@ -266,7 +278,7 @@ const (
 	// message carries the sorted catalog.
 	CodeUnknownSolver = "unknown_solver"
 	// CodeBadRequest: a request field failed validation not covered by a
-	// more specific code (periods, rates, index name).
+	// more specific code (periods, rates, index name, cache_control).
 	CodeBadRequest = "bad_request"
 	// CodeQueueFull: the admission queue is saturated; answered 429 with a
 	// Retry-After header. Back off and retry.

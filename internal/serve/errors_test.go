@@ -54,6 +54,16 @@ func TestSolveErrorPaths(t *testing.T) {
 			http.StatusBadRequest, serve.CodeBadInstance},
 		{"non-finite coordinate", `{"instance":{"points":[[1e999,0]]},"radius":1,"k":1}`,
 			http.StatusBadRequest, serve.CodeBadInstance},
+		{"non-finite weight", `{"instance":{"points":[[0,0]],"weights":[1e999]},"radius":1,"k":1}`,
+			http.StatusBadRequest, serve.CodeBadInstance},
+		{"negative weight", `{"instance":{"points":[[0,0]],"weights":[-1]},"radius":1,"k":1}`,
+			http.StatusBadRequest, serve.CodeBadInstance},
+		{"weight count mismatch", `{"instance":{"points":[[0,0]],"weights":[1,2]},"radius":1,"k":1}`,
+			http.StatusBadRequest, serve.CodeBadInstance},
+		{"empty point row", `{"instance":{"points":[[]]},"radius":1,"k":1}`,
+			http.StatusBadRequest, serve.CodeBadInstance},
+		{"bad cache_control", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"cache_control":"refresh"}`, good),
+			http.StatusBadRequest, serve.CodeBadRequest},
 		{"mixed instance dims", `{"instance":{"points":[[0,0],[1]]},"radius":1,"k":1}`,
 			http.StatusBadRequest, serve.CodeDimMismatch},
 		{"dim contradicts rows", `{"instance":{"dim":3,"points":[[0,0]]},"radius":1,"k":1}`,

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 	"repro/internal/pointset"
 	"repro/internal/solver"
@@ -48,6 +49,7 @@ const (
 	DefaultMaxBody     = 8 << 20 // 8 MiB of JSON is a ~100k-user instance
 	DefaultRetryAfter  = 1 * time.Second
 	DefaultMaxDeadline = 0 // uncapped
+	DefaultCacheBytes  = cache.DefaultMaxBytes
 )
 
 // Config parameterizes a Server. The zero value is usable: all-CPU worker
@@ -69,6 +71,12 @@ type Config struct {
 	// MaxDeadline, when > 0, caps every request's deadline: requests asking
 	// for more (or for none) run under this cap instead.
 	MaxDeadline time.Duration
+	// CacheBytes is the solve-result cache's byte budget: complete solve
+	// responses are memoized by instance fingerprint and identical requests
+	// are answered from memory (and collapsed onto one run while it is in
+	// flight). 0 means DefaultCacheBytes; negative disables caching and
+	// collapsing entirely.
+	CacheBytes int64
 	// Obs, when live, receives everything the server's own /metrics
 	// collector sees — counters, request events, solver telemetry — so an
 	// operator can stream the event trace to a JSONL sink.
@@ -106,12 +114,23 @@ func (c Config) retryAfter() time.Duration {
 	return DefaultRetryAfter
 }
 
+func (c Config) cacheBytes() int64 {
+	switch {
+	case c.CacheBytes == 0:
+		return DefaultCacheBytes
+	case c.CacheBytes < 0:
+		return 0
+	}
+	return c.CacheBytes
+}
+
 // Server is the HTTP service. Construct with New, mount Handler (httptest)
 // or call Serve (cdserved), and stop with Drain.
 type Server struct {
 	cfg     Config
 	metrics *obs.Metrics
 	col     obs.Collector // metrics fanned out with cfg.Obs
+	cache   *cache.Cache  // nil when Config.CacheBytes < 0
 	adm     *admission
 	mux     *http.ServeMux
 	httpSrv *http.Server
@@ -162,6 +181,9 @@ func New(cfg Config) *Server {
 		},
 	}
 	s.col = obs.Multi(s.metrics, cfg.Obs)
+	if budget := cfg.cacheBytes(); budget > 0 {
+		s.cache = cache.New(budget, s.col)
+	}
 	s.solveCtx, s.cancelSolves = context.WithCancel(context.Background())
 	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
 

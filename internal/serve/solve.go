@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"encoding/json"
 	"math"
 	"net/http"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/norm"
 	"repro/internal/obs"
@@ -14,10 +16,17 @@ import (
 	"repro/internal/vec"
 )
 
-// handleSolve answers POST /v1/solve: validate, wait for a worker slot, run
-// the solver under the merged deadline/drain/client context, and answer with
-// the result — complete, or the anytime prefix with "partial": true when the
-// deadline (or a drain) cut the solve short.
+// CacheControlBypass is the one non-default SolveRequestV1.CacheControl
+// value: force a fresh solve that neither reads nor fills the cache.
+const CacheControlBypass = "bypass"
+
+// handleSolve answers POST /v1/solve: validate, consult the solve-result
+// cache (a hit answers immediately, without a worker slot; concurrent
+// identical requests collapse onto one solve), else wait for a worker slot
+// and run the solver under the merged deadline/drain/client context, and
+// answer with the result — complete, or the anytime prefix with "partial":
+// true when the deadline (or a drain) cut the solve short. Complete results
+// fill the cache; partial ones never do.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	sc, ok := s.begin(w, r, http.MethodPost, routeSolve)
 	if !ok {
@@ -60,9 +69,90 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		sc.fail(w, e)
 		return
 	}
+	useCache := s.cache != nil
+	switch req.CacheControl {
+	case "":
+	case CacheControlBypass:
+		if useCache {
+			s.col.Count(obs.CtrCacheBypass, 1)
+		}
+		useCache = false
+	default:
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadRequest,
+			"cache_control = %q, want \"\" or %q", req.CacheControl, CacheControlBypass))
+		return
+	}
 
 	ctx, cancel := s.solveContext(r, req.DeadlineMS)
 	defer cancel()
+
+	// The cache path: a hit (or a collapsed duplicate of an in-flight
+	// solve) is answered here, before admission — cached requests never
+	// consume a worker slot. A leader registers the fill flight and falls
+	// through to the real solve.
+	var fill *cache.Flight
+	if useCache {
+		key := cache.Fingerprint(req.Instance, cache.SolveParams{
+			Norm:         normName,
+			Radius:       req.Radius,
+			K:            req.K,
+			Solver:       solverName,
+			Seed:         req.Options.Seed,
+			GridPer:      req.Options.GridPer,
+			BoxLo:        req.Options.BoxLo,
+			BoxHi:        req.Options.BoxHi,
+			Polish:       req.Options.Polish,
+			DisablePrune: req.Options.DisablePrune,
+			WarmStart:    req.Options.WarmStart,
+		})
+		cacheSpan := sc.span.Child("cache")
+		val, flight, leader := s.cache.Lookup(key)
+		if val != nil {
+			s.col.Count(obs.CtrCacheHits, 1)
+			cacheSpan.SetAttr("hit", 1)
+			cacheSpan.End()
+			s.answerCached(w, sc, val.(*SolveResponseV1))
+			return
+		}
+		if leader {
+			s.col.Count(obs.CtrCacheMisses, 1)
+			cacheSpan.SetAttr("hit", 0)
+			cacheSpan.End()
+			fill = flight
+			// Safety net: every exit path below must resolve the flight or
+			// followers would wait out their deadlines. Deliver is
+			// idempotent, so the success path's real Deliver wins.
+			defer fill.Deliver(nil, 0)
+		} else {
+			// Collapsed onto an identical in-flight solve: wait for its
+			// leader instead of taking a worker slot.
+			select {
+			case <-flight.Done():
+				if v := flight.Value(); v != nil {
+					s.col.Count(obs.CtrCacheHits, 1)
+					s.col.Count(obs.CtrCacheCollapsed, 1)
+					cacheSpan.SetAttr("hit", 1)
+					cacheSpan.SetAttr("collapsed", 1)
+					cacheSpan.End()
+					s.answerCached(w, sc, v.(*SolveResponseV1))
+					return
+				}
+				// The leader finished without a cacheable result (partial
+				// or failed); solve independently.
+				s.col.Count(obs.CtrCacheMisses, 1)
+				cacheSpan.SetAttr("hit", 0)
+				cacheSpan.End()
+			case <-ctx.Done():
+				cacheSpan.SetAttr("expired", 1)
+				cacheSpan.End()
+				w.Header().Set("Retry-After", retryAfterValue(s.cfg.retryAfter()))
+				sc.fail(w, errf(http.StatusServiceUnavailable, CodeDeadlineQueued,
+					"deadline expired while collapsed onto an identical in-flight solve: %v", ctx.Err()))
+				return
+			}
+		}
+	}
+
 	queueSpan := sc.span.Child("queue")
 	if err := s.adm.acquire(ctx); err != nil {
 		queueSpan.SetAttr("expired", 1)
@@ -141,11 +231,43 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Total:     res.Total,
 		MaxReward: req.Instance.TotalWeight(),
 		Partial:   partial,
-		Rounds:    roundsFromEvents(res, reqMetrics.Snapshot()),
+		Rounds:    roundsFromEvents(res, reqMetrics.Snapshot(), sc.id),
 		WallNS:    wall,
+	}
+	if fill != nil && !partial {
+		// Cache the complete result (the anytime prefix of a cut-short solve
+		// is valid but not the full answer, so partials are never cached).
+		// The stored copy drops the request ID: it belongs to whichever
+		// request is being answered, not to the solve that produced the body.
+		stored := resp
+		stored.RequestID = ""
+		size := int64(len(mustMarshal(stored)))
+		fill.Deliver(&stored, size)
 	}
 	writeJSON(w, sc.id, http.StatusOK, resp)
 	sc.end(http.StatusOK)
+}
+
+// answerCached writes a cached solve result as this request's response: every
+// field of the original (complete) solve bit-identical, with this request's
+// ID and the cached flag stamped on. The shallow copy shares the cached
+// slices, which are never mutated after Deliver.
+func (s *Server) answerCached(w http.ResponseWriter, sc *reqScope, stored *SolveResponseV1) {
+	resp := *stored
+	resp.RequestID = sc.id
+	resp.Cached = true
+	writeJSON(w, sc.id, http.StatusOK, resp)
+	sc.end(http.StatusOK)
+}
+
+// mustMarshal sizes a response for the cache's byte budget. SolveResponseV1
+// contains only JSON-encodable fields, so Marshal cannot fail.
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // resolveNorm maps the wire norm name (default l2) to a norm.Norm.
@@ -229,13 +351,20 @@ func centersWire(centers []vec.V) [][]float64 {
 // ground truth), wall times joined in from the request's round_end events
 // when the solver emitted them. Warm-started results adopted from the
 // carried-over centers keep zero wall times — no cold rounds produced them.
-func roundsFromEvents(res *core.Result, snap obs.Snapshot) []RoundV1 {
+//
+// Events are matched by trace (the request ID), not by round number alone:
+// the per-request collector should only ever see this request's events, but
+// a solver that delegates to an inner algorithm — or a collector wired more
+// widely than intended — can surface round_end events from another solve
+// whose round numbers happen to collide. Those must not overwrite this
+// request's wall times.
+func roundsFromEvents(res *core.Result, snap obs.Snapshot, trace string) []RoundV1 {
 	rounds := make([]RoundV1, len(res.Gains))
 	for j, g := range res.Gains {
 		rounds[j] = RoundV1{Round: j + 1, Gain: g}
 	}
 	for _, e := range snap.Events {
-		if e.Type != obs.EvRoundEnd || e.Round < 1 || e.Round > len(rounds) {
+		if e.Type != obs.EvRoundEnd || e.Trace != trace || e.Round < 1 || e.Round > len(rounds) {
 			continue
 		}
 		rounds[e.Round-1].WallNS = int64(e.Fields["wall_ns"])

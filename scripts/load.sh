@@ -7,6 +7,9 @@
 #   RATE      offered requests per second        (default 100)
 #   DURATION  arrival-generation window          (default 10s)
 #   CHURN     fraction of /v1/churn arrivals     (default 0.2)
+#   DUP       fraction of solve arrivals replaying a previous body —
+#             guaranteed cache hits; the rest are fresh unique
+#             instances (default 0 = pooled bodies)
 #   SLO_P99   p99 latency bound, 0 = unchecked   (default 0)
 #   MAX_5XX   allowed 5xx responses, -1 = any    (default 0)
 #   BENCH_OUT write benchjson records here       (default: none)
@@ -22,6 +25,7 @@ cd "$(dirname "$0")/.."
 RATE="${RATE:-100}"
 DURATION="${DURATION:-10s}"
 CHURN="${CHURN:-0.2}"
+DUP="${DUP:-0}"
 SLO_P99="${SLO_P99:-0}"
 MAX_5XX="${MAX_5XX:-0}"
 BENCH_OUT="${BENCH_OUT:-}"
@@ -53,7 +57,7 @@ if [ -z "$base" ]; then
 fi
 
 set -- -url "$base" -rate "$RATE" -duration "$DURATION" -churn "$CHURN" \
-	-slo-p99 "$SLO_P99" -max-5xx "$MAX_5XX"
+	-dup "$DUP" -slo-p99 "$SLO_P99" -max-5xx "$MAX_5XX"
 [ -n "$BENCH_OUT" ] && set -- "$@" -bench-out "$BENCH_OUT"
 
 "$BIN/cdload" "$@"

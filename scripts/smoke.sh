@@ -98,6 +98,19 @@ curl -sf -X POST --data-binary @"$BIN/served_req.json" "$base/v1/solve" >"$BIN/s
 grep -q '"total":' "$BIN/served_solve.json" ||
 	fail "cdserved solve response lacks a total: $(cat "$BIN/served_solve.json")"
 
+echo "==> cdserved: a replayed identical solve is served from the cache"
+curl -sf -X POST --data-binary @"$BIN/served_req.json" "$base/v1/solve" >"$BIN/served_solve2.json" ||
+	{ kill "$SERVED_PID" 2>/dev/null || true; fail "cdserved duplicate POST /v1/solve failed"; }
+grep -q '"cached":true' "$BIN/served_solve2.json" ||
+	fail "duplicate solve not served from cache: $(cat "$BIN/served_solve2.json")"
+# The cached body must carry the same result as the original.
+total1="$(sed -n 's/.*"total":\([0-9.eE+-]*\).*/\1/p' "$BIN/served_solve.json")"
+total2="$(sed -n 's/.*"total":\([0-9.eE+-]*\).*/\1/p' "$BIN/served_solve2.json")"
+[ "$total1" = "$total2" ] ||
+	fail "cached solve total $total2 differs from original $total1"
+curl -sf -H 'Accept: text/plain' "$base/metrics" | grep -q '^cd_cache_hits_total [1-9]' ||
+	fail "cd_cache_hits_total did not count the cache hit"
+
 echo "==> cdserved: /metrics content-negotiates the Prometheus text format"
 curl -sf -H 'Accept: text/plain' "$base/metrics" >"$BIN/served_prom.txt" ||
 	{ kill "$SERVED_PID" 2>/dev/null || true; fail "cdserved /metrics (text/plain) unreachable"; }
@@ -120,6 +133,29 @@ grep -q "rates:" "$BIN/load.out" ||
 	fail "cdload output lacks the SLO rates line: $(cat "$BIN/load.out")"
 grep -q "throughput" "$BIN/load.out" ||
 	fail "cdload output lacks the throughput line"
+
+echo "==> cdload -dup: duplicate replays hit the solve cache"
+status=0
+"$BIN/cdload" -url "$base" -rate 40 -duration 2s -dup 0.5 -n 600 -seed 7 \
+	-max-5xx 0 -bench-out "$BIN/load_dup_bench.json" >"$BIN/load_dup.out" 2>&1 || status=$?
+[ "$status" -eq 0 ] ||
+	{ kill "$SERVED_PID" 2>/dev/null || true; fail "cdload -dup exited $status: $(cat "$BIN/load_dup.out")"; }
+grep -q "hit rate" "$BIN/load_dup.out" ||
+	fail "cdload -dup output lacks the cache line: $(cat "$BIN/load_dup.out")"
+grep -q "latency hit" "$BIN/load_dup.out" ||
+	fail "cdload -dup output lacks hit-path latency quantiles"
+grep -q "latency miss" "$BIN/load_dup.out" ||
+	fail "cdload -dup output lacks miss-path latency quantiles"
+# The hit path skips the solver entirely: on this n=600 scenario its p50
+# measures ~14x under the miss p50. Gate on a conservative 3x floor so a
+# regression that drags hits back through the solve path fails loudly
+# without making the check flaky on slow machines.
+hit_p50="$(awk -F': ' '/"name"/ {n=$2} /"p50-ns"/ && n ~ /SolveHit/ {gsub(/[^0-9]/, "", $2); print $2; exit}' "$BIN/load_dup_bench.json")"
+miss_p50="$(awk -F': ' '/"name"/ {n=$2} /"p50-ns"/ && n ~ /SolveMiss/ {gsub(/[^0-9]/, "", $2); print $2; exit}' "$BIN/load_dup_bench.json")"
+[ -n "$hit_p50" ] && [ -n "$miss_p50" ] ||
+	fail "dup bench records lack hit/miss p50: $(cat "$BIN/load_dup_bench.json")"
+[ "$((hit_p50 * 3))" -le "$miss_p50" ] ||
+	fail "cache hit p50 (${hit_p50}ns) is not well below miss p50 (${miss_p50}ns)"
 
 kill -TERM "$SERVED_PID"
 status=0
