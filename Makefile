@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check smoke load apicheck apicheck-update bench-baseline bench-diff clean
+.PHONY: build test vet race check smoke load apicheck apicheck-update bench-baseline bench-diff bench-shard clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,11 @@ bench-baseline:
 # Advisory: run the candidate-scan benchmarks and diff vs BENCH_baseline.json.
 bench-diff:
 	./scripts/bench_diff.sh
+
+# Million-user sharded-solve benchmark: record SingleShot/Sharded N1M runs
+# into BENCH_baseline.json (benchjson -merge) and print the speedup table.
+bench-shard:
+	./scripts/bench_shard.sh
 
 clean:
 	$(GO) clean ./...

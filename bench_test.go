@@ -11,6 +11,8 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/pointset"
 	"repro/internal/reward"
+	"repro/internal/solver"
+	"repro/internal/spatial"
 	"repro/internal/xrand"
 )
 
@@ -141,3 +143,49 @@ func benchExhaustive(b *testing.B, workers, gridPer int) {
 func BenchmarkExhaustiveN40K4Serial(b *testing.B)   { benchExhaustive(b, 1, 0) }
 func BenchmarkExhaustiveN40K4Parallel(b *testing.B) { benchExhaustive(b, 0, 0) }
 func BenchmarkExhaustiveN40K4Grid5(b *testing.B)    { benchExhaustive(b, 0, 5) }
+
+// Sharded pipeline benches at service scale: one million users in the 4×4
+// box with r = 0.02 (a dense urban-cell workload), k = 32 broadcasts. The
+// single-shot baseline is lazy greedy (bit-identical to greedy2); the
+// sharded run splits the box into 8 spatial shards, solves them in
+// parallel, and lazy-greedy merges the candidate union. The names pair as
+// SingleShot↔Sharded for benchjson's speedup table. Run with -benchtime=1x:
+// each iteration is a full solve measured in seconds.
+
+func millionInstance(b *testing.B) *reward.Instance {
+	b.Helper()
+	in := paperInstance(b, 1_000_000, 2, norm.L2{}, 0.02)
+	g, err := spatial.NewGrid(in.Set.Points(), in.Radius)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in.SetFinder(g)
+	return in
+}
+
+func benchSolverScale(b *testing.B, name string, opts solver.Options) {
+	b.Helper()
+	in := millionInstance(b)
+	alg, err := solver.New(name, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		res, err := alg.Run(context.Background(), in, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.Total
+	}
+	b.ReportMetric(total, "reward")
+}
+
+func BenchmarkSingleShotSolve_N1M_K32(b *testing.B) {
+	benchSolverScale(b, "greedy2-lazy", solver.Options{})
+}
+func BenchmarkShardedSolve_N1M_K32(b *testing.B) {
+	benchSolverScale(b, "greedy2-lazy", solver.Options{Shards: 8})
+}

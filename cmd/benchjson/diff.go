@@ -83,6 +83,7 @@ func Diff(baseline, current *Baseline, w io.Writer) {
 
 	pairSpeedups(current, w)
 	deltaSpeedups(current, w)
+	shardSpeedups(current, w)
 }
 
 // pairSpeedups reports the scalar-vs-batched kernel speedup for every
@@ -153,6 +154,43 @@ func deltaSpeedups(current *Baseline, w io.Writer) {
 			header = true
 		}
 		fmt.Fprintf(w, "%-52s %8.0fx\n", byKey[k].Name, fNS/dNS)
+	}
+}
+
+// shardSpeedups reports the single-shot-vs-sharded solve speedup for every
+// BenchmarkSingleShot*/BenchmarkSharded* pair in the current run: the same
+// instance solved monolithically versus through the
+// partition → shard-solve → merge pipeline. On a single core the ratio
+// reflects locality alone; the parallel shard-solve stage is what the
+// pipeline buys on real hardware.
+func shardSpeedups(current *Baseline, w io.Writer) {
+	byKey := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		byKey[key(r)] = r
+	}
+	var names []string
+	for k := range byKey {
+		if strings.Contains(k, "SingleShot") {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	header := false
+	for _, k := range names {
+		sk := strings.Replace(k, "SingleShot", "Sharded", 1)
+		sharded, ok := byKey[sk]
+		if !ok {
+			continue
+		}
+		oneNS, shNS := byKey[k].Metrics["ns/op"], sharded.Metrics["ns/op"]
+		if oneNS <= 0 || shNS <= 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\n%-52s %9s\n", "single-shot vs sharded solve", "speedup")
+			header = true
+		}
+		fmt.Fprintf(w, "%-52s %8.2fx\n", sharded.Name, oneNS/shNS)
 	}
 }
 

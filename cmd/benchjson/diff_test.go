@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,5 +78,90 @@ func TestRunDiffEmptyStdin(t *testing.T) {
 	var out strings.Builder
 	if err := runDiff(path, strings.NewReader("PASS\n"), &out); err == nil {
 		t.Error("empty bench output accepted")
+	}
+}
+
+const shardSample = `cpu: new-machine
+pkg: repro
+BenchmarkSingleShotSolve_N1M_K32 	       1	27000000000 ns/op	      4173 reward
+BenchmarkShardedSolve_N1M_K32    	       1	13500000000 ns/op	      4173 reward
+PASS
+ok  	repro	41.0s
+`
+
+func TestRunDiffShardPair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runDiff(path, strings.NewReader(shardSample), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "single-shot vs sharded solve") {
+		t.Fatalf("shard pair table missing:\n%s", got)
+	}
+	if !strings.Contains(got, "BenchmarkShardedSolve_N1M_K32") || !strings.Contains(got, "2.00x") {
+		t.Errorf("shard speedup not computed:\n%s", got)
+	}
+}
+
+func TestRunMerge(t *testing.T) {
+	baseline := `{
+  "env": {"cpu": "old-machine", "goos": "linux"},
+  "benchmarks": [
+    {"name": "BenchmarkKept", "pkg": "repro", "iterations": 10, "metrics": {"ns/op": 111}},
+    {"name": "BenchmarkSingleShotSolve_N1M_K32", "pkg": "repro",
+     "iterations": 1, "metrics": {"ns/op": 99e9}}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runMerge(path, strings.NewReader(shardSample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var merged Baseline
+	if err := json.Unmarshal([]byte(out.String()), &merged); err != nil {
+		t.Fatalf("merged output not valid JSON: %v\n%s", err, out.String())
+	}
+	byName := map[string]Result{}
+	for _, r := range merged.Benchmarks {
+		byName[r.Name] = r
+	}
+	if len(merged.Benchmarks) != 3 {
+		t.Fatalf("merged %d benchmarks, want 3 (kept + replaced + new)", len(merged.Benchmarks))
+	}
+	if byName["BenchmarkKept"].Metrics["ns/op"] != 111 {
+		t.Error("untouched baseline entry lost")
+	}
+	if got := byName["BenchmarkSingleShotSolve_N1M_K32"].Metrics["ns/op"]; got != 27000000000 {
+		t.Errorf("re-run entry not replaced: ns/op = %v", got)
+	}
+	if _, ok := byName["BenchmarkShardedSolve_N1M_K32"]; !ok {
+		t.Error("new entry not added")
+	}
+	if merged.Env["cpu"] != "new-machine" || merged.Env["goos"] != "linux" {
+		t.Errorf("env merge wrong: %v", merged.Env)
+	}
+	// Canonical order: sorted by pkg then name.
+	for i := 1; i < len(merged.Benchmarks); i++ {
+		a, b := merged.Benchmarks[i-1], merged.Benchmarks[i]
+		if a.Pkg > b.Pkg || (a.Pkg == b.Pkg && a.Name > b.Name) {
+			t.Fatalf("merged output not sorted: %s after %s", b.Name, a.Name)
+		}
+	}
+}
+
+func TestRunMergeEmptyStdin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMerge(path, strings.NewReader("no benchmarks here\n"), &strings.Builder{}); err == nil {
+		t.Fatal("empty stdin accepted")
 	}
 }

@@ -9,9 +9,15 @@
 // goos/goarch/pkg/cpu header lines are captured as environment metadata.
 //
 // With -diff BASELINE.json, stdin is instead compared against the committed
-// baseline: per-benchmark ns/op deltas (entries >+5% are flagged) plus a
-// Scalar↔Batch pair speedup table. The diff report is advisory and always
-// exits 0 on valid input.
+// baseline: per-benchmark ns/op deltas (entries >+5% are flagged) plus
+// Scalar↔Batch, Delta↔Full, and SingleShot↔Sharded pair speedup tables. The
+// diff report is advisory and always exits 0 on valid input.
+//
+// With -merge BASELINE.json, stdin results are spliced into the committed
+// baseline and the merged document is written to stdout: benchmarks re-run
+// now replace their old entries by (pkg, name), new benchmarks are added,
+// everything else is preserved. This keeps a long-lived baseline current
+// without re-running the full suite for every addition.
 package main
 
 import (
@@ -127,13 +133,71 @@ func run(in io.Reader, out io.Writer) error {
 	return enc.Encode(b)
 }
 
+// Merge splices the current run into the baseline: current entries replace
+// baseline entries with the same (pkg, name) key, new entries are added, and
+// untouched baseline entries survive. Env keys from the current run win
+// (they describe the machine that produced the freshest numbers). The
+// result is re-sorted into the canonical pkg-then-name order, so merged and
+// from-scratch documents diff cleanly.
+func Merge(baseline, current *Baseline) *Baseline {
+	out := &Baseline{Env: map[string]string{}, Benchmarks: nil}
+	for k, v := range baseline.Env {
+		out.Env[k] = v
+	}
+	for k, v := range current.Env {
+		out.Env[k] = v
+	}
+	replaced := make(map[string]bool, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		replaced[key(r)] = true
+	}
+	for _, r := range baseline.Benchmarks {
+		if !replaced[key(r)] {
+			out.Benchmarks = append(out.Benchmarks, r)
+		}
+	}
+	out.Benchmarks = append(out.Benchmarks, current.Benchmarks...)
+	sort.Slice(out.Benchmarks, func(i, j int) bool {
+		if out.Benchmarks[i].Pkg != out.Benchmarks[j].Pkg {
+			return out.Benchmarks[i].Pkg < out.Benchmarks[j].Pkg
+		}
+		return out.Benchmarks[i].Name < out.Benchmarks[j].Name
+	})
+	return out
+}
+
+// runMerge is the -merge entry point: current results on stdin, baseline
+// from the given path, merged document on stdout.
+func runMerge(baselinePath string, in io.Reader, out io.Writer) error {
+	baseline, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(current.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Merge(baseline, current))
+}
+
 func main() {
 	diffPath := flag.String("diff", "", "compare stdin bench results against this baseline JSON instead of emitting JSON")
+	mergePath := flag.String("merge", "", "splice stdin bench results into this baseline JSON and print the merged document")
 	flag.Parse()
 	var err error
-	if *diffPath != "" {
+	switch {
+	case *diffPath != "" && *mergePath != "":
+		err = fmt.Errorf("benchjson: -diff and -merge are mutually exclusive")
+	case *diffPath != "":
 		err = runDiff(*diffPath, os.Stdin, os.Stdout)
-	} else {
+	case *mergePath != "":
+		err = runMerge(*mergePath, os.Stdin, os.Stdout)
+	default:
 		err = run(os.Stdin, os.Stdout)
 	}
 	if err != nil {

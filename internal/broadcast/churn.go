@@ -106,10 +106,9 @@ func (c ChurnConfig) Validate() error {
 	if name == "" {
 		name = "greedy2"
 	}
-	if _, ok := solver.Lookup(name); !ok {
-		return solver.CatalogError("solver", "algorithm", name, solver.Names())
-	}
-	return nil
+	// solver.Check accepts the composite "sharded(<inner>)" form too, so a
+	// churn loop can re-solve each period through the sharded pipeline.
+	return solver.Check(name)
 }
 
 // ChurnPeriodStat records one period of the churn loop.

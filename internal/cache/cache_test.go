@@ -78,6 +78,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 		},
 		"polish": func() Key { p := baseParams(); p.Polish = true; return Fingerprint(set, p) },
 		"prune":  func() Key { p := baseParams(); p.DisablePrune = true; return Fingerprint(set, p) },
+		"shards": func() Key { p := baseParams(); p.Shards = 8; return Fingerprint(set, p) },
+		"halo":   func() Key { p := baseParams(); p.Halo = 2; return Fingerprint(set, p) },
 		"warm": func() Key {
 			p := baseParams()
 			p.WarmStart = [][]float64{{1, 1}}
@@ -96,6 +98,33 @@ func TestFingerprintSensitivity(t *testing.T) {
 	ph.BoxHi = []float64{1, 1}
 	if Fingerprint(set, pl) == Fingerprint(set, ph) {
 		t.Error("box_lo and box_hi alias")
+	}
+
+	// Sharded and unsharded solves of the same instance produce different
+	// results, so they must never share a cache entry — pin both directions
+	// (sharded never hits an unsharded entry, and vice versa), plus the
+	// shards/halo axes independently.
+	sharded := baseParams()
+	sharded.Shards, sharded.Halo = 8, 1
+	if Fingerprint(set, sharded) == base {
+		t.Error("sharded solve collides with the unsharded entry")
+	}
+	unsharded := sharded
+	unsharded.Shards, unsharded.Halo = 0, 0
+	if Fingerprint(set, unsharded) != base {
+		t.Error("zero shards/halo is not the unsharded fingerprint")
+	}
+	moreShards, moreHalo := sharded, sharded
+	moreShards.Shards = 16
+	moreHalo.Halo = 2
+	if Fingerprint(set, moreShards) == Fingerprint(set, sharded) {
+		t.Error("shard count does not reach the fingerprint")
+	}
+	if Fingerprint(set, moreHalo) == Fingerprint(set, sharded) {
+		t.Error("halo width does not reach the fingerprint")
+	}
+	if Fingerprint(set, moreShards) == Fingerprint(set, moreHalo) {
+		t.Error("shards and halo alias in the fingerprint")
 	}
 }
 

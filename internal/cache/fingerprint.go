@@ -15,7 +15,7 @@ type Key [sha256.Size]byte
 // fpVersion tags the fingerprint layout. Bump it whenever the hashed field
 // set or encoding changes, so stale processes can never alias keys across
 // incompatible layouts.
-const fpVersion = "cdfp/1"
+const fpVersion = "cdfp/2"
 
 // SolveParams is every request parameter that can affect a solve result —
 // the fingerprint's input alongside the instance itself.
@@ -43,6 +43,12 @@ type SolveParams struct {
 	Polish       bool
 	DisablePrune bool
 	WarmStart    [][]float64
+	// Shards/Halo select the partition → shard-solve → merge pipeline and
+	// its boundary-halo width. Both change the partition and therefore the
+	// returned centers, so a sharded and an unsharded solve of the same
+	// instance must never share a key.
+	Shards int
+	Halo   int
 }
 
 // hasher streams length-delimited sections into a sha256 so that adjacent
@@ -109,6 +115,8 @@ func Fingerprint(set *pointset.Set, p SolveParams) Key {
 	for _, row := range p.WarmStart {
 		h.f64s(row)
 	}
+	h.u64(uint64(int64(p.Shards)))
+	h.u64(uint64(int64(p.Halo)))
 	var key Key
 	st.Sum(key[:0])
 	return key

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -524,5 +525,42 @@ func TestStationTimeoutCleanExit(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "note: run stopped early") {
 		t.Errorf("missing early-stop note in output:\n%s", out.String())
+	}
+}
+
+// TestGreedySharded: -shards routes the solve through the sharded pipeline
+// (the reported algorithm is the composite name), -alg accepts the
+// composite form directly, and a negative count is rejected.
+func TestGreedySharded(t *testing.T) {
+	js := genJSON(t, "-n", "60")
+	var out bytes.Buffer
+	if err := Greedy(context.Background(), []string{"-json", "-shards", "3", "-k", "2", "-r", "0.8"},
+		strings.NewReader(js), &out); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Algorithm string    `json:"algorithm"`
+		Gains     []float64 `json:"gains"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, out.String())
+	}
+	if parsed.Algorithm != "sharded(greedy2)" || len(parsed.Gains) != 2 {
+		t.Fatalf("sharded run reported %+v", parsed)
+	}
+
+	out.Reset()
+	if err := Greedy(context.Background(), []string{"-alg", "sharded(greedy2-lazy)", "-k", "2", "-r", "0.8"},
+		strings.NewReader(genJSON(t, "-n", "60")), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sharded(greedy2-lazy)") {
+		t.Errorf("table output missing the composite name:\n%s", out.String())
+	}
+
+	err := Greedy(context.Background(), []string{"-shards", "-2", "-k", "1"},
+		strings.NewReader(genJSON(t)), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("negative -shards: err = %v", err)
 	}
 }

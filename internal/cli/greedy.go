@@ -12,6 +12,7 @@ import (
 	"repro/internal/norm"
 	"repro/internal/report"
 	"repro/internal/reward"
+	"repro/internal/solver"
 	"repro/internal/vec"
 )
 
@@ -32,8 +33,10 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	fs.SetOutput(stdout)
 	var (
 		tracePath = fs.String("trace", "-", "trace file (JSON or CSV by extension; '-' reads JSON from stdin)")
-		algName   = fs.String("alg", "greedy2", "algorithm: greedy1 | greedy2 | greedy2-lazy | greedy3 | greedy4")
+		algName   = fs.String("alg", "greedy2", "algorithm: greedy1 | greedy2 | greedy2-lazy | greedy3 | greedy4, or sharded(<name>)")
 		all       = fs.Bool("all", false, "run all four paper algorithms and compare")
+		shards    = fs.Int("shards", 0, "split the solve into this many spatial shards solved in parallel and merged (0 = single-shot)")
+		halo      = fs.Int("halo", 0, "sharded boundary-halo width in grid-cell rings (0 = default of 1, negative = none)")
 		k         = fs.Int("k", 2, "number of broadcasts")
 		r         = fs.Float64("r", 1, "coverage radius")
 		normName  = fs.String("norm", "l2", "interest-distance norm: l1 | l2 | linf")
@@ -72,7 +75,7 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	in.SetCollector(tel.Collector())
 	cancelled := false
 	if *asJSON {
-		alg, err := AlgorithmByName(*algName)
+		alg, err := solver.New(*algName, solver.Options{Shards: *shards, Halo: *halo})
 		if err != nil {
 			return err
 		}
@@ -140,7 +143,7 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 		}
 		fmt.Fprint(stdout, tb.Render())
 	} else {
-		alg, err := AlgorithmByName(*algName)
+		alg, err := solver.New(*algName, solver.Options{Shards: *shards, Halo: *halo})
 		if err != nil {
 			return err
 		}

@@ -139,6 +139,21 @@ const (
 	CtrWarmStarts = "core.warm_starts"
 	CtrWarmWins   = "core.warm_wins"
 
+	// Sharded-solve pipeline series (core.Pipeline fed by internal/shard).
+	// Parts counts shards produced per partition, solves the per-shard
+	// solver runs, halo the boundary points duplicated into neighboring
+	// shards, candidates the centers entering the merge, and merge repops
+	// the lazy re-evaluations the merge heap performed. WriteProm renders
+	// them as cd_shard_parts_total, cd_shard_solves_total, and so on.
+	CtrShardParts       = "shard.parts"
+	CtrShardSolves      = "shard.solves"
+	CtrShardHaloPoints  = "shard.halo_points"
+	CtrShardCandidates  = "shard.candidates"
+	CtrShardMergeRepops = "shard.merge_repops"
+	TimShardSolve       = "shard.solve_ns"
+	TimShardPartition   = "shard.partition_ns"
+	TimShardMerge       = "shard.merge_ns"
+
 	CtrChurnPeriods  = "churn.periods"
 	CtrChurnAdded    = "churn.users_added"
 	CtrChurnRemoved  = "churn.users_removed"

@@ -34,6 +34,18 @@ type OptionsV1 struct {
 	Polish bool `json:"polish,omitempty"`
 	// DisablePrune turns off exhaustive branch-and-bound pruning.
 	DisablePrune bool `json:"disable_prune,omitempty"`
+	// Shards > 1 routes the solve through the spatial partition →
+	// shard-solve → merge pipeline: the instance is split into this many
+	// balanced grid-cell shards, each solved independently (in parallel,
+	// with deterministic per-shard seeds), and the candidate centers are
+	// lazy-greedy merged against the full instance. 0 or 1 solves
+	// single-shot. Sharding changes the result, so it is part of the cache
+	// fingerprint. Must be non-negative.
+	Shards int `json:"shards,omitempty"`
+	// Halo is the sharded pipeline's boundary-halo width in grid-cell rings
+	// (cells have side = radius): 0 uses the default of one ring, negative
+	// disables the halo. Ignored when Shards <= 1.
+	Halo int `json:"halo,omitempty"`
 }
 
 // SolveRequestV1 is the body of POST /v1/solve: one instance, one solver

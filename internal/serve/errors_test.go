@@ -64,6 +64,10 @@ func TestSolveErrorPaths(t *testing.T) {
 			http.StatusBadRequest, serve.CodeBadInstance},
 		{"bad cache_control", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"cache_control":"refresh"}`, good),
 			http.StatusBadRequest, serve.CodeBadRequest},
+		{"negative shards", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"options":{"shards":-2}}`, good),
+			http.StatusBadRequest, serve.CodeBadRequest},
+		{"unknown sharded inner", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"solver":"sharded(greedy9)"}`, good),
+			http.StatusBadRequest, serve.CodeUnknownSolver},
 		{"mixed instance dims", `{"instance":{"points":[[0,0],[1]]},"radius":1,"k":1}`,
 			http.StatusBadRequest, serve.CodeDimMismatch},
 		{"dim contradicts rows", `{"instance":{"dim":3,"points":[[0,0]]},"radius":1,"k":1}`,

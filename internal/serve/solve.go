@@ -69,6 +69,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		sc.fail(w, e)
 		return
 	}
+	if req.Options.Shards < 0 {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadRequest,
+			"shards = %d, want >= 0", req.Options.Shards))
+		return
+	}
 	useCache := s.cache != nil
 	switch req.CacheControl {
 	case "":
@@ -104,6 +109,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Polish:       req.Options.Polish,
 			DisablePrune: req.Options.DisablePrune,
 			WarmStart:    req.Options.WarmStart,
+			Shards:       req.Options.Shards,
+			Halo:         req.Options.Halo,
 		})
 		cacheSpan := sc.span.Child("cache")
 		val, flight, leader := s.cache.Lookup(key)
@@ -185,6 +192,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Box:          box,
 		Polish:       req.Options.Polish,
 		DisablePrune: req.Options.DisablePrune,
+		Shards:       req.Options.Shards,
+		Halo:         req.Options.Halo,
 	})
 	if err != nil {
 		// Unreachable: resolveSolver already checked the catalog.
@@ -285,14 +294,14 @@ func resolveNorm(name string) (string, norm.Norm, *apiErr) {
 
 // resolveSolver maps the wire solver name (default greedy2) to a catalog
 // name, answering unknown names with the same sorted-catalog text as
-// cdgreedy -alg.
+// cdgreedy -alg. The composite form "sharded(<inner>)" is accepted whenever
+// the inner name is in the catalog.
 func resolveSolver(name string) (string, *apiErr) {
 	if name == "" {
 		name = "greedy2"
 	}
-	if _, ok := solver.Lookup(name); !ok {
-		return "", errf(http.StatusBadRequest, CodeUnknownSolver, "%v",
-			solver.CatalogError("solver", "algorithm", name, solver.Names()))
+	if err := solver.Check(name); err != nil {
+		return "", errf(http.StatusBadRequest, CodeUnknownSolver, "%v", err)
 	}
 	return name, nil
 }

@@ -1,0 +1,310 @@
+// Package shard turns the monolithic solve into a spatial
+// partition → shard-solve → merge pipeline. The paper's greedy solvers scan
+// every user per round, which caps single-box throughput; this package
+// splits an instance into balanced spatial shards by reusing the grid
+// index's cell bucketing (cells of side r, the coverage radius), solves each
+// shard independently with any registry solver, and hands the union of
+// per-shard candidate centers to core.Pipeline's lazy-greedy merge, which
+// re-scores them against the full instance. Submodularity of the coverage
+// objective bounds the merge loss; the quality-regression test pins the
+// sharded objective at ≥ 0.95× single-shot greedy.
+//
+// Two design points matter for reproducibility:
+//
+//   - Shard identity is content-derived: a shard's ID hashes its anchor
+//     cell's integer coordinates, never its slice position, so per-shard
+//     solver seeds (DeriveSeed) are independent of enumeration order and
+//     worker scheduling. Changing the shard count changes the partition —
+//     and therefore results — but re-running the same configuration is
+//     bit-identical at any Workers setting.
+//
+//   - A boundary halo (Halo rings of grid cells, default one ring = one
+//     coverage radius in Chebyshev distance) is absorbed into each shard, so
+//     a candidate center near a cut plane still sees the users just across
+//     it and is scored fairly. Halo points are duplicated, not moved; the
+//     merge re-scores every candidate against the full instance, so the
+//     duplication can only improve candidate quality, never double-count
+//     reward.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/reward"
+	"repro/internal/spatial"
+	"repro/internal/xrand"
+)
+
+// DefaultHaloRings is the boundary-halo width, in grid-cell rings, applied
+// when Options.Halo is zero. One ring of cells of side r covers every point
+// within Chebyshev distance r of a shard cell — exactly the points a
+// boundary candidate's coverage ball can reach.
+const DefaultHaloRings = 1
+
+// Options configures the sharded solver.
+type Options struct {
+	// Shards is the target shard count (capped by the number of occupied
+	// grid cells; <= 1 degenerates to the single-shot pipeline).
+	Shards int
+	// Halo is the boundary-halo width in cell rings: 0 means
+	// DefaultHaloRings, negative disables the halo entirely.
+	Halo int
+	// Workers bounds the parallel shard solves; <= 0 uses all CPUs.
+	Workers int
+	// Seed is the root seed; per-shard seeds derive from it and the shard's
+	// content-derived ID via DeriveSeed.
+	Seed uint64
+	// Obs receives pipeline telemetry (spans, shard.* counters, merge
+	// rounds).
+	Obs obs.Collector
+}
+
+// haloRings normalizes the Halo knob.
+func (o Options) haloRings() int {
+	switch {
+	case o.Halo == 0:
+		return DefaultHaloRings
+	case o.Halo < 0:
+		return 0
+	default:
+		return o.Halo
+	}
+}
+
+// NewSolver builds the sharded pipeline around an inner registry algorithm:
+// innerName is the inner solver's catalog name (for display), newInner
+// constructs it for a derived per-shard seed. The result is a
+// core.Algorithm named "sharded(<innerName>)" honoring the anytime
+// cancellation contract via core.Pipeline.
+func NewSolver(innerName string, newInner func(seed uint64) core.Algorithm, o Options) core.Algorithm {
+	root := o.Seed
+	return core.Pipeline{
+		Alg:       "sharded(" + innerName + ")",
+		Partition: Partitioner{Shards: o.Shards, Halo: o.Halo},
+		NewSolver: newInner,
+		SeedFor:   func(partID uint64) uint64 { return DeriveSeed(root, partID) },
+		Workers:   o.Workers,
+		Obs:       o.Obs,
+	}
+}
+
+// DeriveSeed mixes the root seed with a shard's content-derived ID into the
+// shard's solver seed. It is a pure function of (root, partID): shard
+// enumeration order, worker count, and scheduling cannot perturb it — only
+// an actual change of the partition (different shard count or population)
+// changes the IDs and hence the seeds.
+func DeriveSeed(root, partID uint64) uint64 {
+	// Golden-ratio scramble of the ID keeps adjacent anchor-cell hashes far
+	// apart, then one SplitMix64 step finalizes the mix.
+	return xrand.New(root ^ (partID * 0x9e3779b97f4a7c15)).Uint64()
+}
+
+// Partitioner splits an instance into balanced spatial shards via the grid
+// index's cell bucketing. It implements core.Partitioner.
+type Partitioner struct {
+	// Shards is the target shard count.
+	Shards int
+	// Halo is the boundary-halo width in cell rings (0 = DefaultHaloRings,
+	// negative = none).
+	Halo int
+}
+
+// Partition implements core.Partitioner: bucket the points into grid cells
+// of side r, sweep the occupied cells in lexicographic (row-major) order,
+// cut the sweep into Shards contiguous runs of roughly n/Shards points, and
+// build one sub-instance per run (own points plus the halo ring absorbed
+// from neighboring cells). Deterministic by construction: cell order, cut
+// points, per-shard index order, and IDs depend only on the instance and
+// the configuration.
+func (p Partitioner) Partition(ctx context.Context, in *reward.Instance, k int) ([]core.Part, error) {
+	if in == nil {
+		return nil, core.ErrNilInstance
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	n := in.N()
+	s := p.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s == 1 || n <= s {
+		return []core.Part{{ID: 0, In: in, Own: n}}, nil
+	}
+	grid, err := spatial.NewGrid(in.Set.Points(), in.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("shard: partition grid: %w", err)
+	}
+	cells := grid.Cells()
+	if len(cells) < s {
+		s = len(cells)
+	}
+	if s == 1 {
+		return []core.Part{{ID: 0, In: in, Own: n}}, nil
+	}
+
+	runs := splitRuns(cells, n, s)
+	rings := Options{Halo: p.Halo}.haloRings()
+	parts := make([]core.Part, 0, len(runs))
+	for _, run := range runs {
+		part, err := buildPart(in, grid, run, rings)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	return parts, nil
+}
+
+// splitRuns linearly partitions the row-major cell sweep into s contiguous
+// runs of about n/s points each. The sweep order keeps shards spatially
+// coherent; the forced cut (leave one cell per remaining shard) guarantees
+// exactly s non-empty runs. Deterministic: depends only on the cell order
+// and point counts.
+func splitRuns(cells []spatial.Cell, n, s int) [][]spatial.Cell {
+	runs := make([][]spatial.Cell, 0, s)
+	var cur []spatial.Cell
+	cum := 0
+	for i, c := range cells {
+		cur = append(cur, c)
+		cum += len(c.Points)
+		remaining := len(cells) - i - 1
+		if len(runs) < s-1 &&
+			(cum*s >= (len(runs)+1)*n || remaining == s-len(runs)-1) {
+			runs = append(runs, cur)
+			cur = nil
+		}
+	}
+	return append(runs, cur)
+}
+
+// buildPart assembles one shard: its own point indices, the halo indices
+// from neighboring cells, a sub-instance with its own grid finder, and the
+// content-derived ID (a hash of the anchor — lexicographically smallest —
+// cell's coordinates).
+func buildPart(in *reward.Instance, grid *spatial.Grid, run []spatial.Cell, rings int) (core.Part, error) {
+	own := 0
+	var idx []int
+	member := make(map[string]struct{}, len(run))
+	var key []byte
+	for _, c := range run {
+		idx = append(idx, c.Points...)
+		own += len(c.Points)
+		key = appendCoordKey(key[:0], c.Coord)
+		member[string(key)] = struct{}{}
+	}
+
+	if rings > 0 {
+		// Halo: every occupied cell within Chebyshev ring distance <= rings
+		// of a run cell, excluding the run itself. Neighbor coords are
+		// deduplicated before gathering so overlapping windows of adjacent
+		// run cells cannot double-insert a point.
+		seen := make(map[string]struct{})
+		var haloCoords [][]int
+		for _, c := range run {
+			eachNeighbor(c.Coord, rings, func(nc []int) {
+				key = appendCoordKey(key[:0], nc)
+				if _, isMember := member[string(key)]; isMember {
+					return
+				}
+				if _, dup := seen[string(key)]; dup {
+					return
+				}
+				seen[string(key)] = struct{}{}
+				cp := make([]int, len(nc))
+				copy(cp, nc)
+				haloCoords = append(haloCoords, cp)
+			})
+		}
+		for _, nc := range haloCoords {
+			idx = append(idx, grid.CellPoints(nc)...)
+		}
+	}
+	sort.Ints(idx)
+
+	sub, err := in.Set.Subset(idx)
+	if err != nil {
+		return core.Part{}, fmt.Errorf("shard: subset: %w", err)
+	}
+	subIn, err := reward.NewInstance(sub, in.Norm, in.Radius)
+	if err != nil {
+		return core.Part{}, fmt.Errorf("shard: sub-instance: %w", err)
+	}
+	if g, err := spatial.NewGrid(sub.Points(), in.Radius); err == nil {
+		subIn.SetFinder(g)
+	}
+	return core.Part{ID: cellHash(run[0].Coord), In: subIn, Own: own}, nil
+}
+
+// eachNeighbor visits every cell coordinate within Chebyshev distance
+// [1, rings] of c (the ring around c, excluding c itself). Coordinates may
+// lie outside the grid; CellPoints answers those with nil.
+func eachNeighbor(c []int, rings int, fn func(nc []int)) {
+	dim := len(c)
+	cur := make([]int, dim)
+	for d := range cur {
+		cur[d] = c[d] - rings
+	}
+	for {
+		center := true
+		for d := range cur {
+			if cur[d] != c[d] {
+				center = false
+				break
+			}
+		}
+		if !center {
+			fn(cur)
+		}
+		d := dim - 1
+		for ; d >= 0; d-- {
+			cur[d]++
+			if cur[d] <= c[d]+rings {
+				break
+			}
+			cur[d] = c[d] - rings
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// cellHash is an FNV-1a hash over a cell's integer coordinates — the stable
+// shard identity DeriveSeed consumes.
+func cellHash(coord []int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range coord {
+		v := uint64(int64(c))
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// appendCoordKey renders integer cell coordinates as a compact map key.
+func appendCoordKey(b []byte, c []int) []byte {
+	for _, v := range c {
+		u := uint64(int64(v))
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return b
+}
+
+// ctxErr tolerates a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+var _ core.Partitioner = Partitioner{}

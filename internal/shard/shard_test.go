@@ -1,0 +1,350 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/norm"
+	"repro/internal/pointset"
+	"repro/internal/reward"
+	"repro/internal/spatial"
+	"repro/internal/xrand"
+)
+
+// genInstance builds a uniform random instance over the paper's box (2-D or
+// 3-D) with a grid finder attached, matching how production callers
+// (cdserved, the CLI) accelerate Near queries.
+func genInstance(t testing.TB, n, dim int, nm norm.Norm, r float64, seed uint64) *reward.Instance {
+	t.Helper()
+	box := pointset.PaperBox2D()
+	if dim == 3 {
+		box = pointset.PaperBox3D()
+	}
+	set, err := pointset.GenUniform(n, box, pointset.RandomIntWeight, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := reward.NewInstance(set, nm, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spatial.NewGrid(set.Points(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetFinder(g)
+	return in
+}
+
+// TestSplitRunsInvariants: the linear partition of the cell sweep must yield
+// exactly s contiguous non-empty runs covering every cell once, with runs
+// roughly balanced by point count.
+func TestSplitRunsInvariants(t *testing.T) {
+	in := genInstance(t, 900, 2, norm.L2{}, 0.5, 3)
+	g, err := spatial.NewGrid(in.Set.Points(), in.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := g.Cells()
+	n := in.N()
+	maxCell := 0
+	for _, c := range cells {
+		if len(c.Points) > maxCell {
+			maxCell = len(c.Points)
+		}
+	}
+	for _, s := range []int{2, 3, 4, 8} {
+		runs := splitRuns(cells, n, s)
+		if len(runs) != s {
+			t.Fatalf("s=%d: %d runs", s, len(runs))
+		}
+		seen := 0
+		for ri, run := range runs {
+			if len(run) == 0 {
+				t.Fatalf("s=%d: run %d empty", s, ri)
+			}
+			for _, c := range run {
+				seen += len(c.Points)
+			}
+		}
+		if seen != n {
+			t.Fatalf("s=%d: runs cover %d points, want %d", s, seen, n)
+		}
+		// Contiguity: concatenating the runs reproduces the sweep order.
+		i := 0
+		for _, run := range runs {
+			for _, c := range run {
+				if &cells[i].Points[0] != &c.Points[0] {
+					t.Fatalf("s=%d: runs are not a contiguous split of the sweep", s)
+				}
+				i++
+			}
+		}
+		// Balance: a run never exceeds the ideal share by more than one
+		// cell's worth of points (the cut granularity), except the final
+		// run, which absorbs the remainder but is still bounded by the
+		// forced-cut construction on uniform data.
+		ideal := n / s
+		for ri, run := range runs[:len(runs)-1] {
+			cnt := 0
+			for _, c := range run {
+				cnt += len(c.Points)
+			}
+			if cnt > ideal+maxCell {
+				t.Errorf("s=%d run %d: %d points, ideal %d + max cell %d", s, ri, cnt, ideal, maxCell)
+			}
+		}
+	}
+}
+
+// TestPartitionInvariants: parts own every point exactly once, halo points
+// only ever add to a part's sub-instance, IDs are distinct and
+// content-derived, and disabling the halo collapses sub-instances to
+// exactly the owned points.
+func TestPartitionInvariants(t *testing.T) {
+	in := genInstance(t, 800, 2, norm.L2{}, 0.5, 11)
+	for _, s := range []int{2, 4, 8} {
+		parts, err := Partitioner{Shards: s}.Partition(context.Background(), in, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != s {
+			t.Fatalf("s=%d: %d parts", s, len(parts))
+		}
+		own, ids := 0, map[uint64]bool{}
+		haloSeen := false
+		for i, p := range parts {
+			if p.Own <= 0 {
+				t.Fatalf("s=%d part %d: own = %d", s, i, p.Own)
+			}
+			own += p.Own
+			if p.In.N() < p.Own {
+				t.Fatalf("s=%d part %d: sub-instance %d < own %d", s, i, p.In.N(), p.Own)
+			}
+			if p.In.N() > p.Own {
+				haloSeen = true
+			}
+			if ids[p.ID] {
+				t.Fatalf("s=%d part %d: duplicate ID %d", s, i, p.ID)
+			}
+			ids[p.ID] = true
+			if p.In.Norm != in.Norm || p.In.Radius != in.Radius {
+				t.Fatalf("s=%d part %d: norm/radius not inherited", s, i)
+			}
+		}
+		if own != in.N() {
+			t.Fatalf("s=%d: parts own %d points, want %d", s, own, in.N())
+		}
+		if !haloSeen {
+			t.Errorf("s=%d: no part absorbed a halo on a dense uniform instance", s)
+		}
+
+		bare, err := Partitioner{Shards: s, Halo: -1}.Partition(context.Background(), in, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range bare {
+			if p.In.N() != p.Own {
+				t.Fatalf("s=%d part %d: halo disabled but sub-instance %d != own %d", s, i, p.In.N(), p.Own)
+			}
+			if p.ID != parts[i].ID {
+				t.Fatalf("s=%d part %d: ID depends on the halo setting", s, i)
+			}
+		}
+	}
+}
+
+// TestPartitionDegenerate: one shard, or fewer points than shards, falls
+// back to a single full-instance part with ID 0.
+func TestPartitionDegenerate(t *testing.T) {
+	in := genInstance(t, 6, 2, norm.L2{}, 0.5, 2)
+	for _, p := range []Partitioner{{Shards: 1}, {Shards: 0}, {Shards: 8}} {
+		parts, err := p.Partition(context.Background(), in, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != 1 || parts[0].In != in || parts[0].Own != in.N() || parts[0].ID != 0 {
+			t.Fatalf("Partitioner%+v: degenerate case returned %d parts (%+v)", p, len(parts), parts[0])
+		}
+	}
+	if _, err := (Partitioner{Shards: 2}).Partition(context.Background(), nil, 2); err == nil {
+		t.Error("nil instance accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (Partitioner{Shards: 2}).Partition(ctx, in, 2); err != context.Canceled {
+		t.Errorf("pre-cancelled partition err = %v", err)
+	}
+}
+
+// TestDeriveSeedProperties: the per-shard seed is a pure function of
+// (root, partID) — evaluation order cannot matter — and distinct IDs or
+// roots give distinct seeds (no accidental collapse of the mix).
+func TestDeriveSeedProperties(t *testing.T) {
+	ids := []uint64{0, 1, 2, 17, 1 << 40, ^uint64(0)}
+	forward := make(map[uint64]uint64, len(ids))
+	for _, id := range ids {
+		forward[id] = DeriveSeed(42, id)
+	}
+	for i := len(ids) - 1; i >= 0; i-- { // reversed evaluation order
+		if got := DeriveSeed(42, ids[i]); got != forward[ids[i]] {
+			t.Fatalf("DeriveSeed(42, %d) unstable: %d vs %d", ids[i], got, forward[ids[i]])
+		}
+	}
+	seen := map[uint64]uint64{}
+	for _, id := range ids {
+		s := forward[id]
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed collision: ids %d and %d both map to %d", prev, id, s)
+		}
+		seen[s] = id
+	}
+	if DeriveSeed(1, 5) == DeriveSeed(2, 5) {
+		t.Error("root seed does not reach the derived seed")
+	}
+}
+
+// TestShardedDeterminismAcrossWorkers: the sharded result is bit-identical
+// at any worker count — candidates are gathered in part order and seeds are
+// content-derived, so goroutine scheduling cannot reach the output.
+func TestShardedDeterminismAcrossWorkers(t *testing.T) {
+	in := genInstance(t, 600, 2, norm.L2{}, 0.5, 19)
+	newInner := func(seed uint64) core.Algorithm { return core.LazyGreedy{} }
+	base, err := NewSolver("greedy2-lazy", newInner, Options{Shards: 4, Seed: 7, Workers: 1}).
+		Run(context.Background(), in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Algorithm != "sharded(greedy2-lazy)" {
+		t.Fatalf("algorithm = %q", base.Algorithm)
+	}
+	for _, w := range []int{2, 3, 8} {
+		got, err := NewSolver("greedy2-lazy", newInner, Options{Shards: 4, Seed: 7, Workers: w}).
+			Run(context.Background(), in, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Total != base.Total || len(got.Centers) != len(base.Centers) {
+			t.Fatalf("workers=%d: total %v (%d centers) vs %v (%d)", w,
+				got.Total, len(got.Centers), base.Total, len(base.Centers))
+		}
+		for j := range base.Centers {
+			if !got.Centers[j].Equal(base.Centers[j]) || got.Gains[j] != base.Gains[j] {
+				t.Fatalf("workers=%d round %d: result differs from workers=1", w, j)
+			}
+		}
+	}
+}
+
+// TestShardedQualityGate is the tier-1 quality-regression gate of the
+// pipeline: across norms × dimensions × shard counts on seeded uniform
+// instances, the sharded objective must stay within 5% of single-shot
+// greedy (the paper's greedy2). Submodularity plus the boundary halo is
+// what makes this hold; a partitioner or merge regression trips it.
+func TestShardedQualityGate(t *testing.T) {
+	const k, minRatio = 8, 0.95
+	norms := []norm.Norm{norm.L1{}, norm.L2{}, norm.LInf{}}
+	for _, dim := range []int{2, 3} {
+		n, r := 1200, 0.5
+		if dim == 3 {
+			n, r = 900, 0.8
+		}
+		for _, nm := range norms {
+			in := genInstance(t, n, dim, nm, r, uint64(41+dim))
+			single, err := core.LocalGreedy{Workers: 1}.Run(context.Background(), in, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				t.Run(fmt.Sprintf("%s/dim%d/s%d", nm.Name(), dim, shards), func(t *testing.T) {
+					alg := NewSolver("greedy2-lazy",
+						func(uint64) core.Algorithm { return core.LazyGreedy{} },
+						Options{Shards: shards, Seed: 1})
+					got, err := alg.Run(context.Background(), in, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := got.Validate(); err != nil {
+						t.Fatal(err)
+					}
+					ratio := got.Total / single.Total
+					if ratio < minRatio {
+						t.Errorf("sharded/single = %.4f < %.2f (sharded %.4f, single %.4f)",
+							ratio, minRatio, got.Total, single.Total)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedHaloImprovesBoundaries: with the halo disabled, boundary
+// candidates are scored blind to points across the cut; the default halo
+// must never do worse on the same instance (and the run must still be
+// valid). This is a property of the candidate pool: a halo only widens
+// per-shard visibility, and the merge re-scores both pools against the full
+// instance.
+func TestShardedHaloImprovesBoundaries(t *testing.T) {
+	in := genInstance(t, 1000, 2, norm.L2{}, 0.5, 23)
+	run := func(halo int) float64 {
+		alg := NewSolver("greedy2-lazy",
+			func(uint64) core.Algorithm { return core.LazyGreedy{} },
+			Options{Shards: 6, Halo: halo, Seed: 3})
+		res, err := alg.Run(context.Background(), in, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total
+	}
+	withHalo, without := run(0), run(-1)
+	if withHalo < 0.99*without {
+		t.Errorf("halo total %.4f markedly below halo-free %.4f", withHalo, without)
+	}
+}
+
+// TestCellHashStability pins the FNV-1a shard identity: coordinate order
+// matters, distinct coords hash apart, and the hash of a known coordinate
+// never changes (seeds derive from it — silent drift would change results).
+func TestCellHashStability(t *testing.T) {
+	if cellHash([]int{1, 2}) == cellHash([]int{2, 1}) {
+		t.Error("cellHash ignores coordinate order")
+	}
+	if cellHash([]int{0, 0}) == cellHash([]int{0, 1}) {
+		t.Error("cellHash collapses adjacent cells")
+	}
+	if got := cellHash([]int{3, -4}); got != cellHash([]int{3, -4}) {
+		t.Errorf("cellHash unstable: %d", got)
+	}
+}
+
+// TestEachNeighbor: the Chebyshev ring enumerator visits (2r+1)^d − 1 cells
+// exactly once and never the center.
+func TestEachNeighbor(t *testing.T) {
+	for _, tc := range []struct{ dim, rings, want int }{
+		{2, 1, 8}, {2, 2, 24}, {3, 1, 26}, {1, 1, 2},
+	} {
+		c := make([]int, tc.dim)
+		seen := map[string]bool{}
+		eachNeighbor(c, tc.rings, func(nc []int) {
+			key := string(appendCoordKey(nil, nc))
+			if seen[key] {
+				t.Fatalf("dim=%d rings=%d: neighbor visited twice", tc.dim, tc.rings)
+			}
+			seen[key] = true
+			center := true
+			for _, v := range nc {
+				if v != 0 {
+					center = false
+				}
+			}
+			if center {
+				t.Fatalf("dim=%d rings=%d: center visited", tc.dim, tc.rings)
+			}
+		})
+		if len(seen) != tc.want {
+			t.Fatalf("dim=%d rings=%d: %d neighbors, want %d", tc.dim, tc.rings, len(seen), tc.want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/pointset"
+	"repro/internal/shard"
 	"repro/internal/vec"
 )
 
@@ -41,6 +42,19 @@ type Options struct {
 	// current instance and the better of the two is returned. Re-solve
 	// loops pass the previous period's centers here.
 	WarmStart []vec.V
+	// Shards > 1 routes the solve through the spatial
+	// partition → shard-solve → merge pipeline (internal/shard): the
+	// instance is split into Shards balanced grid-cell shards, each solved
+	// by the named algorithm with a seed derived from the root Seed and the
+	// shard's content-derived identity, and the candidate union is
+	// lazy-greedy merged against the full instance. 0 or 1 solves
+	// single-shot. The composite name "sharded(<inner>)" does the same with
+	// DefaultShards when Shards is unset.
+	Shards int
+	// Halo is the sharded pipeline's boundary-halo width in grid-cell
+	// rings: 0 uses the default of one ring (one coverage radius), negative
+	// disables the halo. Ignored for single-shot solves.
+	Halo int
 
 	// The remaining knobs configure the exhaustive baseline ("exhaustive"
 	// in the catalog); the greedy constructors ignore them.
@@ -170,19 +184,102 @@ func Lookup(name string) (Entry, bool) {
 	return e, ok
 }
 
+// DefaultShards is the shard count a composite "sharded(<inner>)" name uses
+// when Options.Shards is unset. A fixed constant — never the CPU count —
+// because the shard count changes the partition and therefore the result;
+// results must not depend on the machine that computed them.
+const DefaultShards = 8
+
+// shardedInner parses the composable registry form "sharded(<inner>)",
+// returning the inner name and true on match.
+func shardedInner(name string) (string, bool) {
+	const prefix, suffix = "sharded(", ")"
+	if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) && len(name) > len(prefix)+len(suffix) {
+		return name[len(prefix) : len(name)-len(suffix)], true
+	}
+	return "", false
+}
+
+// Check reports whether name resolves to a constructible algorithm: a
+// registry entry, or the composite "sharded(<inner>)" around one. The
+// serving layer validates wire names through this so its catalog errors
+// cannot drift from New's.
+func Check(name string) error {
+	if inner, ok := shardedInner(name); ok {
+		name = inner
+	}
+	if _, ok := registry[name]; !ok {
+		return CatalogError("solver", "algorithm", name, Names())
+	}
+	return nil
+}
+
 // New resolves a registered name and constructs the algorithm, attaching
 // opts.Obs via core.Instrument when live. Unknown names report the sorted
 // catalog so callers' error messages are self-describing.
+//
+// Two composable sharding surfaces resolve here: the name form
+// "sharded(<inner>)" (shard count from opts.Shards, DefaultShards when
+// unset) and opts.Shards > 1 on a plain registry name. Both construct the
+// partition → shard-solve → merge pipeline of internal/shard around the
+// inner entry.
 func New(name string, opts Options) (core.Algorithm, error) {
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("solver: shards = %d, want >= 0", opts.Shards)
+	}
+	if inner, ok := shardedInner(name); ok {
+		e, okInner := registry[inner]
+		if !okInner {
+			return nil, CatalogError("solver", "algorithm", inner, Names())
+		}
+		shards := opts.Shards
+		if shards == 0 {
+			shards = DefaultShards
+		}
+		return newSharded(e, inner, shards, opts), nil
+	}
 	e, ok := registry[name]
 	if !ok {
 		return nil, CatalogError("solver", "algorithm", name, Names())
+	}
+	if opts.Shards > 1 {
+		return newSharded(e, name, opts.Shards, opts), nil
 	}
 	alg := e.New(opts)
 	if len(opts.WarmStart) > 0 {
 		alg = core.WarmStarted{Base: alg, Prev: opts.WarmStart}
 	}
 	return core.Instrument(alg, opts.Obs), nil
+}
+
+// newSharded assembles the sharded pipeline around a registry entry. The
+// inner per-shard constructor strips the telemetry collector (per-shard
+// round events would collide with the merge's rounds, which are the
+// pipeline's reported rounds), the warm start (applied once, around the
+// whole pipeline), and the sharding knobs themselves (no recursive
+// sharding); everything else — Workers, the exhaustive knobs — passes
+// through. The derived per-shard seed replaces the root seed.
+func newSharded(e Entry, inner string, shards int, opts Options) core.Algorithm {
+	newInner := func(seed uint64) core.Algorithm {
+		o := opts
+		o.Seed = seed
+		o.Obs = nil
+		o.Shards = 0
+		o.Halo = 0
+		o.WarmStart = nil
+		return e.New(o)
+	}
+	alg := shard.NewSolver(inner, newInner, shard.Options{
+		Shards:  shards,
+		Halo:    opts.Halo,
+		Workers: opts.Workers,
+		Seed:    opts.Seed,
+		Obs:     opts.Obs,
+	})
+	if len(opts.WarmStart) > 0 {
+		alg = core.WarmStarted{Base: alg, Prev: opts.WarmStart}
+	}
+	return core.Instrument(alg, opts.Obs)
 }
 
 // Names returns every registered name, sorted.

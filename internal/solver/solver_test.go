@@ -268,3 +268,158 @@ func TestWarmStartOption(t *testing.T) {
 		t.Error("warm start not counted — Options.WarmStart did not wrap")
 	}
 }
+
+// TestShardedCompositeName: the registry's composable "sharded(<inner>)"
+// form constructs the partition → shard-solve → merge pipeline, reports the
+// composite name, and produces a valid result.
+func TestShardedCompositeName(t *testing.T) {
+	in := testInstance(t, 200)
+	a, err := solver.New("sharded(greedy2-lazy)", solver.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Name(); got != "sharded(greedy2-lazy)" {
+		t.Fatalf("Name() = %q", got)
+	}
+	res, err := a.Run(context.Background(), in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "sharded(greedy2-lazy)" {
+		t.Errorf("result algorithm = %q", res.Algorithm)
+	}
+}
+
+// TestShardsOptionWraps: Options.Shards > 1 on a plain name routes through
+// the same pipeline; 0 and 1 stay single-shot.
+func TestShardsOptionWraps(t *testing.T) {
+	for shards, want := range map[int]string{
+		0: "greedy2",
+		1: "greedy2",
+		4: "sharded(greedy2)",
+	} {
+		a, err := solver.New("greedy2", solver.Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != want {
+			t.Errorf("Shards=%d: Name() = %q, want %q", shards, a.Name(), want)
+		}
+	}
+	if _, err := solver.New("greedy2", solver.Options{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+// TestShardedUnknownInner: a bad inner name inside the composite reports the
+// standard sorted-catalog error, same as a bad plain name.
+func TestShardedUnknownInner(t *testing.T) {
+	_, err := solver.New("sharded(bogus)", solver.Options{})
+	if err == nil {
+		t.Fatal("sharded(bogus) accepted")
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) || !strings.Contains(err.Error(), "greedy2") {
+		t.Errorf("error %q does not report the catalog", err)
+	}
+	// Malformed composites fall through to plain lookup and fail there.
+	for _, name := range []string{"sharded()", "sharded(", "sharded"} {
+		if _, err := solver.New(name, solver.Options{}); err == nil {
+			t.Errorf("New(%q) accepted", name)
+		}
+	}
+}
+
+// TestCheckMatchesNew: Check accepts exactly what New can construct, for
+// plain and composite names — the serving layer relies on this agreement.
+func TestCheckMatchesNew(t *testing.T) {
+	for _, name := range append(solver.Names(), "sharded(greedy2)", "sharded(random)") {
+		if err := solver.Check(name); err != nil {
+			t.Errorf("Check(%q) = %v", name, err)
+		}
+		if _, err := solver.New(name, solver.Options{}); err != nil {
+			t.Errorf("New(%q) = %v", name, err)
+		}
+	}
+	for _, name := range []string{"bogus", "sharded(bogus)", "sharded()"} {
+		if err := solver.Check(name); err == nil {
+			t.Errorf("Check(%q) accepted", name)
+		}
+	}
+}
+
+// TestShardedObsCountsMergeRoundsOnly: with a collector attached, a sharded
+// solve reports exactly k rounds (the merge's) — the inner per-shard solvers
+// run uninstrumented so their rounds cannot pollute request accounting —
+// while the shard.* counters expose the pipeline stages.
+func TestShardedObsCountsMergeRoundsOnly(t *testing.T) {
+	in := testInstance(t, 300)
+	m := obs.NewMetrics()
+	a, err := solver.New("greedy2-lazy", solver.Options{Shards: 4, Obs: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	if _, err := a.Run(context.Background(), in, k); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters[obs.CtrRounds]; got != k {
+		t.Errorf("rounds = %d, want %d", got, k)
+	}
+	if got := snap.Counters[obs.CtrShardParts]; got < 2 {
+		t.Errorf("shard parts = %d, want >= 2", got)
+	}
+	if got := snap.Counters[obs.CtrShardSolves]; got != snap.Counters[obs.CtrShardParts] {
+		t.Errorf("shard solves = %d, parts = %d", got, snap.Counters[obs.CtrShardParts])
+	}
+	if snap.Counters[obs.CtrShardCandidates] == 0 {
+		t.Error("no shard candidates counted")
+	}
+}
+
+// TestShardedCancellation: the composite honors the anytime contract — a
+// dead context yields an empty valid prefix and the context error.
+func TestShardedCancellation(t *testing.T) {
+	in := testInstance(t, 100)
+	a, err := solver.New("sharded(greedy2)", solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := a.Run(ctx, in, 3)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Centers) != 0 {
+		t.Fatalf("res = %+v, want empty prefix", res)
+	}
+}
+
+// TestShardedWarmStart: WarmStart wraps around the whole pipeline (once),
+// so a carried-over center set can only improve the sharded result.
+func TestShardedWarmStart(t *testing.T) {
+	in := testInstance(t, 150)
+	cold, err := solver.New("sharded(greedy2-lazy)", solver.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Run(context.Background(), in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := solver.New("sharded(greedy2-lazy)", solver.Options{Seed: 5, WarmStart: coldRes.Centers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := warm.Run(context.Background(), in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < coldRes.Total {
+		t.Fatalf("warm-started sharded total %v < cold %v", res.Total, coldRes.Total)
+	}
+}

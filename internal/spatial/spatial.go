@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/vec"
 )
@@ -170,6 +172,79 @@ func (g *Grid) bucket(key []byte, c []int) ([]int, []byte) {
 		return g.hbuckets[string(key)], key
 	}
 	return g.buckets[g.cellID(c)], key
+}
+
+// Cell is one occupied cell of the grid: its integer cell coordinates
+// (relative to the grid origin, cell side = the indexing radius) and the
+// indices of the points bucketed there.
+type Cell struct {
+	Coord  []int
+	Points []int
+}
+
+// Cells returns every occupied cell sorted lexicographically by coordinates,
+// so the enumeration order is a deterministic row-major spatial sweep
+// regardless of map iteration order. The Points slices alias the grid's
+// internal buckets and must be treated as read-only. The spatial partitioner
+// consumes this to split a point set into contiguous balanced shards.
+func (g *Grid) Cells() []Cell {
+	var out []Cell
+	if g.hbuckets != nil {
+		for k, pts := range g.hbuckets {
+			out = append(out, Cell{Coord: parseCellKey(k, g.dim), Points: pts})
+		}
+	} else {
+		for id, pts := range g.buckets {
+			out = append(out, Cell{Coord: g.cellCoords(id), Points: pts})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ca, cb := out[a].Coord, out[b].Coord
+		for d := range ca {
+			if ca[d] != cb[d] {
+				return ca[d] < cb[d]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// CellPoints returns the indices bucketed at the given cell coordinates (nil
+// for an empty or out-of-range cell). The returned slice aliases the grid's
+// internal bucket and must be treated as read-only.
+func (g *Grid) CellPoints(coord []int) []int {
+	if len(coord) != g.dim {
+		return nil
+	}
+	for d, c := range coord {
+		if c < 0 || c >= g.extents[d] {
+			return nil
+		}
+	}
+	b, _ := g.bucket(nil, coord)
+	return b
+}
+
+// cellCoords inverts cellID: the flattened bucket key back to per-dimension
+// cell coordinates (int-keyed grids only).
+func (g *Grid) cellCoords(id int) []int {
+	c := make([]int, g.dim)
+	for d := g.dim - 1; d >= 0; d-- {
+		c[d] = id % g.extents[d]
+		id /= g.extents[d]
+	}
+	return c
+}
+
+// parseCellKey inverts appendCellKey for the hashed-bucket fallback.
+func parseCellKey(k string, dim int) []int {
+	c := make([]int, 0, dim)
+	for _, part := range strings.Split(k, ",") {
+		v, _ := strconv.ParseInt(part, 10, 64)
+		c = append(c, int(v))
+	}
+	return c
 }
 
 // Near returns the indices of every point within Chebyshev distance

@@ -262,3 +262,107 @@ func TestSinglePointGrid(t *testing.T) {
 		t.Errorf("Near = %v", got)
 	}
 }
+
+// TestCellsCoverAndSort: Cells enumerates every point exactly once, in a
+// strictly increasing lexicographic coordinate sweep, and CellPoints round-
+// trips every returned coordinate. The shard partitioner depends on both
+// properties for deterministic balanced splits.
+func TestCellsCoverAndSort(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 20; trial++ {
+		dim := rng.IntRange(1, 4)
+		n := rng.IntRange(1, 200)
+		pts := randPoints(rng, n, dim, 0, 4)
+		g, err := NewGrid(pts, rng.Uniform(0.3, 1.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := g.Cells()
+		seen := map[int]bool{}
+		for i, c := range cells {
+			if len(c.Coord) != dim {
+				t.Fatalf("trial %d: cell coord dim %d, want %d", trial, len(c.Coord), dim)
+			}
+			if len(c.Points) == 0 {
+				t.Fatalf("trial %d: empty cell returned", trial)
+			}
+			for _, p := range c.Points {
+				if seen[p] {
+					t.Fatalf("trial %d: point %d in two cells", trial, p)
+				}
+				seen[p] = true
+			}
+			if i > 0 {
+				prev := cells[i-1].Coord
+				less := false
+				for d := range prev {
+					if prev[d] != c.Coord[d] {
+						less = prev[d] < c.Coord[d]
+						break
+					}
+				}
+				if !less {
+					t.Fatalf("trial %d: cells not strictly sorted: %v then %v", trial, prev, c.Coord)
+				}
+			}
+			got := g.CellPoints(c.Coord)
+			if len(got) != len(c.Points) {
+				t.Fatalf("trial %d: CellPoints(%v) = %d points, Cells says %d", trial, c.Coord, len(got), len(c.Points))
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("trial %d: cells cover %d points, want %d", trial, len(seen), n)
+		}
+	}
+}
+
+// TestCellsHashedMatchesInt: the hashed-bucket fallback enumerates the same
+// cells (coords and membership) as the int-keyed fast path.
+func TestCellsHashedMatchesInt(t *testing.T) {
+	rng := xrand.New(29)
+	pts := randPoints(rng, 250, 2, 0, 8)
+	g, err := NewGrid(pts, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Grid{cell: g.cell, dim: g.dim, origin: g.origin, extents: g.extents,
+		clamped: g.clamped, n: g.n, hbuckets: map[string][]int{}}
+	var key []byte
+	for id, idxs := range g.buckets {
+		key = appendCellKey(key[:0], g.cellCoords(id))
+		h.hbuckets[string(key)] = idxs
+	}
+	a, b := g.Cells(), h.Cells()
+	if len(a) != len(b) {
+		t.Fatalf("int grid has %d cells, hashed %d", len(a), len(b))
+	}
+	for i := range a {
+		for d := range a[i].Coord {
+			if a[i].Coord[d] != b[i].Coord[d] {
+				t.Fatalf("cell %d: coords differ: %v vs %v", i, a[i].Coord, b[i].Coord)
+			}
+		}
+		as, bs := append([]int{}, a[i].Points...), append([]int{}, b[i].Points...)
+		sort.Ints(as)
+		sort.Ints(bs)
+		for j := range as {
+			if as[j] != bs[j] {
+				t.Fatalf("cell %d: membership differs", i)
+			}
+		}
+	}
+}
+
+// TestCellPointsOutOfRange: unknown, empty, or mis-dimensioned coordinates
+// answer nil rather than panicking.
+func TestCellPointsOutOfRange(t *testing.T) {
+	g, err := NewGrid([]vec.V{vec.Of(0, 0), vec.Of(3, 3)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, coord := range [][]int{{-1, 0}, {99, 0}, {0}, {0, 0, 0}, nil} {
+		if got := g.CellPoints(coord); got != nil {
+			t.Errorf("CellPoints(%v) = %v, want nil", coord, got)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Sharded-solve benchmark: run the million-user single-shot and sharded
+# solves (BenchmarkSingleShotSolve_N1M_K32 / BenchmarkShardedSolve_N1M_K32),
+# splice the results into BENCH_baseline.json via benchjson -merge, and
+# print the advisory diff — including the single-shot vs sharded speedup
+# table. Each iteration is a full ~25s solve, so the benchtime defaults to
+# one iteration; raise BENCHTIME (e.g. 3x) for steadier numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -run '^$' -bench 'SingleShotSolve_N1M|ShardedSolve_N1M' -benchmem \
+	-benchtime "$BENCHTIME" . | tee /dev/stderr > "$out"
+
+go run ./cmd/benchjson -merge BENCH_baseline.json < "$out" > BENCH_baseline.json.tmp
+mv BENCH_baseline.json.tmp BENCH_baseline.json
+echo "merged shard benchmarks into BENCH_baseline.json" >&2
+
+go run ./cmd/benchjson -diff BENCH_baseline.json < "$out"

@@ -20,6 +20,18 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+# Advisory lint: staticcheck when the binary is on PATH (not baked into the
+# toolchain image). Never fails the check — read the findings, fix what is
+# real. STATICCHECK=0 skips it.
+if [ "${STATICCHECK:-1}" != "0" ]; then
+	if command -v staticcheck >/dev/null 2>&1; then
+		echo "==> staticcheck (advisory)"
+		staticcheck ./... || echo "staticcheck reported findings (advisory; not fatal)"
+	else
+		echo "==> staticcheck not installed; skipping (advisory)"
+	fi
+fi
+
 echo "==> go test ./..."
 go test ./...
 
