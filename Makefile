@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check smoke load apicheck apicheck-update bench-baseline bench-diff bench-shard clean
+.PHONY: build test vet race check smoke load apicheck apicheck-update bench-baseline bench-diff bench-shard bench-nls clean
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ bench-diff:
 # into BENCH_baseline.json (benchjson -merge) and print the speedup table.
 bench-shard:
 	./scripts/bench_shard.sh
+
+# Million-user near-linear-solver benchmark: record SingleShot/NearLinear N1M
+# runs into BENCH_baseline.json (benchjson -merge) and print the
+# speedup/quality table (gate: quality >= 0.90x at >= 5x speedup).
+bench-nls:
+	./scripts/bench_nls.sh
 
 clean:
 	$(GO) clean ./...

@@ -189,3 +189,11 @@ func BenchmarkSingleShotSolve_N1M_K32(b *testing.B) {
 func BenchmarkShardedSolve_N1M_K32(b *testing.B) {
 	benchSolverScale(b, "greedy2-lazy", solver.Options{Shards: 8})
 }
+
+// BenchmarkNearLinearSolve_N1M_K32 pairs with SingleShotSolve for
+// benchjson's Greedy↔NearLinear table: same instance, same k, but the
+// grid-snapped approximate solver — the reward metric carries the quality
+// ratio's numerator.
+func BenchmarkNearLinearSolve_N1M_K32(b *testing.B) {
+	benchSolverScale(b, "nearlinear", solver.Options{})
+}

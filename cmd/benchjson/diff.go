@@ -84,6 +84,7 @@ func Diff(baseline, current *Baseline, w io.Writer) {
 	pairSpeedups(current, w)
 	deltaSpeedups(current, w)
 	shardSpeedups(current, w)
+	nearLinearSpeedups(current, w)
 }
 
 // pairSpeedups reports the scalar-vs-batched kernel speedup for every
@@ -191,6 +192,46 @@ func shardSpeedups(current *Baseline, w io.Writer) {
 			header = true
 		}
 		fmt.Fprintf(w, "%-52s %8.2fx\n", sharded.Name, oneNS/shNS)
+	}
+}
+
+// nearLinearSpeedups reports the exact-greedy-vs-near-linear solve tradeoff
+// for every BenchmarkSingleShot*/BenchmarkNearLinear* pair in the current
+// run: wall-clock speedup next to the quality ratio (near-linear reward over
+// exact-greedy reward). The acceptance gate for the approximate solver is
+// quality >= 0.90x at >= 5x speedup on the n = 1M instance.
+func nearLinearSpeedups(current *Baseline, w io.Writer) {
+	byKey := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		byKey[key(r)] = r
+	}
+	var names []string
+	for k := range byKey {
+		if strings.Contains(k, "SingleShot") {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	header := false
+	for _, k := range names {
+		nk := strings.Replace(k, "SingleShot", "NearLinear", 1)
+		nl, ok := byKey[nk]
+		if !ok {
+			continue
+		}
+		oneNS, nlNS := byKey[k].Metrics["ns/op"], nl.Metrics["ns/op"]
+		if oneNS <= 0 || nlNS <= 0 {
+			continue
+		}
+		quality := "-"
+		if oneRW, nlRW := byKey[k].Metrics["reward"], nl.Metrics["reward"]; oneRW > 0 && nlRW > 0 {
+			quality = fmt.Sprintf("%.3fx", nlRW/oneRW)
+		}
+		if !header {
+			fmt.Fprintf(w, "\n%-52s %9s %9s\n", "exact greedy vs near-linear solve", "speedup", "quality")
+			header = true
+		}
+		fmt.Fprintf(w, "%-52s %8.2fx %9s\n", nl.Name, oneNS/nlNS, quality)
 	}
 }
 

@@ -107,6 +107,35 @@ func TestRunDiffShardPair(t *testing.T) {
 	}
 }
 
+const nearLinearSample = `pkg: repro
+BenchmarkSingleShotSolve_N1M_K32 	       1	30000000000 ns/op	      4173 reward
+BenchmarkNearLinearSolve_N1M_K32 	       1	  600000000 ns/op	      4003 reward
+PASS
+ok  	repro	31.0s
+`
+
+func TestRunDiffNearLinearPair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runDiff(path, strings.NewReader(nearLinearSample), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "exact greedy vs near-linear solve") {
+		t.Fatalf("near-linear pair table missing:\n%s", got)
+	}
+	// Speedup 30000000000/600000000 = 50.00x; quality 4003/4173 = 0.959x.
+	if !strings.Contains(got, "BenchmarkNearLinearSolve_N1M_K32") || !strings.Contains(got, "50.00x") {
+		t.Errorf("near-linear speedup not computed:\n%s", got)
+	}
+	if !strings.Contains(got, "0.959x") {
+		t.Errorf("quality ratio not computed:\n%s", got)
+	}
+}
+
 func TestRunMerge(t *testing.T) {
 	baseline := `{
   "env": {"cpu": "old-machine", "goos": "linux"},

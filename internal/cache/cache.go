@@ -132,6 +132,16 @@ func (c *Cache) Put(key Key, val any, size int64) {
 func (c *Cache) putLocked(key Key, val any, size int64) {
 	size += entryOverhead
 	if size > c.max {
+		// The value is too large to store — but refusing the Put must not
+		// leave a previous value resident under the same key: the caller
+		// has a newer answer, so serving the stale one would be wrong.
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*entry)
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.bytes -= e.size
+			c.gaugeLocked()
+		}
 		return
 	}
 	if el, ok := c.items[key]; ok {

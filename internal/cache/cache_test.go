@@ -80,6 +80,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"prune":  func() Key { p := baseParams(); p.DisablePrune = true; return Fingerprint(set, p) },
 		"shards": func() Key { p := baseParams(); p.Shards = 8; return Fingerprint(set, p) },
 		"halo":   func() Key { p := baseParams(); p.Halo = 2; return Fingerprint(set, p) },
+		"refine": func() Key { p := baseParams(); p.Refine = 4; return Fingerprint(set, p) },
 		"warm": func() Key {
 			p := baseParams()
 			p.WarmStart = [][]float64{{1, 1}}
@@ -125,6 +126,28 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 	if Fingerprint(set, moreShards) == Fingerprint(set, moreHalo) {
 		t.Error("shards and halo alias in the fingerprint")
+	}
+
+	// The near-linear refinement budget changes the returned centers, so pin
+	// it both ways: a refined solve never hits the default entry, and the
+	// zero budget is exactly the default fingerprint. Disabled (-1) and
+	// default (0) refinement differ too — they run different code.
+	refined := baseParams()
+	refined.Solver, refined.Refine = "nearlinear", 4
+	plain := refined
+	plain.Refine = 0
+	if Fingerprint(set, refined) == Fingerprint(set, plain) {
+		t.Error("refine budget does not reach the fingerprint")
+	}
+	zero := baseParams()
+	zero.Refine = 0
+	if Fingerprint(set, zero) != base {
+		t.Error("zero refine is not the default fingerprint")
+	}
+	disabled := plain
+	disabled.Refine = -1
+	if Fingerprint(set, disabled) == Fingerprint(set, plain) {
+		t.Error("disabled refinement collides with the default entry")
 	}
 }
 
@@ -173,6 +196,22 @@ func TestLRUEvictionBudget(t *testing.T) {
 	c.Put(key(9), 9, budget+1)
 	if _, ok := c.Get(key(9)); ok {
 		t.Error("oversize entry was stored")
+	}
+	// Regression: a refused oversize *replacement* must also delete the
+	// previous entry under the key — the caller has a newer answer, so the
+	// stale value must never be served again — and the byte accounting must
+	// release the stale entry's charge.
+	before := c.Bytes()
+	c.Put(key(0), 0, payload)
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("key(0) missing before oversize replacement")
+	}
+	c.Put(key(0), "too big", budget+1)
+	if _, ok := c.Get(key(0)); ok {
+		t.Error("stale entry served after its replacement was refused")
+	}
+	if c.Bytes() != before-(payload+entryOverhead) {
+		t.Errorf("bytes = %d after refused replacement, want %d", c.Bytes(), before-(payload+entryOverhead))
 	}
 	// Replacing a key adjusts accounting instead of double-charging.
 	c.Put(key(3), 33, payload/2)

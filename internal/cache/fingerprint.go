@@ -15,7 +15,7 @@ type Key [sha256.Size]byte
 // fpVersion tags the fingerprint layout. Bump it whenever the hashed field
 // set or encoding changes, so stale processes can never alias keys across
 // incompatible layouts.
-const fpVersion = "cdfp/2"
+const fpVersion = "cdfp/3"
 
 // SolveParams is every request parameter that can affect a solve result —
 // the fingerprint's input alongside the instance itself.
@@ -49,6 +49,10 @@ type SolveParams struct {
 	// instance must never share a key.
 	Shards int
 	Halo   int
+	// Refine is the near-linear solver's local-refinement round budget. It
+	// moves the returned centers (more refinement, different local optima),
+	// so a refined and an unrefined solve must never share a key.
+	Refine int
 }
 
 // hasher streams length-delimited sections into a sha256 so that adjacent
@@ -117,6 +121,7 @@ func Fingerprint(set *pointset.Set, p SolveParams) Key {
 	}
 	h.u64(uint64(int64(p.Shards)))
 	h.u64(uint64(int64(p.Halo)))
+	h.u64(uint64(int64(p.Refine)))
 	var key Key
 	st.Sum(key[:0])
 	return key

@@ -564,3 +564,56 @@ func TestGreedySharded(t *testing.T) {
 		t.Fatalf("negative -shards: err = %v", err)
 	}
 }
+
+// TestGreedyShardingValidation: cdgreedy rejects out-of-range -shards/-halo
+// up front with the exact error text /v1/solve answers with — both surfaces
+// share solver.ValidateSharding, so they cannot drift.
+func TestGreedyShardingValidation(t *testing.T) {
+	cases := []struct {
+		name         string
+		args         []string
+		shards, halo int
+	}{
+		{"negative shards", []string{"-shards", "-1", "-k", "1"}, -1, 0},
+		{"below-range halo", []string{"-shards", "2", "-halo", "-2", "-k", "1"}, 2, -2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Greedy(context.Background(), tc.args, strings.NewReader(genJSON(t)), io.Discard)
+			if err == nil {
+				t.Fatal("out-of-range sharding flags accepted")
+			}
+			want := "cdgreedy: " + solver.ValidateSharding(tc.shards, tc.halo).Error()
+			if err.Error() != want {
+				t.Errorf("error %q, want %q", err, want)
+			}
+		})
+	}
+	// halo = -1 stays valid: it means "no halo", matching /v1/solve.
+	if err := Greedy(context.Background(), []string{"-shards", "2", "-halo", "-1", "-k", "1"},
+		strings.NewReader(genJSON(t)), io.Discard); err != nil {
+		t.Fatalf("-halo -1 must stay accepted: %v", err)
+	}
+}
+
+// TestGreedyNearLinear: -alg nearlinear runs end to end and -refine threads
+// through to the solver options.
+func TestGreedyNearLinear(t *testing.T) {
+	js := genJSON(t, "-n", "80")
+	var out bytes.Buffer
+	if err := Greedy(context.Background(), []string{"-json", "-alg", "nearlinear", "-refine", "3", "-k", "2", "-r", "0.8"},
+		strings.NewReader(js), &out); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Algorithm string    `json:"algorithm"`
+		Gains     []float64 `json:"gains"`
+		Total     float64   `json:"total"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, out.String())
+	}
+	if parsed.Algorithm != "nearlinear" || len(parsed.Gains) != 2 || parsed.Total <= 0 {
+		t.Fatalf("nearlinear run reported %+v", parsed)
+	}
+}

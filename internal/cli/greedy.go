@@ -33,10 +33,11 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	fs.SetOutput(stdout)
 	var (
 		tracePath = fs.String("trace", "-", "trace file (JSON or CSV by extension; '-' reads JSON from stdin)")
-		algName   = fs.String("alg", "greedy2", "algorithm: greedy1 | greedy2 | greedy2-lazy | greedy3 | greedy4, or sharded(<name>)")
+		algName   = fs.String("alg", "greedy2", "algorithm: greedy1 | greedy2 | greedy2-lazy | greedy3 | greedy4 | nearlinear, or sharded(<name>)")
 		all       = fs.Bool("all", false, "run all four paper algorithms and compare")
 		shards    = fs.Int("shards", 0, "split the solve into this many spatial shards solved in parallel and merged (0 = single-shot)")
-		halo      = fs.Int("halo", 0, "sharded boundary-halo width in grid-cell rings (0 = default of 1, negative = none)")
+		halo      = fs.Int("halo", 0, "sharded boundary-halo width in grid-cell rings (0 = default of 1, -1 = none)")
+		refine    = fs.Int("refine", 0, "nearlinear per-center local-refinement rounds (0 = default, negative = none)")
 		k         = fs.Int("k", 2, "number of broadcasts")
 		r         = fs.Float64("r", 1, "coverage radius")
 		normName  = fs.String("norm", "l2", "interest-distance norm: l1 | l2 | linf")
@@ -49,6 +50,12 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate the sharding flags up front with the exact error text
+	// POST /v1/solve answers with a 400 — one validation source
+	// (solver.ValidateSharding), so the two surfaces cannot drift.
+	if err := solver.ValidateSharding(*shards, *halo); err != nil {
+		return fmt.Errorf("cdgreedy: %w", err)
 	}
 	ctx, cancel := withTimeout(ctx, *timeout)
 	defer cancel()
@@ -75,7 +82,7 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	in.SetCollector(tel.Collector())
 	cancelled := false
 	if *asJSON {
-		alg, err := solver.New(*algName, solver.Options{Shards: *shards, Halo: *halo})
+		alg, err := solver.New(*algName, solver.Options{Shards: *shards, Halo: *halo, Refine: *refine})
 		if err != nil {
 			return err
 		}
@@ -143,7 +150,7 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 		}
 		fmt.Fprint(stdout, tb.Render())
 	} else {
-		alg, err := solver.New(*algName, solver.Options{Shards: *shards, Halo: *halo})
+		alg, err := solver.New(*algName, solver.Options{Shards: *shards, Halo: *halo, Refine: *refine})
 		if err != nil {
 			return err
 		}

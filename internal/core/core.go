@@ -143,6 +143,9 @@ func Instrument(a Algorithm, c obs.Collector) Algorithm {
 	case ComplexGreedy:
 		t.Obs = c
 		return t
+	case NearLinear:
+		t.Obs = c
+		return t
 	case SwapLocalSearch:
 		t.Obs = c
 		if t.Seed != nil {

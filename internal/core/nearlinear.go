@@ -1,0 +1,527 @@
+// NearLinear is the grid-based approximate greedy of "Submodular Clustering
+// in Low Dimensions" (Backurs & Har-Peled) adapted to the paper's coverage
+// objective: instead of rescanning every user each round (O(n) per round for
+// greedy 3, O(n²) for greedy 2), it snaps candidate centers to the occupied
+// cells of a radius-r grid and pays O(occupied cells · 3^m) per round, which
+// is near-linear in n overall because the grid is built once in O(n).
+//
+// Three stages, each instrumented with its own span and timer:
+//
+//  1. grid_snap — bucket the points with internal/spatial's radius-r grid,
+//     aggregate each occupied cell into a weighted-centroid representative,
+//     its total weight, and its residual mass, and precompute the
+//     cell-adjacency coverage factors used by the per-round scan.
+//  2. seed — a k-means++-style D²-weighted draw over cell representatives
+//     (probability ∝ residual mass × squared distance to the nearest chosen
+//     seed) injects one diversity candidate per round, deterministically from
+//     Seed via xrand.
+//  3. refine — k greedy rounds. Each round ranks every occupied cell by an
+//     approximate gain ĝ (cell residual masses attenuated by the
+//     precomputed representative-distance coverage factors), exactly scores
+//     a bounded candidate pool (top cells by ĝ + the round's seed; per cell
+//     both the representative and the heaviest-residual point), then locally
+//     refines the winner by residual-weighted mean shift and an enclosing
+//     -ball re-centering (Badoiu–Clarkson for large Euclidean supports),
+//     accepting a move only on exact-gain improvement. The commit is an
+//     exact reward.ApplyRound, so gains telescope identically to the other
+//     greedies and Result.Validate always passes.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/geom"
+	"repro/internal/norm"
+	"repro/internal/obs"
+	"repro/internal/reward"
+	"repro/internal/spatial"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// DefaultRefineRounds is the per-center local-refinement budget NearLinear
+// uses when Refine is 0. Two rounds (one mean shift, one re-center attempt
+// after it) recover most of the gap to exact greedy in the benchmarked
+// instances; more rounds trade time for marginal quality.
+const DefaultRefineRounds = 2
+
+// nlTopCells bounds the candidate pool exactly scored per round: the top
+// cells by approximate gain, plus the round's k-means++ seed. Exact scoring
+// costs one neighborhood scan per candidate, so the pool size trades quality
+// for per-round time independent of n.
+const nlTopCells = 6
+
+// nlWelzlCutoff is the support size above which the Euclidean enclosing-ball
+// refinement switches from exact Welzl to the Badoiu–Clarkson approximate
+// center (bounded iterations, no recursion depth to worry about).
+const nlWelzlCutoff = 64
+
+// NearLinear implements the near-linear grid-snapped greedy. The zero value
+// is usable: seed 0, default refinement budget, telemetry off. It runs
+// serially — per-round work is O(occupied cells), so there is nothing worth
+// parallelizing — which makes its output trivially independent of any
+// Workers setting.
+type NearLinear struct {
+	// Seed drives the k-means++ seeding draw and any enclosing-ball
+	// shuffles. Deterministic per seed.
+	Seed uint64
+	// Refine is the per-center local-refinement round budget: 0 uses
+	// DefaultRefineRounds, negative disables refinement.
+	Refine int
+	// Obs receives stage timers, counters, spans, and per-round events.
+	Obs obs.Collector
+}
+
+// Name implements Algorithm.
+func (NearLinear) Name() string { return "nearlinear" }
+
+// nlState is the per-run working state shared by the stages.
+type nlState struct {
+	grid  *spatial.Grid
+	cells []spatial.Cell
+	rep   []vec.V   // weighted centroid representative per occupied cell
+	cellW []float64 // total weight per cell (static)
+	resW  []float64 // residual mass Σ w_i·y_i per cell (updated per commit)
+	ptCl  []int     // point index -> occupied-cell index
+	nbIdx [][]int32 // occupied neighbor cells per cell
+	nbCov [][]float64
+}
+
+// Run implements Algorithm. The anytime contract matches the other greedies:
+// cancellation between rounds returns the bit-identical committed prefix
+// with ctx.Err().
+func (a NearLinear) Run(ctx context.Context, in *reward.Instance, k int) (*Result, error) {
+	ctx = orBG(ctx)
+	if err := checkArgs(in, k); err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: a.Name()}
+	if ctx.Err() != nil {
+		return cancelRun(a.Obs, res, ctx.Err())
+	}
+	parent := obs.SpanFromContext(ctx)
+
+	snapSp := parent.Child("grid_snap")
+	snapT := obs.StartTimer(a.Obs, obs.TimNLSnap)
+	st, err := a.snap(in)
+	if err != nil {
+		return nil, err
+	}
+	// ex is a shadow evaluator over the same point set with the snap grid
+	// installed as its neighbor finder: exact RoundGain/ApplyRound touch
+	// only the O(3^m) neighboring cells. The caller's instance is never
+	// mutated.
+	ex, err := reward.NewInstance(in.Set, in.Norm, in.Radius)
+	if err != nil {
+		return nil, err
+	}
+	ex.SetFinder(st.grid)
+	if obs.Active(a.Obs) {
+		ex.SetCollector(a.Obs)
+		a.Obs.Count(obs.CtrNLCells, int64(len(st.cells)))
+	}
+	snapT.Stop()
+	snapSp.SetAttr("cells", float64(len(st.cells)))
+	snapSp.End()
+
+	seedSp := parent.Child("seed")
+	seedT := obs.StartTimer(a.Obs, obs.TimNLSeed)
+	rng := xrand.New(a.Seed ^ 0x9e3779b97f4a7c15)
+	seeds := a.seedCells(in, st, k, rng)
+	if obs.Active(a.Obs) {
+		a.Obs.Count(obs.CtrNLSeeds, int64(len(seeds)))
+	}
+	seedT.Stop()
+	seedSp.SetAttr("seeds", float64(len(seeds)))
+	seedSp.End()
+
+	refineSp := parent.Child("refine")
+	ctx = obs.ContextWithSpan(ctx, refineSp)
+	refineT := obs.StartTimer(a.Obs, obs.TimNLRefine)
+	y := ex.NewResiduals()
+	for j := 1; j <= k; j++ {
+		if ctx.Err() != nil {
+			refineT.Stop()
+			refineSp.End()
+			return cancelRun(a.Obs, res, ctx.Err())
+		}
+		rs := startRound(ctx, a.Obs, a.Name(), j)
+		var seed = -1
+		if j-1 < len(seeds) {
+			seed = seeds[j-1]
+		}
+		ctr, pool := a.selectRound(in, ex, st, y, seed)
+		ctr, steps := a.refineCenter(in, ex, st, y, ctr, rng)
+		gain, z := ex.ApplyRound(ctr.c, y)
+		// Settle the spent coverage against the per-cell residual masses;
+		// every nonzero z_i lies within the commit's grid neighborhood.
+		for _, i := range st.grid.Near(ctr.c) {
+			if zi := z[i]; zi != 0 {
+				ci := st.ptCl[i]
+				st.resW[ci] -= in.Set.Weight(i) * zi
+				if st.resW[ci] < 0 {
+					st.resW[ci] = 0
+				}
+			}
+		}
+		res.Centers = append(res.Centers, ctr.c.Clone())
+		res.Gains = append(res.Gains, gain)
+		res.Total += gain
+		if rs.active() {
+			rs.end(gain, map[string]float64{
+				"pool": float64(pool), "refine_steps": float64(steps)})
+		}
+	}
+	refineT.Stop()
+	refineSp.End()
+	return res, nil
+}
+
+// snap builds the grid and the per-cell aggregates (stage 1).
+func (a NearLinear) snap(in *reward.Instance) (*nlState, error) {
+	grid, err := spatial.NewGrid(in.Set.Points(), in.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("core: nearlinear: %w", err)
+	}
+	st := &nlState{grid: grid, cells: grid.Cells()}
+	m := len(st.cells)
+	st.rep = make([]vec.V, m)
+	st.cellW = make([]float64, m)
+	st.resW = make([]float64, m)
+	st.ptCl = make([]int, in.N())
+	dim := in.Set.Dim()
+	byCoord := make(map[string]int, m)
+	var key []byte
+	for ci, cell := range st.cells {
+		rep := vec.New(dim)
+		var w float64
+		for _, i := range cell.Points {
+			st.ptCl[i] = ci
+			wi := in.Set.Weight(i)
+			w += wi
+			p := in.Set.Point(i)
+			for d := 0; d < dim; d++ {
+				rep[d] += wi * p[d]
+			}
+		}
+		if w > 0 {
+			rep.ScaleInPlace(1 / w)
+		} else {
+			// Zero-weight cell: fall back to the unweighted centroid so the
+			// representative still lies inside the cell.
+			for _, i := range cell.Points {
+				rep.AddInPlace(in.Set.Point(i))
+			}
+			rep.ScaleInPlace(1 / float64(len(cell.Points)))
+		}
+		st.rep[ci] = rep
+		st.cellW[ci] = w
+		st.resW[ci] = w // y_i = 1 initially, so residual mass = weight
+		key = appendCoordKey(key[:0], cell.Coord)
+		byCoord[string(key)] = ci
+	}
+	// Precompute, per cell, its occupied 3^m-window neighbors and the
+	// coverage factor between representatives. Representatives never move,
+	// so the per-round approximate-gain scan reduces to multiply-adds over
+	// these fixed factors and the current residual masses.
+	st.nbIdx = make([][]int32, m)
+	st.nbCov = make([][]float64, m)
+	nb := make([]int, dim)
+	for ci, cell := range st.cells {
+		eachNeighborCoord(cell.Coord, nb, func(c []int) {
+			key = appendCoordKey(key[:0], c)
+			cj, ok := byCoord[string(key)]
+			if !ok {
+				return
+			}
+			d := in.Norm.Dist(st.rep[ci], st.rep[cj])
+			if d >= in.Radius {
+				return
+			}
+			st.nbIdx[ci] = append(st.nbIdx[ci], int32(cj))
+			st.nbCov[ci] = append(st.nbCov[ci], 1-d/in.Radius)
+		})
+	}
+	return st, nil
+}
+
+// seedCells draws up to k distinct cells k-means++ style: the first
+// proportionally to cell weight, each next proportionally to
+// weight × (distance to nearest chosen representative)². Chosen cells get
+// zero mass, so the draw never repeats; it stops early when no mass remains
+// (fewer occupied cells than k, or all representatives coincide).
+func (a NearLinear) seedCells(in *reward.Instance, st *nlState, k int, rng *xrand.Rand) []int {
+	m := len(st.cells)
+	first := sampleWeighted(rng, st.cellW)
+	if first < 0 {
+		return nil
+	}
+	seeds := make([]int, 0, k)
+	seeds = append(seeds, first)
+	minD := make([]float64, m)
+	for i := range minD {
+		minD[i] = math.Inf(1)
+	}
+	mass := make([]float64, m)
+	for len(seeds) < k && len(seeds) < m {
+		last := st.rep[seeds[len(seeds)-1]]
+		for c := 0; c < m; c++ {
+			if d := in.Norm.Dist(st.rep[c], last); d < minD[c] {
+				minD[c] = d
+			}
+			mass[c] = st.cellW[c] * minD[c] * minD[c]
+		}
+		next := sampleWeighted(rng, mass)
+		if next < 0 {
+			break
+		}
+		seeds = append(seeds, next)
+	}
+	return seeds
+}
+
+// nlCenter is a scored candidate center.
+type nlCenter struct {
+	c    vec.V
+	gain float64
+}
+
+// selectRound picks the round's center from a bounded exactly-scored pool:
+// the nlTopCells occupied cells by approximate gain ĝ plus the round's seed
+// cell; for each, both the cell representative and the heaviest-residual
+// point. Ties break toward the earlier candidate, so selection is
+// deterministic. Returns the winner and the number of exact scores spent.
+func (a NearLinear) selectRound(in *reward.Instance, ex *reward.Instance, st *nlState, y []float64, seed int) (nlCenter, int) {
+	type ranked struct {
+		cell int
+		ghat float64
+	}
+	top := make([]ranked, 0, nlTopCells)
+	for c := range st.cells {
+		g := st.resW[c]
+		for x, cj := range st.nbIdx[c] {
+			g += st.nbCov[c][x] * st.resW[cj]
+		}
+		// Insertion keeps top sorted by (ĝ desc, cell asc); the strict >
+		// preserves the earlier (lower-index) cell on ties.
+		if len(top) == cap(top) && g <= top[len(top)-1].ghat {
+			continue
+		}
+		pos := len(top)
+		for pos > 0 && g > top[pos-1].ghat {
+			pos--
+		}
+		if len(top) < cap(top) {
+			top = append(top, ranked{})
+		}
+		copy(top[pos+1:], top[pos:])
+		top[pos] = ranked{cell: c, ghat: g}
+	}
+	pool := make([]int, 0, len(top)+1)
+	for _, r := range top {
+		pool = append(pool, r.cell)
+	}
+	if seed >= 0 {
+		dup := false
+		for _, c := range pool {
+			if c == seed {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pool = append(pool, seed)
+		}
+	}
+	best := nlCenter{gain: math.Inf(-1)}
+	scored := 0
+	for _, c := range pool {
+		for _, cand := range []vec.V{st.rep[c], heaviestResidual(in, st, y, c)} {
+			if cand == nil {
+				continue
+			}
+			g := ex.RoundGain(cand, y)
+			scored++
+			if g > best.gain {
+				best = nlCenter{c: cand, gain: g}
+			}
+		}
+	}
+	if obs.Active(a.Obs) {
+		a.Obs.Count(obs.CtrNLCandidates, int64(scored))
+	}
+	return best, scored
+}
+
+// heaviestResidual returns the cell's point with the largest remaining
+// single-point reward w_i·y_i (greedy 3's per-round pick restricted to the
+// cell), or nil when the cell has no residual mass. Lower index wins ties.
+func heaviestResidual(in *reward.Instance, st *nlState, y []float64, c int) vec.V {
+	bestI, bestW := -1, 0.0
+	for _, i := range st.cells[c].Points {
+		if w := in.Set.Weight(i) * y[i]; w > bestW {
+			bestI, bestW = i, w
+		}
+	}
+	if bestI < 0 {
+		return nil
+	}
+	return in.Set.Point(bestI)
+}
+
+// refineCenter runs the bounded local refinement: from the selected center,
+// repeatedly propose the residual-weighted mean shift and the enclosing-ball
+// re-centering of the residual support, keeping a proposal only when its
+// exact gain strictly improves. Every accepted move is re-scored exactly, so
+// refinement can only raise the committed gain. Returns the final center and
+// the number of refinement steps taken.
+func (a NearLinear) refineCenter(in *reward.Instance, ex *reward.Instance, st *nlState, y []float64, cur nlCenter, rng *xrand.Rand) (nlCenter, int) {
+	rounds := a.Refine
+	if rounds == 0 {
+		rounds = DefaultRefineRounds
+	}
+	if rounds < 0 || cur.c == nil {
+		return cur, 0
+	}
+	dim := in.Set.Dim()
+	steps := 0
+	for t := 0; t < rounds; t++ {
+		// Residual support: points near the current center that still have
+		// residual demand and receive positive coverage.
+		var pts []vec.V
+		shift := vec.New(dim)
+		var mass float64
+		for _, i := range st.grid.Near(cur.c) {
+			wy := in.Set.Weight(i) * y[i]
+			if wy <= 0 || ex.Coverage(cur.c, i) <= 0 {
+				continue
+			}
+			p := in.Set.Point(i)
+			pts = append(pts, p)
+			mass += wy
+			for d := 0; d < dim; d++ {
+				shift[d] += wy * p[d]
+			}
+		}
+		if len(pts) == 0 || mass <= 0 {
+			break
+		}
+		steps++
+		if obs.Active(a.Obs) {
+			a.Obs.Count(obs.CtrNLRefineSteps, 1)
+		}
+		cands := make([]vec.V, 0, 2)
+		cands = append(cands, shift.ScaleInPlace(1/mass))
+		if ball, err := enclosingCenter(in.Norm, pts, rng, a.Obs); err == nil {
+			cands = append(cands, ball)
+		}
+		improved := false
+		for _, cand := range cands {
+			if g := ex.RoundGain(cand, y); g > cur.gain {
+				cur = nlCenter{c: cand, gain: g}
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		if obs.Active(a.Obs) {
+			a.Obs.Count(obs.CtrNLRefineAccepts, 1)
+		}
+	}
+	return cur, steps
+}
+
+// enclosingCenter returns the center of an enclosing ball of the support:
+// Badoiu–Clarkson (bounded-iteration coreset, internal/geom) for large
+// Euclidean supports, the exact norm-dispatched ball otherwise.
+func enclosingCenter(n norm.Norm, pts []vec.V, rng *xrand.Rand, c obs.Collector) (vec.V, error) {
+	if _, euclid := n.(norm.L2); euclid && len(pts) > nlWelzlCutoff {
+		ball, err := geom.ApproxMinBall2Obs(pts, 0.1, c)
+		if err != nil {
+			return nil, err
+		}
+		return ball.Center, nil
+	}
+	ball, err := geom.EnclosingBallObs(n, pts, rng, c)
+	if err != nil {
+		return nil, err
+	}
+	return ball.Center, nil
+}
+
+// sampleWeighted draws an index proportionally to the non-negative weights,
+// returning -1 when no mass is available. The cumulative scan is in index
+// order, so the draw is deterministic per rng state.
+func sampleWeighted(rng *xrand.Rand, ws []float64) int {
+	var total float64
+	for _, w := range ws {
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			total += w
+		}
+	}
+	if total <= 0 || math.IsInf(total, 1) || math.IsNaN(total) {
+		return -1
+	}
+	r := rng.Float64() * total
+	var acc float64
+	last := -1
+	for i, w := range ws {
+		if w <= 0 || math.IsInf(w, 1) || math.IsNaN(w) {
+			continue
+		}
+		acc += w
+		last = i
+		if r < acc {
+			return i
+		}
+	}
+	return last
+}
+
+// appendCoordKey renders integer cell coordinates as a compact map key.
+func appendCoordKey(b []byte, c []int) []byte {
+	for d, v := range c {
+		if d > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return b
+}
+
+// eachNeighborCoord invokes fn with every coordinate in the 3^m window
+// around coord except coord itself. scratch must have len(coord); fn must
+// not retain its argument.
+func eachNeighborCoord(coord, scratch []int, fn func([]int)) {
+	dim := len(coord)
+	for d := 0; d < dim; d++ {
+		scratch[d] = coord[d] - 1
+	}
+	for {
+		same := true
+		for d := 0; d < dim; d++ {
+			if scratch[d] != coord[d] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			fn(scratch)
+		}
+		d := dim - 1
+		for ; d >= 0; d-- {
+			scratch[d]++
+			if scratch[d] <= coord[d]+1 {
+				break
+			}
+			scratch[d] = coord[d] - 1
+		}
+		if d < 0 {
+			return
+		}
+	}
+}

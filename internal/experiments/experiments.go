@@ -115,6 +115,7 @@ func Registry() []Experiment {
 		{ID: "ablation-ballmode", Title: "Ablation: greedy 4 enclosing-ball construction (exact vs projection)", Run: RunAblationBallMode},
 		{ID: "ablation-inner", Title: "Ablation: round-based heuristic inner-solver fidelity", Run: RunAblationInner},
 		{ID: "ablation-scale", Title: "Ablation: lazy evaluation and spatial indexing beyond paper scale", Run: RunAblationScale},
+		{ID: "nearlinear-scale", Title: "Extension: near-linear grid solver — quality gap vs exact greedy and speedup", Run: RunNearLinearScale},
 		{ID: "validate", Title: "Empirical stress-test of Theorems 1 and 2 on random instances", Run: RunValidate},
 		{ID: "multistation", Title: "Extension: multi-station deployments under a fixed broadcast budget", Run: RunMultistation},
 		{ID: "kcurve", Title: "Extension: total reward as a function of k (diminishing returns)", Run: RunKCurve},

@@ -154,6 +154,15 @@ const (
 	TimShardPartition   = "shard.partition_ns"
 	TimShardMerge       = "shard.merge_ns"
 
+	CtrNLCells         = "nearlinear.cells"
+	CtrNLSeeds         = "nearlinear.seeds"
+	CtrNLCandidates    = "nearlinear.exact_scored"
+	CtrNLRefineSteps   = "nearlinear.refine_steps"
+	CtrNLRefineAccepts = "nearlinear.refine_accepts"
+	TimNLSnap          = "nearlinear.grid_snap_ns"
+	TimNLSeed          = "nearlinear.seed_ns"
+	TimNLRefine        = "nearlinear.refine_ns"
+
 	CtrChurnPeriods  = "churn.periods"
 	CtrChurnAdded    = "churn.users_added"
 	CtrChurnRemoved  = "churn.users_removed"

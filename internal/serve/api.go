@@ -43,9 +43,15 @@ type OptionsV1 struct {
 	// fingerprint. Must be non-negative.
 	Shards int `json:"shards,omitempty"`
 	// Halo is the sharded pipeline's boundary-halo width in grid-cell rings
-	// (cells have side = radius): 0 uses the default of one ring, negative
-	// disables the halo. Ignored when Shards <= 1.
+	// (cells have side = radius): 0 uses the default of one ring, -1
+	// disables the halo (other negatives are a bad_request error). Ignored
+	// when Shards <= 1.
 	Halo int `json:"halo,omitempty"`
+	// Refine is the near-linear solver's per-center local-refinement round
+	// budget: 0 uses the default, negative disables refinement. Refinement
+	// moves the returned centers, so it is part of the cache fingerprint.
+	// The other solvers ignore it.
+	Refine int `json:"refine,omitempty"`
 }
 
 // SolveRequestV1 is the body of POST /v1/solve: one instance, one solver

@@ -66,6 +66,8 @@ func TestSolveErrorPaths(t *testing.T) {
 			http.StatusBadRequest, serve.CodeBadRequest},
 		{"negative shards", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"options":{"shards":-2}}`, good),
 			http.StatusBadRequest, serve.CodeBadRequest},
+		{"below-range halo", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"options":{"shards":2,"halo":-2}}`, good),
+			http.StatusBadRequest, serve.CodeBadRequest},
 		{"unknown sharded inner", fmt.Sprintf(`{"instance":%s,"radius":1,"k":1,"solver":"sharded(greedy9)"}`, good),
 			http.StatusBadRequest, serve.CodeUnknownSolver},
 		{"mixed instance dims", `{"instance":{"points":[[0,0],[1]]},"radius":1,"k":1}`,

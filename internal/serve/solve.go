@@ -69,9 +69,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		sc.fail(w, e)
 		return
 	}
-	if req.Options.Shards < 0 {
-		sc.fail(w, errf(http.StatusBadRequest, CodeBadRequest,
-			"shards = %d, want >= 0", req.Options.Shards))
+	if err := solver.ValidateSharding(req.Options.Shards, req.Options.Halo); err != nil {
+		sc.fail(w, errf(http.StatusBadRequest, CodeBadRequest, "%v", err))
 		return
 	}
 	useCache := s.cache != nil
@@ -111,6 +110,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			WarmStart:    req.Options.WarmStart,
 			Shards:       req.Options.Shards,
 			Halo:         req.Options.Halo,
+			Refine:       req.Options.Refine,
 		})
 		cacheSpan := sc.span.Child("cache")
 		val, flight, leader := s.cache.Lookup(key)
@@ -194,6 +194,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		DisablePrune: req.Options.DisablePrune,
 		Shards:       req.Options.Shards,
 		Halo:         req.Options.Halo,
+		Refine:       req.Options.Refine,
 	})
 	if err != nil {
 		// Unreachable: resolveSolver already checked the catalog.

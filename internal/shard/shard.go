@@ -63,17 +63,24 @@ type Options struct {
 	Obs obs.Collector
 }
 
-// haloRings normalizes the Halo knob.
-func (o Options) haloRings() int {
+// HaloRings normalizes a raw Halo knob into a ring count: 0 means
+// DefaultHaloRings, negative disables the halo entirely. It is the single
+// normalization point — Options and Partitioner both resolve their Halo
+// fields through it, so a future change to the knob's semantics cannot
+// diverge the two paths.
+func HaloRings(halo int) int {
 	switch {
-	case o.Halo == 0:
+	case halo == 0:
 		return DefaultHaloRings
-	case o.Halo < 0:
+	case halo < 0:
 		return 0
 	default:
-		return o.Halo
+		return halo
 	}
 }
+
+// haloRings normalizes the Halo knob.
+func (o Options) haloRings() int { return HaloRings(o.Halo) }
 
 // NewSolver builds the sharded pipeline around an inner registry algorithm:
 // innerName is the inner solver's catalog name (for display), newInner
@@ -148,7 +155,7 @@ func (p Partitioner) Partition(ctx context.Context, in *reward.Instance, k int) 
 	}
 
 	runs := splitRuns(cells, n, s)
-	rings := Options{Halo: p.Halo}.haloRings()
+	rings := HaloRings(p.Halo)
 	parts := make([]core.Part, 0, len(runs))
 	for _, run := range runs {
 		part, err := buildPart(in, grid, run, rings)

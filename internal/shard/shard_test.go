@@ -348,3 +348,21 @@ func TestEachNeighbor(t *testing.T) {
 		}
 	}
 }
+
+// TestHaloRings pins the one halo-normalization point every layer shares:
+// zero means the default ring width, any negative means no halo, positives
+// pass through.
+func TestHaloRings(t *testing.T) {
+	cases := []struct{ halo, want int }{
+		{0, DefaultHaloRings},
+		{-1, 0},
+		{-7, 0},
+		{1, 1},
+		{3, 3},
+	}
+	for _, tc := range cases {
+		if got := HaloRings(tc.halo); got != tc.want {
+			t.Errorf("HaloRings(%d) = %d, want %d", tc.halo, got, tc.want)
+		}
+	}
+}

@@ -52,9 +52,14 @@ type Options struct {
 	// DefaultShards when Shards is unset.
 	Shards int
 	// Halo is the sharded pipeline's boundary-halo width in grid-cell
-	// rings: 0 uses the default of one ring (one coverage radius), negative
-	// disables the halo. Ignored for single-shot solves.
+	// rings: 0 uses the default of one ring (one coverage radius), -1
+	// disables the halo (other negatives are rejected by ValidateSharding).
+	// Ignored for single-shot solves.
 	Halo int
+	// Refine is the near-linear solver's per-center local-refinement round
+	// budget: 0 uses core.DefaultRefineRounds, negative disables
+	// refinement. The other solvers ignore it.
+	Refine int
 
 	// The remaining knobs configure the exhaustive baseline ("exhaustive"
 	// in the catalog); the greedy constructors ignore them.
@@ -156,6 +161,13 @@ func init() {
 		},
 	})
 	mustRegister(Entry{
+		Name:    "nearlinear",
+		Summary: "grid-snapped approximate greedy: O(occupied cells) per round, k-means++ seeded, locally refined",
+		New: func(o Options) core.Algorithm {
+			return core.NearLinear{Seed: o.Seed, Refine: o.Refine}
+		},
+	})
+	mustRegister(Entry{
 		Name:    "random",
 		Summary: "baseline: k centers uniform over the data bounding box",
 		New: func(o Options) core.Algorithm {
@@ -189,6 +201,21 @@ func Lookup(name string) (Entry, bool) {
 // because the shard count changes the partition and therefore the result;
 // results must not depend on the machine that computed them.
 const DefaultShards = 8
+
+// ValidateSharding validates the wire-facing sharding knobs. Every surface
+// that accepts them — solver.New, POST /v1/solve, and the cdgreedy flags —
+// answers an out-of-range value with exactly this error text, so the
+// surfaces cannot drift. Shards must be >= 0 (0 solves single-shot); Halo
+// must be >= -1 (-1 disables the halo, 0 uses the default ring).
+func ValidateSharding(shards, halo int) error {
+	if shards < 0 {
+		return fmt.Errorf("shards = %d, want >= 0", shards)
+	}
+	if halo < -1 {
+		return fmt.Errorf("halo = %d, want >= -1", halo)
+	}
+	return nil
+}
 
 // shardedInner parses the composable registry form "sharded(<inner>)",
 // returning the inner name and true on match.
@@ -224,8 +251,8 @@ func Check(name string) error {
 // partition → shard-solve → merge pipeline of internal/shard around the
 // inner entry.
 func New(name string, opts Options) (core.Algorithm, error) {
-	if opts.Shards < 0 {
-		return nil, fmt.Errorf("solver: shards = %d, want >= 0", opts.Shards)
+	if err := ValidateSharding(opts.Shards, opts.Halo); err != nil {
+		return nil, fmt.Errorf("solver: %w", err)
 	}
 	if inner, ok := shardedInner(name); ok {
 		e, okInner := registry[inner]

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Near-linear-solver benchmark: run the million-user exact-greedy and
+# near-linear solves (BenchmarkSingleShotSolve_N1M_K32 /
+# BenchmarkNearLinearSolve_N1M_K32), splice the results into
+# BENCH_baseline.json via benchjson -merge, and print the advisory diff —
+# including the exact-greedy vs near-linear speedup/quality table. The
+# acceptance gate for the approximate solver is quality >= 0.90x at >= 5x
+# speedup. The single-shot iteration is a full ~25s solve, so the benchtime
+# defaults to one iteration; raise BENCHTIME (e.g. 3x) for steadier numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -run '^$' -bench 'SingleShotSolve_N1M|NearLinearSolve_N1M' -benchmem \
+	-benchtime "$BENCHTIME" . | tee /dev/stderr > "$out"
+
+go run ./cmd/benchjson -merge BENCH_baseline.json < "$out" > BENCH_baseline.json.tmp
+mv BENCH_baseline.json.tmp BENCH_baseline.json
+echo "merged near-linear benchmarks into BENCH_baseline.json" >&2
+
+go run ./cmd/benchjson -diff BENCH_baseline.json < "$out"

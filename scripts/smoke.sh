@@ -44,6 +44,15 @@ expect_clean cdgreedy "$BIN/greedy_full.out" "$status"
 grep -q "note: run stopped early" "$BIN/greedy_full.out" &&
 	fail "uncancelled cdgreedy run printed the early-stop note"
 
+echo "==> cdgreedy: near-linear grid solver must finish clean with k centers"
+status=0
+"$BIN/cdgreedy" -trace "$BIN/trace.json" -alg nearlinear -refine 2 -k 4 -timeout 1m >"$BIN/greedy_nls.out" 2>&1 || status=$?
+expect_clean "cdgreedy -alg nearlinear" "$BIN/greedy_nls.out" "$status"
+grep -q "nearlinear on" "$BIN/greedy_nls.out" ||
+	fail "cdgreedy -alg nearlinear output lacks the algorithm header"
+grep -q "total reward" "$BIN/greedy_nls.out" ||
+	fail "cdgreedy -alg nearlinear output lacks a total"
+
 echo "==> cdstation: 1ns deadline must yield a clean partial run"
 status=0
 "$BIN/cdstation" -trace "$BIN/trace.json" -k 4 -periods 50 -timeout 1ns >"$BIN/station.out" 2>&1 || status=$?
