@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check smoke load apicheck apicheck-update bench-baseline bench-diff bench-shard bench-nls clean
+.PHONY: build test vet race check smoke smoke-cluster load apicheck apicheck-update bench-baseline bench-diff bench-shard bench-nls bench-cluster clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ check:
 # -timeout, and assert a clean exit with valid partial output.
 smoke:
 	./scripts/smoke.sh
+
+# Cluster smoke: boot a 3-node local cdserved cluster, fan a sharded solve
+# across it, kill one peer mid-run, and assert the coordinator still lands
+# the bit-identical answer via local fallback.
+smoke-cluster:
+	./scripts/smoke_cluster.sh
 
 # SLO harness: boot cdserved and drive it with cdload's open-loop Poisson
 # generator; RATE/DURATION/CHURN/DUP/SLO_P99/MAX_5XX/URL tune the run (see
@@ -55,6 +61,12 @@ bench-shard:
 # speedup/quality table (gate: quality >= 0.90x at >= 5x speedup).
 bench-nls:
 	./scripts/bench_nls.sh
+
+# Million-user cluster-solve benchmark: record the nodes=1 / nodes=3
+# ClusterSolve_N1M pair into BENCH_baseline.json (benchjson -merge) and print
+# the single-node vs cluster speedup/parity table (parity must be 1.000x).
+bench-cluster:
+	./scripts/bench_cluster.sh
 
 clean:
 	$(GO) clean ./...

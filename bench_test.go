@@ -2,8 +2,10 @@ package repro
 
 import (
 	"context"
+	"net/http/httptest"
 	"testing"
 
+	"repro/internal/clusterd"
 	"repro/internal/core"
 	"repro/internal/exhaustive"
 	"repro/internal/experiments"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/pointset"
 	"repro/internal/reward"
+	"repro/internal/serve"
 	"repro/internal/solver"
 	"repro/internal/spatial"
 	"repro/internal/xrand"
@@ -196,4 +199,35 @@ func BenchmarkShardedSolve_N1M_K32(b *testing.B) {
 // ratio's numerator.
 func BenchmarkNearLinearSolve_N1M_K32(b *testing.B) {
 	benchSolverScale(b, "nearlinear", solver.Options{})
+}
+
+// Cluster benches: the same million-user sharded solve, solved alone versus
+// coordinated across a 3-node loopback cluster. nodes=1 runs the local
+// partition → solve → merge pipeline; nodes=3 installs clusterd's forwarding
+// PartSolver against two in-process peers, so every shard crosses the wire
+// (JSON codec both ways over loopback HTTP) and comes back bit-identical —
+// the reward metric must match across the pair. On one box the pair prices
+// pure wire overhead; on real hardware the peer fan-out is what cluster mode
+// buys. The sub-benchmark names pair as nodes=1↔nodes=3 for benchjson's
+// cluster table. Run with -benchtime=1x: each iteration is a full solve.
+func BenchmarkClusterSolve_N1M_K32(b *testing.B) {
+	b.Run("nodes=1", func(b *testing.B) {
+		benchSolverScale(b, "greedy2-lazy", solver.Options{Shards: 8})
+	})
+	b.Run("nodes=3", func(b *testing.B) {
+		var peers []string
+		for i := 0; i < 2; i++ {
+			// Forwarded sub-instances run ~5 MB of JSON, so the peers need a
+			// body cap above the serving default; caching is off so every
+			// iteration re-solves instead of replaying the first answer.
+			s := serve.New(serve.Config{MaxBody: 64 << 20, CacheBytes: -1})
+			ts := httptest.NewServer(s.Handler())
+			b.Cleanup(ts.Close)
+			peers = append(peers, ts.URL)
+		}
+		cl := clusterd.New(clusterd.Config{Peers: peers})
+		cl.GossipOnce(context.Background())
+		remote := cl.PartSolver(clusterd.ForwardSpec{Solver: "greedy2-lazy", Norm: "l2"})
+		benchSolverScale(b, "greedy2-lazy", solver.Options{Shards: 8, Remote: remote})
+	})
 }

@@ -85,6 +85,7 @@ func Diff(baseline, current *Baseline, w io.Writer) {
 	deltaSpeedups(current, w)
 	shardSpeedups(current, w)
 	nearLinearSpeedups(current, w)
+	clusterSpeedups(current, w)
 }
 
 // pairSpeedups reports the scalar-vs-batched kernel speedup for every
@@ -232,6 +233,48 @@ func nearLinearSpeedups(current *Baseline, w io.Writer) {
 			header = true
 		}
 		fmt.Fprintf(w, "%-52s %8.2fx %9s\n", nl.Name, oneNS/nlNS, quality)
+	}
+}
+
+// clusterSpeedups reports the single-node-vs-cluster solve ratio for every
+// .../nodes=1 ↔ .../nodes=3 sub-benchmark pair in the current run: the same
+// sharded solve merged locally versus fanned out to peers over the wire. The
+// parity column is the cluster reward over the single-node reward and must
+// print 1.000x — forwarding is required to be bit-identical. On a one-box
+// loopback run the speedup prices pure wire overhead (expect < 1x); across
+// real machines the fan-out is what cluster mode buys.
+func clusterSpeedups(current *Baseline, w io.Writer) {
+	byKey := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		byKey[key(r)] = r
+	}
+	var names []string
+	for k := range byKey {
+		if strings.Contains(k, "nodes=1") {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	header := false
+	for _, k := range names {
+		ck := strings.Replace(k, "nodes=1", "nodes=3", 1)
+		cluster, ok := byKey[ck]
+		if !ok {
+			continue
+		}
+		oneNS, clNS := byKey[k].Metrics["ns/op"], cluster.Metrics["ns/op"]
+		if oneNS <= 0 || clNS <= 0 {
+			continue
+		}
+		parity := "-"
+		if oneRW, clRW := byKey[k].Metrics["reward"], cluster.Metrics["reward"]; oneRW > 0 && clRW > 0 {
+			parity = fmt.Sprintf("%.3fx", clRW/oneRW)
+		}
+		if !header {
+			fmt.Fprintf(w, "\n%-52s %9s %9s\n", "single-node vs 3-node cluster solve", "speedup", "parity")
+			header = true
+		}
+		fmt.Fprintf(w, "%-52s %8.2fx %9s\n", cluster.Name, oneNS/clNS, parity)
 	}
 }
 

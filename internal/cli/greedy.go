@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	v1 "repro/api/v1"
 	"repro/internal/core"
 	"repro/internal/exhaustive"
 	"repro/internal/norm"
@@ -51,10 +52,11 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// Validate the sharding flags up front with the exact error text
-	// POST /v1/solve answers with a 400 — one validation source
-	// (solver.ValidateSharding), so the two surfaces cannot drift.
-	if err := solver.ValidateSharding(*shards, *halo); err != nil {
+	// The CLI funnels its solver knobs through the same versioned wire
+	// options POST /v1/solve decodes, validated by the same Validate() — one
+	// options surface, so the two entry points cannot drift.
+	wireOpts := v1.SolveOptions{Shards: *shards, Halo: *halo, Refine: *refine}
+	if err := wireOpts.Validate(); err != nil {
 		return fmt.Errorf("cdgreedy: %w", err)
 	}
 	ctx, cancel := withTimeout(ctx, *timeout)
@@ -82,7 +84,7 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	in.SetCollector(tel.Collector())
 	cancelled := false
 	if *asJSON {
-		alg, err := solver.New(*algName, solver.Options{Shards: *shards, Halo: *halo, Refine: *refine})
+		alg, err := solver.New(*algName, wireOpts.SolverOptions())
 		if err != nil {
 			return err
 		}
@@ -150,7 +152,7 @@ func Greedy(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 		}
 		fmt.Fprint(stdout, tb.Render())
 	} else {
-		alg, err := solver.New(*algName, solver.Options{Shards: *shards, Halo: *halo, Refine: *refine})
+		alg, err := solver.New(*algName, wireOpts.SolverOptions())
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/load"
@@ -20,7 +21,7 @@ func Load(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer)
 	fs := flag.NewFlagSet("cdload", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		url      = fs.String("url", "http://127.0.0.1:8080", "target server base URL")
+		url      = fs.String("url", "http://127.0.0.1:8080", "target base URL, or a comma-separated list to spread load across cluster nodes")
 		rate     = fs.Float64("rate", 50, "offered load in requests per second (Poisson arrivals)")
 		duration = fs.Duration("duration", 10*time.Second, "how long to generate arrivals")
 		churn    = fs.Float64("churn", 0, "fraction of arrivals that are /v1/churn requests, in [0,1]")
@@ -44,8 +45,14 @@ func Load(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var targets []string
+	for _, u := range strings.Split(*url, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targets = append(targets, u)
+		}
+	}
 	rep, err := load.Run(ctx, load.Config{
-		BaseURL:       *url,
+		BaseURLs:      targets,
 		Rate:          *rate,
 		Duration:      *duration,
 		ChurnFraction: *churn,

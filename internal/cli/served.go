@@ -7,8 +7,10 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/clusterd"
 	"repro/internal/serve"
 	"repro/internal/solver"
 )
@@ -34,6 +36,9 @@ func Served(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 		cacheBytes  = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "solve-result cache budget in bytes (0 disables caching and request collapsing)")
 		metrics     = fs.String("metrics", "", "write the final telemetry snapshot as JSON to this file at drain ('-' = stdout)")
 		events      = fs.String("events", "", "stream telemetry events (request lifecycle + solver rounds) as JSONL to this file")
+		peers       = fs.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8080,...); non-empty enables cluster mode")
+		advertise   = fs.String("advertise", "", "this node's own base URL as peers reach it (default http://<resolved listen address>)")
+		gossipEvery = fs.Duration("gossip-every", clusterd.DefaultGossipEvery, "period between peer health probes in cluster mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +55,25 @@ func Served(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 	if cb == 0 {
 		cb = -1 // Config's "caching off"; its 0 means the default budget
 	}
+	// Listen before building the cluster: the default advertise URL is the
+	// resolved address (which a ":0" port only has after binding).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("cdserved: listen: %w", err)
+	}
+	var cluster *clusterd.Cluster
+	if *peers != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		cluster = clusterd.New(clusterd.Config{
+			Advertise:   adv,
+			Peers:       strings.Split(*peers, ","),
+			GossipEvery: *gossipEvery,
+			Obs:         tel.Collector(),
+		})
+	}
 	srv := serve.New(serve.Config{
 		Workers:     *workers,
 		QueueDepth:  qd,
@@ -58,17 +82,20 @@ func Served(ctx context.Context, args []string, stdin io.Reader, stdout io.Write
 		MaxDeadline: *maxDeadline,
 		CacheBytes:  cb,
 		Obs:         tel.Collector(),
+		Cluster:     cluster,
 	})
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return fmt.Errorf("cdserved: listen: %w", err)
-	}
 	nw := *workers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
 	fmt.Fprintf(stdout, "cdserved: listening on http://%s (%d solvers, %d workers)\n",
 		ln.Addr(), len(solver.Names()), nw)
+	if cluster != nil {
+		fmt.Fprintf(stdout, "cdserved: cluster mode, advertising %s to %d peer(s), gossip every %s\n",
+			cluster.Advertise(), cluster.NumPeers(), *gossipEvery)
+		cluster.Start()
+		defer cluster.Stop()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -8,6 +8,7 @@ import (
 	"io"
 	"strings"
 
+	v1 "repro/api/v1"
 	"repro/internal/pointset"
 	"repro/internal/trace"
 	"repro/internal/vec"
@@ -35,6 +36,11 @@ func TraceGen(ctx context.Context, args []string, stdout io.Writer) error {
 		tlDrift  = fs.Float64("timeline-drift", 0.15, "per-period drift sigma for -timeline")
 		keywords = fs.String("keywords", "", "comma-separated names for the interest dimensions (e.g. \"genre,tempo\")")
 		timeout  = fs.Duration("timeout", 0, "deadline for the generation (0 = none)")
+		solveURL = fs.String("solve", "", "POST the generated population to this cdserved base URL's /v1/solve and print the typed response instead of the trace")
+		solveK   = fs.Int("k", 4, "broadcast contents to request with -solve")
+		solveR   = fs.Float64("r", 1.0, "coverage radius to request with -solve")
+		solveAlg = fs.String("alg", "", "solver name to request with -solve (empty = server default)")
+		shards   = fs.Int("shards", 0, "options.shards to request with -solve (>1 fans out on a cluster node)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +83,32 @@ func TraceGen(ctx context.Context, args []string, stdout io.Writer) error {
 		if err := tr.Validate(); err != nil {
 			return err
 		}
+	}
+	if *solveURL != "" {
+		// One-shot smoke client: the same typed api/v1 Client the cluster
+		// forwarding path and cdload use, so a generated population can be
+		// thrown at a running server without hand-writing JSON.
+		set, err := tr.ToSet()
+		if err != nil {
+			return err
+		}
+		req := &v1.SolveRequest{
+			Instance: set,
+			Radius:   *solveR,
+			K:        *solveK,
+			Solver:   *solveAlg,
+			Options:  v1.SolveOptions{Shards: *shards},
+		}
+		if err := req.Options.Validate(); err != nil {
+			return fmt.Errorf("cdtrace: %v", err)
+		}
+		resp, err := v1.NewClient(*solveURL, nil).Solve(ctx, req, "")
+		if err != nil {
+			return fmt.Errorf("cdtrace: solve: %w", err)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
 	}
 	if *timeline > 0 {
 		if *format != "json" {

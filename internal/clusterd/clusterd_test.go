@@ -1,0 +1,280 @@
+package clusterd_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	v1 "repro/api/v1"
+	"repro/internal/clusterd"
+	"repro/internal/obs"
+	"repro/internal/pointset"
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// node is one test cluster member: a full serving stack on an httptest
+// listener.
+type node struct {
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+func startNode(t *testing.T, cfg serve.Config) *node {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &node{srv: s, ts: ts}
+}
+
+// testInstance builds a deterministic population large enough to partition
+// into several non-trivial shards.
+func testInstance(t *testing.T, n int) *pointset.Set {
+	t.Helper()
+	set, err := pointset.GenUniform(n, box2d(), pointset.RandomIntWeight, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func box2d() pointset.Box {
+	return pointset.Box{Lo: []float64{0, 0}, Hi: []float64{4, 4}}
+}
+
+func solveReq(set *pointset.Set, shards int) *v1.SolveRequest {
+	return &v1.SolveRequest{
+		Instance: set,
+		Radius:   0.5,
+		Solver:   "greedy2-lazy",
+		K:        6,
+		Options:  v1.SolveOptions{Seed: 3, Shards: shards},
+		// Bypass so repeated comparison solves in one test process never
+		// short-circuit through a node's cache.
+		CacheControl: v1.CacheControlBypass,
+	}
+}
+
+func mustSolve(t *testing.T, url string, req *v1.SolveRequest) *v1.SolveResponse {
+	t.Helper()
+	resp, err := v1.NewClient(url, nil).Solve(context.Background(), req, "")
+	if err != nil {
+		t.Fatalf("solve against %s: %v", url, err)
+	}
+	if resp.Partial {
+		t.Fatalf("solve against %s returned a partial result", url)
+	}
+	return resp
+}
+
+// TestClusterSolveBitIdentical pins the tentpole determinism claim: a sharded
+// solve coordinated across a 3-node cluster returns bit-for-bit the centers,
+// gains, and total a standalone node computes — routing must never leak into
+// results.
+func TestClusterSolveBitIdentical(t *testing.T) {
+	set := testInstance(t, 2000)
+	req := solveReq(set, 4)
+
+	single := startNode(t, serve.Config{})
+	want := mustSolve(t, single.ts.URL, req)
+
+	// Three nodes; node 0 coordinates, 1 and 2 take forwarded shards.
+	met := obs.NewMetrics()
+	peer1 := startNode(t, serve.Config{})
+	peer2 := startNode(t, serve.Config{})
+	cl := clusterd.New(clusterd.Config{
+		Advertise: "http://coordinator.test",
+		Peers:     []string{peer1.ts.URL, peer2.ts.URL},
+		Obs:       met,
+	})
+	cl.GossipOnce(context.Background())
+	coord := startNode(t, serve.Config{Cluster: cl})
+
+	got := mustSolve(t, coord.ts.URL, req)
+	if !reflect.DeepEqual(got.Centers, want.Centers) {
+		t.Errorf("cluster centers differ from single-node:\n got %v\nwant %v", got.Centers, want.Centers)
+	}
+	if !reflect.DeepEqual(got.Gains, want.Gains) || got.Total != want.Total {
+		t.Errorf("cluster gains/total differ: got %v / %v, want %v / %v",
+			got.Gains, got.Total, want.Gains, want.Total)
+	}
+	snap := met.Snapshot()
+	if snap.Counters[obs.CtrClusterForwards] == 0 {
+		t.Error("no shard solves were forwarded to peers")
+	}
+	if snap.Counters[obs.CtrClusterFallbacks] != 0 {
+		t.Errorf("unexpected fallbacks: %d", snap.Counters[obs.CtrClusterFallbacks])
+	}
+}
+
+// TestClusterFallback pins the failure path: when every peer fails mid-fan-out
+// (one answers 503 to solves, one is dead), the coordinator falls back to
+// local shard solves, still returns the bit-identical final centers, and
+// counts the failures in cluster.fallbacks.
+func TestClusterFallback(t *testing.T) {
+	set := testInstance(t, 2000)
+	req := solveReq(set, 4)
+
+	single := startNode(t, serve.Config{})
+	want := mustSolve(t, single.ts.URL, req)
+
+	// A peer that gossips healthy but refuses every solve with 503 — a node
+	// that saturated between the last gossip round and the forward.
+	saturated := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cluster/health" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"draining":false,"workers":8,"in_flight":0,"queued":0,"queue_depth":64}`))
+			return
+		}
+		http.Error(w, `{"error":{"code":"queue_full","message":"full"}}`, http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(saturated.Close)
+
+	// A peer that dies after gossip marked it live.
+	dead := startNode(t, serve.Config{})
+
+	met := obs.NewMetrics()
+	cl := clusterd.New(clusterd.Config{
+		Peers: []string{saturated.URL, dead.ts.URL},
+		Obs:   met,
+	})
+	cl.GossipOnce(context.Background())
+	dead.ts.Close() // dies between gossip and forward
+
+	coord := startNode(t, serve.Config{Cluster: cl})
+	got := mustSolve(t, coord.ts.URL, req)
+	if !reflect.DeepEqual(got.Centers, want.Centers) || got.Total != want.Total {
+		t.Errorf("fallback result differs from single-node:\n got %v (%v)\nwant %v (%v)",
+			got.Centers, got.Total, want.Centers, want.Total)
+	}
+	snap := met.Snapshot()
+	if snap.Counters[obs.CtrClusterFallbacks] == 0 {
+		t.Error("expected cluster.fallbacks to count the failed forwards")
+	}
+	if snap.Counters[obs.CtrClusterForwards] != 0 {
+		t.Errorf("no forward can succeed here, yet cluster.forwards = %d",
+			snap.Counters[obs.CtrClusterForwards])
+	}
+}
+
+// TestGossipLiveness pins the peer table's view transitions: never-probed →
+// live → dead, with fails counting consecutive misses and AgeMS tracking the
+// last success.
+func TestGossipLiveness(t *testing.T) {
+	peer := startNode(t, serve.Config{})
+	cl := clusterd.New(clusterd.Config{Peers: []string{peer.ts.URL}})
+
+	rows := cl.Snapshot()
+	if len(rows) != 1 || rows[0].Live || rows[0].AgeMS != -1 {
+		t.Fatalf("pre-gossip snapshot should be one never-probed row, got %+v", rows)
+	}
+
+	cl.GossipOnce(context.Background())
+	rows = cl.Snapshot()
+	if !rows[0].Live || rows[0].AgeMS < 0 || rows[0].Fails != 0 {
+		t.Fatalf("after a successful probe, want live with age >= 0, got %+v", rows[0])
+	}
+	if rows[0].Workers <= 0 {
+		t.Errorf("gossip did not carry the peer's worker count: %+v", rows[0])
+	}
+
+	peer.ts.Close()
+	cl.GossipOnce(context.Background())
+	cl.GossipOnce(context.Background())
+	rows = cl.Snapshot()
+	if rows[0].Live || rows[0].Fails != 2 {
+		t.Fatalf("after two failed probes, want dead with fails=2, got %+v", rows[0])
+	}
+}
+
+// TestGossipDrainingPeer: a draining peer answers health probes but must not
+// be ranked live (it refuses forwarded work).
+func TestGossipDrainingPeer(t *testing.T) {
+	peer := startNode(t, serve.Config{})
+	// Put the peer into drain; its mux still answers /v1/cluster/health.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := peer.srv.Drain(ctx, 0); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	cl := clusterd.New(clusterd.Config{Peers: []string{peer.ts.URL}})
+	cl.GossipOnce(context.Background())
+	rows := cl.Snapshot()
+	if rows[0].Live || !rows[0].Draining {
+		t.Fatalf("draining peer must be not-live and marked draining, got %+v", rows[0])
+	}
+}
+
+// TestNewFiltersSelfAndDuplicates: the peer table never contains the node
+// itself, duplicates, or blanks, and is sorted by URL.
+func TestNewFiltersSelfAndDuplicates(t *testing.T) {
+	cl := clusterd.New(clusterd.Config{
+		Advertise: "http://self:1/",
+		Peers:     []string{"http://b:2", "http://self:1", "", "http://a:3/", "http://b:2/"},
+	})
+	rows := cl.Snapshot()
+	if len(rows) != 2 || rows[0].URL != "http://a:3" || rows[1].URL != "http://b:2" {
+		t.Fatalf("peer table should be [http://a:3 http://b:2], got %+v", rows)
+	}
+	if cl.NumPeers() != 2 || cl.Advertise() != "http://self:1" {
+		t.Fatalf("NumPeers/Advertise wrong: %d, %q", cl.NumPeers(), cl.Advertise())
+	}
+}
+
+// TestClusterHealthEndpoint: a cluster node's /v1/cluster/health carries its
+// advertise URL and peer table; a standalone node answers with neither.
+func TestClusterHealthEndpoint(t *testing.T) {
+	peer := startNode(t, serve.Config{})
+	cl := clusterd.New(clusterd.Config{
+		Advertise: "http://me.test",
+		Peers:     []string{peer.ts.URL},
+	})
+	cl.GossipOnce(context.Background())
+	nodeA := startNode(t, serve.Config{Cluster: cl, Workers: 3})
+
+	h, err := v1.NewClient(nodeA.ts.URL, nil).ClusterHealth(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Advertise != "http://me.test" || h.Workers != 3 || len(h.Peers) != 1 {
+		t.Fatalf("cluster health wrong: %+v", h)
+	}
+	if !h.Peers[0].Live {
+		t.Fatalf("peer should be live: %+v", h.Peers[0])
+	}
+
+	standalone := startNode(t, serve.Config{})
+	h, err = v1.NewClient(standalone.ts.URL, nil).ClusterHealth(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Advertise != "" || len(h.Peers) != 0 {
+		t.Fatalf("standalone cluster health should be bare: %+v", h)
+	}
+}
+
+// TestStartStop: the gossip loop probes on its own and shuts down cleanly.
+func TestStartStop(t *testing.T) {
+	peer := startNode(t, serve.Config{})
+	cl := clusterd.New(clusterd.Config{
+		Peers:       []string{peer.ts.URL},
+		GossipEvery: 5 * time.Millisecond,
+	})
+	cl.Start()
+	defer cl.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if rows := cl.Snapshot(); rows[0].Live {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gossip loop never marked the peer live")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cl.Stop() // idempotent
+}

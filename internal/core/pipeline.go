@@ -38,6 +38,21 @@ type Partitioner interface {
 	Partition(ctx context.Context, in *reward.Instance, k int) ([]Part, error)
 }
 
+// PartSolver solves one part of a partitioned instance — possibly somewhere
+// else. It is the remote-solve seam of the pipeline's shard-solve stage: the
+// cluster layer (internal/clusterd) installs a PartSolver that forwards the
+// part's sub-instance to a peer node over the wire and returns the peer's
+// candidate centers.
+//
+// Contract: a PartSolver must return exactly the centers the local inner
+// algorithm (Pipeline.NewSolver(seed)) would have produced for the same
+// (part, seed, k) — remote solvers achieve this by running the same
+// deterministic algorithm under the same derived seed — so routing never
+// changes the merge input. An error is a routing failure, not a result: the
+// pipeline falls back to solving the part locally, which by the same
+// contract yields an identical result.
+type PartSolver func(ctx context.Context, part Part, seed uint64, k int) ([]vec.V, error)
+
 // Pipeline is the partition → shard-solve → merge seam every solve now flows
 // through conceptually: the classic single-shot solvers are the trivial
 // one-part case (nil Partition), and the sharded solver (internal/shard)
@@ -68,6 +83,11 @@ type Pipeline struct {
 	// SeedFor derives a part's solver seed from its stable ID; nil uses the
 	// ID itself. internal/shard installs a root-seed mixing hash here.
 	SeedFor func(partID uint64) uint64
+	// SolvePart, when non-nil, is tried first for every part (the remote
+	// seam: cluster mode installs a peer-forwarding solver here). On error
+	// with a live context the pipeline falls back to the local NewSolver,
+	// which the PartSolver contract guarantees yields identical centers.
+	SolvePart PartSolver
 	// Workers bounds the parallel part solves; <= 0 uses all CPUs.
 	Workers int
 	// Obs receives pipeline telemetry: partition/shard_solve/merge spans,
@@ -128,7 +148,16 @@ func (p Pipeline) Run(ctx context.Context, in *reward.Instance, k int) (*Result,
 	// therefore the final result — never depends on completion order.
 	cands := make([][]vec.V, len(parts))
 	errs := make([]error, len(parts))
-	parallel.ForCtx(ctx, len(parts), p.Workers, func(i int) {
+	workers := p.Workers
+	if p.SolvePart != nil && workers <= 0 {
+		// Remote part solves are network-bound, not CPU-bound: fan out one
+		// goroutine per part so forwards overlap even on a single-CPU
+		// coordinator. Results are bit-identical at any worker count, so
+		// this only changes wall time (and lets concurrent forwards spread
+		// across peers instead of serializing onto one).
+		workers = len(parts)
+	}
+	parallel.ForCtx(ctx, len(parts), workers, func(i int) {
 		part := parts[i]
 		sspan := parent.Child("shard_solve")
 		sspan.SetAttr("shard", float64(i))
@@ -138,11 +167,30 @@ func (p Pipeline) Run(ctx context.Context, in *reward.Instance, k int) (*Result,
 		if p.SeedFor != nil {
 			seed = p.SeedFor(part.ID)
 		}
-		alg := p.NewSolver(seed)
 		kk := k
 		if n := part.In.N(); kk > n {
 			kk = n
 		}
+		if p.SolvePart != nil {
+			cs, rerr := p.SolvePart(ctx, part, seed, kk)
+			if rerr == nil {
+				stimer.Stop()
+				cands[i] = cs
+				sspan.SetAttr("remote", 1)
+				sspan.SetAttr("rounds", float64(len(cs)))
+				sspan.End()
+				return
+			}
+			if ctx.Err() != nil {
+				stimer.Stop()
+				sspan.End()
+				return
+			}
+			// Routing failure: fall through to the local solve below, which
+			// the PartSolver contract guarantees yields identical centers.
+			sspan.SetAttr("remote_failed", 1)
+		}
+		alg := p.NewSolver(seed)
 		r, err := alg.Run(ctx, part.In, kk)
 		stimer.Stop()
 		if err != nil && ctx.Err() == nil {

@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/norm"
 	"repro/internal/pointset"
 	"repro/internal/report"
@@ -22,7 +22,7 @@ func clusterPlacement(label string, nm norm.Norm, seed uint64) core.Placement {
 	return core.Placement{
 		Label: label,
 		Place: func(in *reward.Instance, k int) ([]vec.V, error) {
-			res, err := cluster.KMeans(in.Set, k, cluster.Options{Norm: nm}, xrand.New(seed))
+			res, err := kmeans.KMeans(in.Set, k, kmeans.Options{Norm: nm}, xrand.New(seed))
 			if err != nil {
 				return nil, err
 			}

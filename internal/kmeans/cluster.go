@@ -1,10 +1,13 @@
-// Package cluster implements weighted k-means (Lloyd's algorithm with
+// Package kmeans implements weighted k-means (Lloyd's algorithm with
 // k-means++ seeding) and its 1-norm sibling k-medians over interest points.
 // Clustering is the natural non-submodular baseline for content placement:
 // put the k contents at cluster centers of the user population and see how
 // much the paper's reward-aware greedy algorithms gain over it (the
 // "baselines" experiment).
-package cluster
+//
+// Formerly internal/cluster; renamed so the clustering baseline cannot be
+// confused with internal/clusterd, the multi-node serving layer.
+package kmeans
 
 import (
 	"errors"
@@ -45,13 +48,13 @@ type Options struct {
 // for a fixed rng state.
 func KMeans(set *pointset.Set, k int, opt Options, rng *xrand.Rand) (*Result, error) {
 	if set == nil {
-		return nil, errors.New("cluster: nil point set")
+		return nil, errors.New("kmeans: nil point set")
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("cluster: k = %d must be positive", k)
+		return nil, fmt.Errorf("kmeans: k = %d must be positive", k)
 	}
 	if k > set.Len() {
-		return nil, fmt.Errorf("cluster: k = %d exceeds %d points", k, set.Len())
+		return nil, fmt.Errorf("kmeans: k = %d exceeds %d points", k, set.Len())
 	}
 	if rng == nil {
 		rng = xrand.New(0)
@@ -91,10 +94,10 @@ func KMeans(set *pointset.Set, k int, opt Options, rng *xrand.Rand) (*Result, er
 // the natural "spread out" placement baseline.
 func KCenter(set *pointset.Set, k int, nm norm.Norm) ([]vec.V, error) {
 	if set == nil {
-		return nil, errors.New("cluster: nil point set")
+		return nil, errors.New("kmeans: nil point set")
 	}
 	if k <= 0 || k > set.Len() {
-		return nil, fmt.Errorf("cluster: k = %d out of range [1, %d]", k, set.Len())
+		return nil, fmt.Errorf("kmeans: k = %d out of range [1, %d]", k, set.Len())
 	}
 	if nm == nil {
 		nm = norm.L2{}

@@ -1,9 +1,9 @@
-package cluster_test
+package kmeans_test
 
 import (
 	"fmt"
 
-	"repro/internal/cluster"
+	"repro/internal/kmeans"
 	"repro/internal/norm"
 	"repro/internal/pointset"
 	"repro/internal/vec"
@@ -16,7 +16,7 @@ func ExampleKMeans() {
 	users, _ := pointset.New(
 		[]vec.V{vec.Of(0, 0), vec.Of(0.2, 0), vec.Of(3, 3), vec.Of(3.2, 3)},
 		[]float64{3, 1, 1, 1})
-	res, _ := cluster.KMeans(users, 2, cluster.Options{}, xrand.New(1))
+	res, _ := kmeans.KMeans(users, 2, kmeans.Options{}, xrand.New(1))
 	fmt.Println("clusters:", len(res.Centers))
 	// The heavy user (weight 3 at the origin) pulls its cluster's center:
 	// weighted mean of (0,0)×3 and (0.2,0)×1 is (0.05, 0).
@@ -36,7 +36,7 @@ func ExampleKCenter() {
 	users, _ := pointset.UnitWeights([]vec.V{
 		vec.Of(0, 0), vec.Of(1, 0), vec.Of(4, 4),
 	})
-	centers, _ := cluster.KCenter(users, 2, norm.L2{})
+	centers, _ := kmeans.KCenter(users, 2, norm.L2{})
 	fmt.Println(centers[0], centers[1])
 	// Output:
 	// (0.000, 0.000) (4.000, 4.000)

@@ -31,8 +31,8 @@ import (
 	"sync"
 	"time"
 
+	v1 "repro/api/v1"
 	"repro/internal/pointset"
-	"repro/internal/serve"
 	"repro/internal/vec"
 	"repro/internal/xrand"
 )
@@ -48,6 +48,11 @@ const (
 type Config struct {
 	// BaseURL is the target server's root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when non-empty, spreads arrivals uniformly (by the run's
+	// deterministic randomness) across several nodes — the cluster-aware
+	// target list, e.g. every node of a cdserved cluster. BaseURL is
+	// folded in as one more target when it is set too.
+	BaseURLs []string
 	// Rate is the offered load in requests per second (Poisson arrivals).
 	Rate float64
 	// Duration is how long arrivals are generated; in-flight requests are
@@ -129,8 +134,20 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// targets is the effective target list: BaseURL plus BaseURLs, blanks
+// dropped, order preserved.
+func (c Config) targets() []string {
+	var out []string
+	for _, u := range append([]string{c.BaseURL}, c.BaseURLs...) {
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
 func (c Config) validate() error {
-	if c.BaseURL == "" {
+	if len(c.targets()) == 0 {
 		return errors.New("load: no target URL")
 	}
 	if !(c.Rate > 0) || math.IsInf(c.Rate, 0) {
@@ -197,7 +214,7 @@ func solveBody(cfg Config, box pointset.Box, rng *xrand.Rand) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(serve.SolveRequestV1{
+	return json.Marshal(v1.SolveRequest{
 		Instance: set, Radius: cfg.Radius, K: cfg.K, Solver: cfg.Solver,
 		DeadlineMS: cfg.DeadlineMS,
 	})
@@ -250,7 +267,7 @@ func genBodies(cfg Config, rng *xrand.Rand) (solve, churn *bodyPool, err error) 
 		if err != nil {
 			return nil, nil, err
 		}
-		sb, err := json.Marshal(serve.SolveRequestV1{
+		sb, err := json.Marshal(v1.SolveRequest{
 			Instance: set, Radius: cfg.Radius, K: cfg.K, Solver: cfg.Solver,
 			DeadlineMS: cfg.DeadlineMS,
 		})
@@ -258,7 +275,7 @@ func genBodies(cfg Config, rng *xrand.Rand) (solve, churn *bodyPool, err error) 
 			return nil, nil, err
 		}
 		solve.bodies = append(solve.bodies, sb)
-		cb, err := json.Marshal(serve.ChurnRequestV1{
+		cb, err := json.Marshal(v1.ChurnRequest{
 			Instance: set, Radius: cfg.Radius, K: cfg.K, Solver: cfg.Solver,
 			Periods: cfg.Periods, ArrivalRate: cfg.ArrivalRate,
 			DepartRate: cfg.DepartRate, Seed: cfg.Seed + uint64(i),
@@ -337,6 +354,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		ctx = context.Background()
 	}
 	rng := xrand.New(cfg.Seed)
+	targets := cfg.targets()
 	solvePool, churnPool, err := genBodies(cfg, rng)
 	if err != nil {
 		return nil, err
@@ -395,15 +413,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		} else {
 			body = pool.pick(rng)
 		}
+		base := targets[0]
+		if len(targets) > 1 {
+			base = targets[rng.Intn(len(targets))]
+		}
 		wg.Add(1)
-		go func(pool *bodyPool, body []byte, id string) {
+		go func(base string, pool *bodyPool, body []byte, id string) {
 			defer wg.Done()
-			class, cached, lat := fire(client, cfg.BaseURL, pool, body, id)
+			class, cached, lat := fire(client, base, pool, body, id)
 			rec.add(pool.kind, class, lat, cached)
 			mu.Lock()
 			inFlight--
 			mu.Unlock()
-		}(pool, body, id)
+		}(base, pool, body, id)
 	}
 done:
 	wg.Wait()
@@ -460,10 +482,7 @@ func fire(client *http.Client, base string, pool *bodyPool, body []byte, id stri
 // served from the solve cache.
 func readResult(kind string, body io.Reader) (partial, cached bool, err error) {
 	if kind == KindSolve {
-		var res struct {
-			Partial bool `json:"partial"`
-			Cached  bool `json:"cached"`
-		}
+		var res v1.SolveResponse
 		if err := json.NewDecoder(body).Decode(&res); err != nil {
 			return false, false, err
 		}
@@ -479,14 +498,7 @@ func readResult(kind string, body io.Reader) (partial, cached bool, err error) {
 		if len(line) == 0 {
 			continue
 		}
-		var l struct {
-			Summary *struct {
-				Partial bool `json:"partial"`
-			} `json:"summary"`
-			Error *struct {
-				Code string `json:"code"`
-			} `json:"error"`
-		}
+		var l v1.ChurnLine
 		if err := json.Unmarshal(line, &l); err != nil {
 			return false, false, err
 		}

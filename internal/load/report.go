@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -171,7 +172,7 @@ func (r *Report) HitRate() float64 {
 // Print writes the human-readable SLO report.
 func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "load: %.1f req/s offered for %v (%s)\n",
-		r.Config.Rate, r.Config.Duration, r.Config.BaseURL)
+		r.Config.Rate, r.Config.Duration, strings.Join(r.Config.targets(), ", "))
 	fmt.Fprintf(w, "  sent %d  completed %d  throughput %.1f req/s\n",
 		r.Sent, r.Completed(), r.Throughput())
 	kinds := make([]string, 0, len(r.Counts))

@@ -183,6 +183,19 @@ const (
 	GaugeCacheBytes   = "cache.bytes"
 	GaugeCacheEntries = "cache.entries"
 
+	// Cluster-mode series (internal/clusterd). Forwards counts shard solves
+	// shipped to a peer, fallbacks the forwards that failed (dead or
+	// saturated peer) and were re-solved locally, gossip rounds the
+	// completed probe sweeps over the peer table; peers_live is the live-peer
+	// gauge after the latest sweep. WriteProm renders them as
+	// cd_cluster_forwards_total, cd_cluster_fallbacks_total,
+	// cd_cluster_gossip_rounds_total, and cd_cluster_peers_live.
+	CtrClusterForwards     = "cluster.forwards"
+	CtrClusterFallbacks    = "cluster.fallbacks"
+	CtrClusterGossipRounds = "cluster.gossip_rounds"
+	GaugeClusterPeersLive  = "cluster.peers_live"
+	TimClusterForward      = "cluster.forward_ns"
+
 	CtrSrvRequests   = "serve.requests"
 	CtrSrvAccepted   = "serve.accepted"
 	CtrSrvQueueFull  = "serve.rejected_queue_full"

@@ -1,316 +1,51 @@
 package serve
 
-// This file is the v1 wire schema — the project's public API. Every
-// exported *V1 type here (and the Code* constants) is pinned by
-// api/v1.golden.txt via scripts/apicheck.sh: changing a field name, type, or
-// JSON tag fails scripts/check.sh until the golden file is regenerated
-// deliberately. Additive evolution (new optional fields) is fine; renames
-// and removals belong in a /v2.
+// The v1 wire schema lives in the importable api/v1 package (repro/api/v1)
+// since the cluster-mode redesign; this file keeps the serving layer's
+// historical *V1 names as aliases so the server internals and its tests read
+// naturally. The schema itself is pinned by api/v1.golden.txt via
+// scripts/apicheck.sh against the api/v1 package, not this shim.
 
 import (
-	"repro/internal/pointset"
+	v1 "repro/api/v1"
 )
 
-// OptionsV1 is the wire form of solver.Options — the one options surface
-// every solver shares. The exhaustive-baseline knobs (grid_per, box_lo/hi,
-// polish, disable_prune) are ignored by the greedy solvers, exactly as in
-// solver.Options.
-type OptionsV1 struct {
-	// Workers bounds the solver's parallelism; 0 uses all CPUs.
-	Workers int `json:"workers,omitempty"`
-	// Seed drives any solver randomness; deterministic per seed.
-	Seed uint64 `json:"seed,omitempty"`
-	// WarmStart carries a previous solve's centers; the better of the cold
-	// solve and the carried-over set is returned. Dimensions must match
-	// the instance.
-	WarmStart [][]float64 `json:"warm_start,omitempty"`
-	// GridPer enriches the exhaustive candidate set with a lattice of
-	// GridPer points per dimension.
-	GridPer int `json:"grid_per,omitempty"`
-	// BoxLo/BoxHi bound the enrichment lattice (default: data bounds).
-	BoxLo []float64 `json:"box_lo,omitempty"`
-	BoxHi []float64 `json:"box_hi,omitempty"`
-	// Polish refines the exhaustive winner by coordinate ascent.
-	Polish bool `json:"polish,omitempty"`
-	// DisablePrune turns off exhaustive branch-and-bound pruning.
-	DisablePrune bool `json:"disable_prune,omitempty"`
-	// Shards > 1 routes the solve through the spatial partition →
-	// shard-solve → merge pipeline: the instance is split into this many
-	// balanced grid-cell shards, each solved independently (in parallel,
-	// with deterministic per-shard seeds), and the candidate centers are
-	// lazy-greedy merged against the full instance. 0 or 1 solves
-	// single-shot. Sharding changes the result, so it is part of the cache
-	// fingerprint. Must be non-negative.
-	Shards int `json:"shards,omitempty"`
-	// Halo is the sharded pipeline's boundary-halo width in grid-cell rings
-	// (cells have side = radius): 0 uses the default of one ring, -1
-	// disables the halo (other negatives are a bad_request error). Ignored
-	// when Shards <= 1.
-	Halo int `json:"halo,omitempty"`
-	// Refine is the near-linear solver's per-center local-refinement round
-	// budget: 0 uses the default, negative disables refinement. Refinement
-	// moves the returned centers, so it is part of the cache fingerprint.
-	// The other solvers ignore it.
-	Refine int `json:"refine,omitempty"`
-}
+// Aliases of the api/v1 wire types under the serving layer's *V1 names.
+type (
+	OptionsV1         = v1.SolveOptions
+	SolveRequestV1    = v1.SolveRequest
+	RoundV1           = v1.Round
+	SolveResponseV1   = v1.SolveResponse
+	ChurnRequestV1    = v1.ChurnRequest
+	ChurnPeriodV1     = v1.ChurnPeriod
+	ChurnSummaryV1    = v1.ChurnSummary
+	ChurnLineV1       = v1.ChurnLine
+	SolverInfoV1      = v1.SolverInfo
+	SolversResponseV1 = v1.SolversResponse
+	HealthV1          = v1.Health
+	ClusterHealthV1   = v1.ClusterHealth
+	ClusterPeerV1     = v1.ClusterPeer
+	ErrorV1           = v1.Error
+	ErrorResponseV1   = v1.ErrorResponse
+)
 
-// SolveRequestV1 is the body of POST /v1/solve: one instance, one solver
-// name from the registry catalog (GET /v1/solvers), and a per-request
-// deadline. A request whose deadline expires mid-solve is answered 200 with
-// the anytime prefix and "partial": true, not an error.
-type SolveRequestV1 struct {
-	// Instance is the weighted user population, in the pointset JSON
-	// schema: {"dim": 2, "points": [[...], ...], "weights": [...]}
-	// (weights optional, defaulting to 1).
-	Instance *pointset.Set `json:"instance"`
-	// Radius is the coverage radius r (must be positive and finite).
-	Radius float64 `json:"radius"`
-	// Norm names the interest-distance norm: l1 | l2 | linf (default l2).
-	Norm string `json:"norm,omitempty"`
-	// Solver names a registry algorithm (default greedy2).
-	Solver string `json:"solver,omitempty"`
-	// K is the number of broadcast contents to select (must be positive).
-	K int `json:"k"`
-	// DeadlineMS bounds the solve in milliseconds; on expiry the
-	// best-so-far prefix is returned with "partial": true. 0 means no
-	// deadline (the server may still cap it; see cdserved -max-deadline).
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-	// CacheControl steers the solve-result cache: "" (default) serves an
-	// identical earlier solve from memory and collapses concurrent
-	// duplicates onto one run; "bypass" forces a fresh solve that neither
-	// reads nor fills the cache. Any other value is a bad_request error.
-	CacheControl string `json:"cache_control,omitempty"`
-	// Options carries the unified solver options.
-	Options OptionsV1 `json:"options"`
-}
-
-// RoundV1 is one round of per-round telemetry in a solve response.
-type RoundV1 struct {
-	// Round is 1-based selection order.
-	Round int `json:"round"`
-	// Gain is the round's objective gain g(round).
-	Gain float64 `json:"gain"`
-	// WallNS is the round's wall time, when the solver reported it.
-	WallNS int64 `json:"wall_ns,omitempty"`
-}
-
-// SolveResponseV1 is the body of a successful POST /v1/solve.
-type SolveResponseV1 struct {
-	// RequestID echoes X-Request-ID or a server-generated id; the same id
-	// tags the request's events in the server-wide /metrics trace.
-	RequestID string `json:"request_id"`
-	// Solver is the algorithm that produced the result.
-	Solver string `json:"solver"`
-	// Norm is the resolved norm name.
-	Norm string `json:"norm"`
-	// K echoes the requested broadcast count.
-	K int `json:"k"`
-	// Radius echoes the coverage radius.
-	Radius float64 `json:"radius"`
-	// N is the instance size.
-	N int `json:"n"`
-	// Centers are the selected broadcast contents in selection order;
-	// under a deadline this may be a prefix (len < k) with Partial set.
-	Centers [][]float64 `json:"centers"`
-	// Gains are the per-round objective gains, parallel to Centers.
-	Gains []float64 `json:"gains"`
-	// Total is the achieved objective f(C), the sum of Gains.
-	Total float64 `json:"total"`
-	// MaxReward is Σ w_i, the objective's upper bound.
-	MaxReward float64 `json:"max_reward"`
-	// Partial marks a deadline- or drain-bounded solve: Centers is the
-	// valid anytime prefix the solver committed before cancellation.
-	Partial bool `json:"partial"`
-	// Rounds is per-round telemetry (gain and wall time per round).
-	Rounds []RoundV1 `json:"rounds,omitempty"`
-	// WallNS is the server-side wall time of the solve. On a cached
-	// response it is the original solve's wall time, not the (microsecond)
-	// lookup.
-	WallNS int64 `json:"wall_ns"`
-	// Cached marks a response answered from the solve-result cache: every
-	// field except RequestID (and this flag) is bit-identical to the
-	// original solve's response, including Rounds and WallNS. Partial
-	// results are never cached, so Cached implies Partial == false.
-	Cached bool `json:"cached,omitempty"`
-}
-
-// ChurnRequestV1 is the body of POST /v1/churn: a churn-loop simulation
-// whose per-period results stream back as chunked JSON lines (ChurnLineV1)
-// while the loop runs, with warm starts carried across periods when
-// requested.
-type ChurnRequestV1 struct {
-	// Instance is the initial population (pointset JSON schema).
-	Instance *pointset.Set `json:"instance"`
-	// BoxLo/BoxHi bound the region arrivals sample from (default: the
-	// instance's bounding box).
-	BoxLo []float64 `json:"box_lo,omitempty"`
-	BoxHi []float64 `json:"box_hi,omitempty"`
-	// Radius is the coverage radius r.
-	Radius float64 `json:"radius"`
-	// Norm names the interest-distance norm (default l2).
-	Norm string `json:"norm,omitempty"`
-	// Solver names the registry algorithm re-solved each period (default
-	// greedy2).
-	Solver string `json:"solver,omitempty"`
-	// K is the number of broadcasts per period.
-	K int `json:"k"`
-	// Periods is the number of broadcast periods to simulate.
-	Periods int `json:"periods"`
-	// ArrivalRate / DepartRate are the mean Poisson arrivals and
-	// departures per period.
-	ArrivalRate float64 `json:"arrival_rate"`
-	DepartRate  float64 `json:"depart_rate"`
-	// Seed drives churn and solver randomness; deterministic per seed.
-	Seed uint64 `json:"seed,omitempty"`
-	// WarmStart carries each period's centers into the next re-solve.
-	WarmStart bool `json:"warm_start,omitempty"`
-	// Index selects the dynamic spatial accelerator: none | grid | kdtree.
-	Index string `json:"index,omitempty"`
-	// Workers bounds the per-period solver parallelism; 0 uses all CPUs.
-	Workers int `json:"workers,omitempty"`
-	// DeadlineMS bounds the whole loop; periods completed before expiry
-	// stream normally and the summary line carries "partial": true.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-}
-
-// ChurnPeriodV1 is one streamed period of a churn run.
-type ChurnPeriodV1 struct {
-	// Period is the 0-based period index.
-	Period int `json:"period"`
-	// N is the population size the period was solved for.
-	N int `json:"n"`
-	// Objective is f(C) of the adopted centers.
-	Objective float64 `json:"objective"`
-	// MaxReward is the period's Σ w_i.
-	MaxReward float64 `json:"max_reward"`
-	// CarryObjective is the previous centers' score on this period's
-	// population (the warm-start candidate); 0 for the first period.
-	CarryObjective float64 `json:"carry_objective,omitempty"`
-	// Arrivals / Departures are the churn applied after this period.
-	Arrivals   int `json:"arrivals"`
-	Departures int `json:"departures"`
-}
-
-// ChurnSummaryV1 is the final line of a churn stream.
-type ChurnSummaryV1 struct {
-	// RequestID tags the run in the server-wide /metrics trace.
-	RequestID string `json:"request_id"`
-	// Solver is the algorithm re-solved each period.
-	Solver string `json:"solver"`
-	// Periods is the number of periods that completed.
-	Periods int `json:"periods"`
-	// MeanSatisfaction is the mean over periods of f(C)/Σw.
-	MeanSatisfaction float64 `json:"mean_satisfaction"`
-	// MeanPopulation is the mean population size over periods.
-	MeanPopulation float64 `json:"mean_population"`
-	// TotalArrivals / TotalDepartures count users over the whole run.
-	TotalArrivals   int `json:"total_arrivals"`
-	TotalDepartures int `json:"total_departures"`
-	// IncrementalDeltas counts AddUser/RemoveUser deltas applied in place
-	// of rebuilds; FullRebuilds counts from-scratch rebuilds.
-	IncrementalDeltas int `json:"incremental_deltas"`
-	FullRebuilds      int `json:"full_rebuilds"`
-	// Partial marks a run cut short by its deadline or a server drain;
-	// the streamed periods are complete, later ones never ran.
-	Partial bool `json:"partial"`
-}
-
-// ChurnLineV1 is one chunked JSON line of a /v1/churn response stream:
-// exactly one of Period, Summary, or Error is set. The stream is zero or
-// more period lines followed by one summary line (or an error line when the
-// loop fails after streaming began).
-type ChurnLineV1 struct {
-	Period  *ChurnPeriodV1  `json:"period,omitempty"`
-	Summary *ChurnSummaryV1 `json:"summary,omitempty"`
-	Error   *ErrorV1        `json:"error,omitempty"`
-}
-
-// SolverInfoV1 describes one catalog entry in GET /v1/solvers.
-type SolverInfoV1 struct {
-	// Name is the canonical registry name — the same string `cdgreedy
-	// -alg` accepts and SolveRequestV1.Solver takes.
-	Name string `json:"name"`
-	// Summary is the registry's one-line description.
-	Summary string `json:"summary"`
-}
-
-// SolversResponseV1 is the body of GET /v1/solvers, sorted by name.
-type SolversResponseV1 struct {
-	Solvers []SolverInfoV1 `json:"solvers"`
-}
-
-// HealthV1 is the body of GET /healthz. The endpoint always answers 200 —
-// saturation and drain are reported in Status, not by failing the probe.
-type HealthV1 struct {
-	// Status is "ok" or "draining".
-	Status string `json:"status"`
-	// Draining mirrors Status == "draining" as a boolean, so probes need no
-	// string comparison.
-	Draining bool `json:"draining"`
-	// InFlight is the number of requests currently holding worker slots or
-	// waiting for one.
-	InFlight int `json:"in_flight"`
-	// Queued is the number of admitted requests waiting for a worker.
-	Queued int `json:"queued"`
-	// UptimeNS is nanoseconds since the server was constructed.
-	UptimeNS int64 `json:"uptime_ns"`
-	// UptimeSeconds is UptimeNS in seconds, for human probes and dashboards.
-	UptimeSeconds float64 `json:"uptime_seconds"`
-}
-
-// ErrorV1 is the machine-readable error every non-2xx v1 response carries.
-type ErrorV1 struct {
-	// Code is one of the Code* constants.
-	Code string `json:"code"`
-	// Message is human-readable detail (e.g. the sorted solver catalog for
-	// CodeUnknownSolver).
-	Message string `json:"message"`
-}
-
-// ErrorResponseV1 wraps ErrorV1 as a response body: {"error": {...}}.
-type ErrorResponseV1 struct {
-	Error ErrorV1 `json:"error"`
-}
-
-// Machine-readable error codes carried in ErrorV1.Code.
+// Machine-readable error codes, re-exported from api/v1.
 const (
-	// CodeBadJSON: the body is not valid JSON for the request schema
-	// (malformed syntax or unknown fields).
-	CodeBadJSON = "bad_json"
-	// CodeBodyTooLarge: the body exceeded the server's -max-body cap;
-	// answered 413.
-	CodeBodyTooLarge = "body_too_large"
-	// CodeBadInstance: the instance failed pointset validation (empty,
-	// non-finite coordinates, invalid weights).
-	CodeBadInstance = "bad_instance"
-	// CodeDimMismatch: inconsistent dimensions — mixed-length points, a
-	// contradicting "dim", or warm-start centers of the wrong dimension.
-	CodeDimMismatch = "dim_mismatch"
-	// CodeBadK: k was zero or negative.
-	CodeBadK = "bad_k"
-	// CodeBadRadius: the radius was not positive and finite.
-	CodeBadRadius = "bad_radius"
-	// CodeBadNorm: the norm name is not l1 | l2 | linf.
-	CodeBadNorm = "bad_norm"
-	// CodeUnknownSolver: the solver name is not in the registry; the
-	// message carries the sorted catalog.
-	CodeUnknownSolver = "unknown_solver"
-	// CodeBadRequest: a request field failed validation not covered by a
-	// more specific code (periods, rates, index name, cache_control).
-	CodeBadRequest = "bad_request"
-	// CodeQueueFull: the admission queue is saturated; answered 429 with a
-	// Retry-After header. Back off and retry.
-	CodeQueueFull = "queue_full"
-	// CodeDeadlineQueued: the request's deadline expired (or the client
-	// disconnected) while it was still queued, before any solving started;
-	// answered 503 with Retry-After.
-	CodeDeadlineQueued = "deadline_while_queued"
-	// CodeDraining: the server is shutting down and no longer admits work;
-	// answered 503.
-	CodeDraining = "draining"
-	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
-	CodeMethodNotAllowed = "method_not_allowed"
-	// CodeSolveFailed: the solver reported an error that was not a
-	// cancellation; answered 500.
-	CodeSolveFailed = "solve_failed"
+	CodeBadJSON          = v1.CodeBadJSON
+	CodeBodyTooLarge     = v1.CodeBodyTooLarge
+	CodeBadInstance      = v1.CodeBadInstance
+	CodeDimMismatch      = v1.CodeDimMismatch
+	CodeBadK             = v1.CodeBadK
+	CodeBadRadius        = v1.CodeBadRadius
+	CodeBadNorm          = v1.CodeBadNorm
+	CodeUnknownSolver    = v1.CodeUnknownSolver
+	CodeBadRequest       = v1.CodeBadRequest
+	CodeQueueFull        = v1.CodeQueueFull
+	CodeDeadlineQueued   = v1.CodeDeadlineQueued
+	CodeDraining         = v1.CodeDraining
+	CodeMethodNotAllowed = v1.CodeMethodNotAllowed
+	CodeSolveFailed      = v1.CodeSolveFailed
 )
+
+// CacheControlBypass re-exports v1.CacheControlBypass.
+const CacheControlBypass = v1.CacheControlBypass

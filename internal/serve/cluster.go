@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/clusterd"
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// handleClusterHealth answers GET /v1/cluster/health — the gossip probe of
+// cluster mode. Like /healthz it never blocks and always answers 200; the
+// capacity numbers (worker slots, in-flight, queued, queue depth) are what a
+// coordinating peer ranks this node by, and Draining tells peers to stop
+// forwarding here. A standalone node answers too (empty Advertise, no
+// peers), so probes need no mode detection.
+func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, "", errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s %s: use GET", r.Method, r.URL.Path))
+		return
+	}
+	h := ClusterHealthV1{
+		Draining:   s.draining.Load(),
+		Workers:    s.cfg.workers(),
+		InFlight:   int(s.inFlight.Load()),
+		Queued:     s.adm.queued(),
+		QueueDepth: s.cfg.queueDepth(),
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		h.Advertise = cl.Advertise()
+		h.Peers = cl.Snapshot()
+	}
+	writeJSON(w, "", http.StatusOK, h)
+}
+
+// clusterRemote builds the peer-forwarding PartSolver for one solve request,
+// or nil when the solve stays local: no cluster configured, no peers, or not
+// a sharded solve (shards <= 1 — nothing to fan out). The forwarded request
+// template strips the coordinator-only options: the sharding knobs (a
+// forwarded shard runs single-shot), the warm start (applied once around the
+// whole pipeline, never per shard), and Workers (each peer sizes its own
+// parallelism, which cannot change results — solvers are bit-identical
+// across worker counts). The per-shard derived seed is stamped in by the
+// PartSolver itself.
+func (s *Server) clusterRemote(requestID, solverName, normName string, opts OptionsV1) core.PartSolver {
+	cl := s.cfg.Cluster
+	if cl == nil || cl.NumPeers() == 0 {
+		return nil
+	}
+	if solver.EffectiveShards(solverName, opts.Shards) <= 1 {
+		return nil
+	}
+	inner, composite := solver.ShardedInner(solverName)
+	if !composite {
+		inner = solverName
+	}
+	fwd := opts
+	fwd.Shards, fwd.Halo, fwd.WarmStart, fwd.Workers = 0, 0, nil, 0
+	return cl.PartSolver(clusterd.ForwardSpec{
+		Solver:    inner,
+		Norm:      normName,
+		Options:   fwd,
+		RequestID: requestID,
+	})
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/clusterd"
 	"repro/internal/obs"
 	"repro/internal/pointset"
 	"repro/internal/solver"
@@ -81,6 +82,12 @@ type Config struct {
 	// collector sees — counters, request events, solver telemetry — so an
 	// operator can stream the event trace to a JSONL sink.
 	Obs obs.Collector
+	// Cluster, when non-nil, puts the server in cluster mode: GET
+	// /v1/cluster/health reports its advertise URL and peer table, and
+	// sharded solves (shards > 1) fan their shard solves out to live peers
+	// through it, falling back locally per shard when a peer fails. The
+	// caller owns the cluster's lifecycle (Start/Stop).
+	Cluster *clusterd.Cluster
 }
 
 func (c Config) workers() int {
@@ -181,6 +188,11 @@ func New(cfg Config) *Server {
 		},
 	}
 	s.col = obs.Multi(s.metrics, cfg.Obs)
+	if cfg.Cluster != nil {
+		// Cluster counters must land in this server's /metrics snapshot even
+		// when the caller wired no shared collector of its own.
+		cfg.Cluster.AddObs(s.metrics)
+	}
 	if budget := cfg.cacheBytes(); budget > 0 {
 		s.cache = cache.New(budget, s.col)
 	}
@@ -190,6 +202,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/churn", s.handleChurn)
 	s.mux.HandleFunc("/v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("/v1/cluster/health", s.handleClusterHealth)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

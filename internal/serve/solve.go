@@ -13,12 +13,9 @@ import (
 	"repro/internal/pointset"
 	"repro/internal/reward"
 	"repro/internal/solver"
+	"repro/internal/spatial"
 	"repro/internal/vec"
 )
-
-// CacheControlBypass is the one non-default SolveRequestV1.CacheControl
-// value: force a fresh solve that neither reads nor fills the cache.
-const CacheControlBypass = "bypass"
 
 // handleSolve answers POST /v1/solve: validate, consult the solve-result
 // cache (a hit answers immediately, without a worker slot; concurrent
@@ -69,7 +66,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		sc.fail(w, e)
 		return
 	}
-	if err := solver.ValidateSharding(req.Options.Shards, req.Options.Halo); err != nil {
+	if err := req.Options.Validate(); err != nil {
 		sc.fail(w, errf(http.StatusBadRequest, CodeBadRequest, "%v", err))
 		return
 	}
@@ -183,19 +180,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	in.SetCollector(col)
-	alg, err := solver.New(solverName, solver.Options{
-		Workers:      req.Options.Workers,
-		Seed:         req.Options.Seed,
-		Obs:          col,
-		WarmStart:    warm,
-		GridPer:      req.Options.GridPer,
-		Box:          box,
-		Polish:       req.Options.Polish,
-		DisablePrune: req.Options.DisablePrune,
-		Shards:       req.Options.Shards,
-		Halo:         req.Options.Halo,
-		Refine:       req.Options.Refine,
-	})
+	// A grid finder accelerates coverage evaluation without changing any
+	// result bit — and keeps a forwarded shard solve on par with the
+	// coordinator's local path, which indexes its sub-instances the same way.
+	if g, gerr := spatial.NewGrid(req.Instance.Points(), req.Radius); gerr == nil {
+		in.SetFinder(g)
+	}
+	solverOpts := req.Options.SolverOptions()
+	solverOpts.Obs = col
+	solverOpts.WarmStart = warm
+	solverOpts.Box = box
+	solverOpts.Remote = s.clusterRemote(sc.id, solverName, normName, req.Options)
+	alg, err := solver.New(solverName, solverOpts)
 	if err != nil {
 		// Unreachable: resolveSolver already checked the catalog.
 		sc.fail(w, errf(http.StatusBadRequest, CodeUnknownSolver, "%v", err))

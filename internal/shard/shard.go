@@ -61,6 +61,10 @@ type Options struct {
 	// Obs receives pipeline telemetry (spans, shard.* counters, merge
 	// rounds).
 	Obs obs.Collector
+	// Remote, when non-nil, is tried first for every shard solve (cluster
+	// mode's peer-forwarding seam); a failure falls back to the local inner
+	// solver with identical results per the core.PartSolver contract.
+	Remote core.PartSolver
 }
 
 // HaloRings normalizes a raw Halo knob into a ring count: 0 means
@@ -96,6 +100,7 @@ func NewSolver(innerName string, newInner func(seed uint64) core.Algorithm, o Op
 		SeedFor:   func(partID uint64) uint64 { return DeriveSeed(root, partID) },
 		Workers:   o.Workers,
 		Obs:       o.Obs,
+		SolvePart: o.Remote,
 	}
 }
 

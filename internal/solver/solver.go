@@ -60,6 +60,12 @@ type Options struct {
 	// budget: 0 uses core.DefaultRefineRounds, negative disables
 	// refinement. The other solvers ignore it.
 	Refine int
+	// Remote, when non-nil and the solve is sharded, is tried first for
+	// every shard solve — cluster mode installs its peer-forwarding seam
+	// here. A failure falls back to the local inner solver with identical
+	// results per the core.PartSolver contract. Ignored for single-shot
+	// solves.
+	Remote core.PartSolver
 
 	// The remaining knobs configure the exhaustive baseline ("exhaustive"
 	// in the catalog); the greedy constructors ignore them.
@@ -217,6 +223,24 @@ func ValidateSharding(shards, halo int) error {
 	return nil
 }
 
+// ShardedInner parses the composable registry form "sharded(<inner>)",
+// returning the inner name and true on match. The serving layer's cluster
+// coordinator uses it to learn which algorithm a forwarded shard should run.
+func ShardedInner(name string) (string, bool) { return shardedInner(name) }
+
+// EffectiveShards resolves the shard count a solve of the given name and
+// Options.Shards value actually runs with: the composite "sharded(<inner>)"
+// form defaults to DefaultShards when Shards is unset, a plain name shards
+// only when Shards > 1. Exactly New's dispatch logic, exposed so the serving
+// layer can decide whether a request is a sharded (cluster-forwardable)
+// solve without re-encoding the rules.
+func EffectiveShards(name string, shards int) int {
+	if _, ok := shardedInner(name); ok && shards == 0 {
+		return DefaultShards
+	}
+	return shards
+}
+
 // shardedInner parses the composable registry form "sharded(<inner>)",
 // returning the inner name and true on match.
 func shardedInner(name string) (string, bool) {
@@ -294,6 +318,7 @@ func newSharded(e Entry, inner string, shards int, opts Options) core.Algorithm 
 		o.Shards = 0
 		o.Halo = 0
 		o.WarmStart = nil
+		o.Remote = nil
 		return e.New(o)
 	}
 	alg := shard.NewSolver(inner, newInner, shard.Options{
@@ -302,6 +327,7 @@ func newSharded(e Entry, inner string, shards int, opts Options) core.Algorithm 
 		Workers: opts.Workers,
 		Seed:    opts.Seed,
 		Obs:     opts.Obs,
+		Remote:  opts.Remote,
 	})
 	if len(opts.WarmStart) > 0 {
 		alg = core.WarmStarted{Base: alg, Prev: opts.WarmStart}

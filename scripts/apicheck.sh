@@ -1,7 +1,8 @@
 #!/bin/sh
-# Wire-schema gate for the v1 serving API (internal/serve).
+# Wire-schema gate for the v1 API package (api/v1).
 #
-# Dumps every exported *V1 wire type plus the Code* error constants via
+# Dumps every exported type of the wire package — the request/response
+# schema plus the typed Client — and the Code* error constants via
 # go doc, strips comments and doc prose so only the declarations remain
 # (field names, Go types, JSON tags), and diffs the dump against the
 # committed golden in api/v1.golden.txt. Any schema change — a renamed
@@ -15,19 +16,21 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PKG=repro/internal/serve
+PKG=repro/api/v1
 GOLDEN=api/v1.golden.txt
 
 dump() {
-	# Each *V1 type in sorted order, then the error-code const group.
-	# The sed pass keeps declarations only: drop the "package serve"
-	# headers, the 4-space-indented doc prose go doc appends, comment
-	# lines, and blanks.
+	# Each exported type in sorted order, then the error-code const
+	# group and the cache-control constant. The sed pass keeps
+	# declarations only: drop the "package v1" headers, the
+	# 4-space-indented doc prose go doc appends, comment lines, and
+	# blanks.
 	{
-		for t in $(go doc "$PKG" | grep -o '^type [A-Za-z0-9]*V1' | awk '{print $2}' | sort); do
+		for t in $(go doc "$PKG" | grep -o '^type [A-Za-z0-9]*' | awk '{print $2}' | sort); do
 			go doc "$PKG.$t"
 		done
 		go doc "$PKG.CodeBadJSON"
+		go doc "$PKG.CacheControlBypass"
 	} | sed -e '/^package /d' -e '/^    /d' -e 's|[[:space:]]*//.*$||' -e '/^[[:space:]]*$/d'
 }
 

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Cluster-solve benchmark: run the million-user sharded solve alone and
+# coordinated across a 3-node loopback cluster
+# (BenchmarkClusterSolve_N1M_K32/nodes=1 vs /nodes=3), splice the results
+# into BENCH_baseline.json via benchjson -merge, and print the advisory diff
+# — including the single-node vs cluster speedup/parity table (parity must
+# print 1.000x: forwarding is bit-identical by contract). Each iteration is
+# a full solve, so the benchtime defaults to one iteration; raise BENCHTIME
+# (e.g. 3x) for steadier numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -run '^$' -bench 'ClusterSolve_N1M' -benchmem \
+	-benchtime "$BENCHTIME" . | tee /dev/stderr > "$out"
+
+go run ./cmd/benchjson -merge BENCH_baseline.json < "$out" > BENCH_baseline.json.tmp
+mv BENCH_baseline.json.tmp BENCH_baseline.json
+echo "merged cluster benchmarks into BENCH_baseline.json" >&2
+
+go run ./cmd/benchjson -diff BENCH_baseline.json < "$out"

@@ -58,6 +58,8 @@ fi
 if [ "${SMOKE:-1}" != "0" ]; then
 	echo "==> smoke"
 	./scripts/smoke.sh
+	echo "==> smoke-cluster"
+	./scripts/smoke_cluster.sh
 fi
 
 # Advisory benchmark comparison: never fails the check, but surfaces any
